@@ -1,0 +1,147 @@
+// Command hf runs a closed-shell restricted Hartree-Fock calculation
+// (the paper's Algorithm 1) with any of the repository's Fock engines.
+//
+// Examples:
+//
+//	hf -mol CH4 -basis sto-3g
+//	hf -mol C6H6 -engine gtfock -grid 2x2 -purify
+//	hf -mol alkane:4 -basis cc-pvdz -reorder cell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gtfock/internal/chem"
+	"gtfock/internal/correlate"
+	"gtfock/internal/integrals"
+	"gtfock/internal/props"
+	"gtfock/internal/scf"
+	"gtfock/internal/screen"
+)
+
+func main() {
+	var (
+		molSpec = flag.String("mol", "CH4", "molecule: formula, alkane:N, or flake:K")
+		bname   = flag.String("basis", "sto-3g", "basis set: sto-3g, 6-31g, cc-pvdz, or cc-pvtz")
+		engine  = flag.String("engine", "gtfock", "gtfock, nwchem, or serial")
+		grid    = flag.String("grid", "1x1", "process grid RxC")
+		maxIter = flag.Int("maxiter", 50, "maximum SCF iterations")
+		conv    = flag.Float64("conv", 1e-8, "energy convergence (Hartree)")
+		tau     = flag.Float64("tau", screen.DefaultTau, "screening tolerance")
+		pur     = flag.Bool("purify", false, "density via canonical purification (Sec. IV-E)")
+		ord     = flag.String("reorder", "", "shell ordering: cell, morton, or empty")
+		noDIIS  = flag.Bool("nodiis", false, "disable DIIS acceleration")
+		mp2     = flag.Bool("mp2", false, "add the MP2 correlation energy (small systems)")
+	)
+	flag.Parse()
+
+	mol, err := parseMolecule(*molSpec)
+	fatalIf(err)
+
+	opt := scf.Options{
+		BasisName:       *bname,
+		Engine:          scf.Engine(*engine),
+		Tau:             *tau,
+		MaxIter:         *maxIter,
+		ConvTol:         *conv,
+		UsePurification: *pur,
+		Reorder:         *ord,
+	}
+	if *noDIIS {
+		opt.DIIS = -1
+	}
+	opt.Prow, opt.Pcol, err = parseGrid(*grid)
+	fatalIf(err)
+
+	fmt.Printf("RHF/%s on %s (%d electrons, %s engine)\n",
+		*bname, mol.Formula(), mol.NumElectrons(), *engine)
+	res, err := scf.RunHF(mol, opt)
+	fatalIf(err)
+
+	fmt.Printf("%4s %18s %14s %12s %10s %10s\n",
+		"iter", "E_total (Ha)", "dE", "max|dD|", "t_fock", "t_dens")
+	for i, it := range res.Iterations {
+		fmt.Printf("%4d %18.10f %14.3e %12.3e %9.2fs %9.2fs",
+			i+1, it.Energy, it.DeltaE, it.DErr,
+			it.FockTime.Seconds(), it.DensityTime.Seconds())
+		if it.PurifyIters > 0 {
+			fmt.Printf("  (purify: %d iters)", it.PurifyIters)
+		}
+		fmt.Println()
+	}
+	if res.Converged {
+		fmt.Printf("converged: E = %.10f Ha (electronic %.10f, nuclear %.10f)\n",
+			res.Energy, res.Electronic, res.NuclearRep)
+	} else {
+		fmt.Printf("NOT converged after %d iterations; E = %.10f Ha\n",
+			len(res.Iterations), res.Energy)
+		os.Exit(1)
+	}
+	if res.FockStats != nil {
+		fmt.Printf("last Fock build: %.2f MB and %.0f calls per process, l = %.4f\n",
+			res.FockStats.VolumeAvgMB(), res.FockStats.CallsAvg(),
+			res.FockStats.LoadBalance())
+	}
+
+	if *mp2 {
+		r2, err := correlate.MP2(res)
+		fatalIf(err)
+		fmt.Printf("MP2: E_corr = %.10f (OS %.10f, SS %.10f)  E(MP2) = %.10f Ha\n",
+			r2.ECorr, r2.OppositeSpin, r2.SameSpin, r2.ETotal)
+	}
+
+	// Properties from the converged density.
+	mu := props.Dipole(res.Basis, res.D, chem.Vec3{})
+	fmt.Printf("dipole moment: |mu| = %.4f D  (%.4f, %.4f, %.4f a.u.)\n",
+		mu.Norm()*props.DebyePerAU, mu.X, mu.Y, mu.Z)
+	s := integrals.Overlap(res.Basis)
+	if q, err := props.Mulliken(res.Basis, res.D, s); err == nil {
+		fmt.Println("Mulliken charges:")
+		for a, v := range q {
+			fmt.Printf("  %-2s%-3d %+8.4f\n", chem.Symbol(mol.Atoms[a].Z), a, v)
+		}
+	}
+}
+
+func parseMolecule(spec string) (*chem.Molecule, error) {
+	switch {
+	case strings.HasPrefix(spec, "alkane:"):
+		n, err := strconv.Atoi(spec[len("alkane:"):])
+		if err != nil {
+			return nil, err
+		}
+		return chem.Alkane(n), nil
+	case strings.HasPrefix(spec, "flake:"):
+		k, err := strconv.Atoi(spec[len("flake:"):])
+		if err != nil {
+			return nil, err
+		}
+		return chem.GrapheneFlake(k), nil
+	default:
+		return chem.PaperMolecule(spec)
+	}
+}
+
+func parseGrid(s string) (int, int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("grid must be RxC, got %q", s)
+	}
+	r, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	c, err := strconv.Atoi(parts[1])
+	return r, c, err
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hf:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,125 @@
+// Command model evaluates the paper's analytic performance model
+// (Sec. III-G, eqs. 6-12) for a molecule and answers its forward-looking
+// questions: how the overhead ratio L(p) grows, where efficiency falls,
+// how much faster ERI computation must get before communication
+// dominates, and how the problem must grow to hold efficiency
+// (isoefficiency).
+//
+// Examples:
+//
+//	model -mol C96H24 -s 3.8
+//	model -mol alkane:30 -sweep tint
+//	model -mol flake:3 -sweep bandwidth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+	"gtfock/internal/dist"
+	"gtfock/internal/model"
+	"gtfock/internal/screen"
+)
+
+func main() {
+	var (
+		molSpec = flag.String("mol", "alkane:30", "molecule: formula, alkane:N, or flake:K")
+		tau     = flag.Float64("tau", screen.DefaultTau, "screening tolerance")
+		s       = flag.Float64("s", 3.8, "average steal victims per process (paper's measured value)")
+		sweep   = flag.String("sweep", "", "sweep a machine parameter: tint or bandwidth")
+	)
+	flag.Parse()
+
+	mol, err := parseMolecule(*molSpec)
+	fatalIf(err)
+	bs, err := basis.Build(mol, "cc-pvdz")
+	fatalIf(err)
+	fmt.Fprintf(os.Stderr, "screening %d shells...\n", bs.NumShells())
+	scr := screen.Compute(bs, *tau)
+	cfg := dist.Lonestar()
+	m := model.FromSystem(bs, scr, *s, cfg)
+
+	fmt.Printf("Performance model (Sec. III-G) for %s/cc-pVDZ:\n", mol.Formula())
+	fmt.Printf("  n_shells = %d   A = %.2f funcs/shell   B = %.1f   q = %.1f   s = %.1f\n",
+		m.NShells, m.A, m.B, m.Q, m.S)
+	fmt.Printf("  t_int = %.2f us   beta = %.0f GB/s\n\n", m.TInt*1e6, m.Beta/1e9)
+
+	fmt.Printf("  %8s %12s %12s %10s %10s\n", "procs", "T_comp (s)", "T_comm (s)", "L(p)", "E(p)")
+	for _, nodes := range []int{1, 9, 36, 81, 144, 324, 1024, 4096} {
+		fmt.Printf("  %8d %12.2f %12.4f %10.5f %10.4f\n",
+			nodes, m.TComp(nodes), m.TComm(nodes), m.L(nodes), m.Efficiency(nodes))
+	}
+	fmt.Printf("\n  at maximum parallelism p = n^2 = %d:\n", m.NShells*m.NShells)
+	fmt.Printf("    L = %.4f -> ERI computation must become %.0fx faster for\n",
+		m.LMaxParallelism(), m.CriticalTIntSpeedup())
+	fmt.Println("    communication to dominate (the paper's ~50x analysis)")
+	fmt.Printf("  isoefficiency: to keep L when going 64 -> 1024 procs, grow to %d shells\n\n",
+		m.IsoefficiencyShells(64, 1024))
+
+	switch *sweep {
+	case "":
+	case "tint":
+		fmt.Println("  t_int sweep (faster integrals -> communication matters sooner):")
+		fmt.Printf("  %12s %12s %14s\n", "t_int (us)", "L(n^2)", "E at 324 nodes")
+		for _, f := range []float64{1, 2, 5, 10, 20, 50, 100} {
+			mm := m
+			mm.TInt = m.TInt / f
+			fmt.Printf("  %12.3f %12.4f %14.4f\n", mm.TInt*1e6, mm.LMaxParallelism(), mm.Efficiency(324))
+		}
+	case "bandwidth":
+		fmt.Println("  bandwidth sweep:")
+		fmt.Printf("  %12s %12s %14s\n", "beta (GB/s)", "L(n^2)", "E at 324 nodes")
+		for _, b := range []float64{1, 2, 5, 10, 25, 100} {
+			mm := m
+			mm.Beta = b * 1e9
+			fmt.Printf("  %12.0f %12.4f %14.4f\n", b, mm.LMaxParallelism(), mm.Efficiency(324))
+		}
+	default:
+		fatalIf(fmt.Errorf("unknown sweep %q", *sweep))
+	}
+}
+
+func parseMolecule(spec string) (*chem.Molecule, error) {
+	switch {
+	case strings.HasPrefix(spec, "alkane:"):
+		n, err := strconv.Atoi(spec[len("alkane:"):])
+		if err != nil {
+			return nil, err
+		}
+		return chem.Alkane(n), nil
+	case strings.HasPrefix(spec, "flake:"):
+		k, err := strconv.Atoi(spec[len("flake:"):])
+		if err != nil {
+			return nil, err
+		}
+		return chem.GrapheneFlake(k), nil
+	case strings.HasPrefix(spec, "ribbon:"):
+		parts := strings.Split(spec[len("ribbon:"):], "x")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("ribbon spec must be ribbon:NXxNY")
+		}
+		nx, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		ny, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return chem.GrapheneRibbon(nx, ny), nil
+	default:
+		return chem.PaperMolecule(spec)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "model:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+// Command molgen emits generated molecule geometries in XMol .xyz format.
+//
+// Examples:
+//
+//	molgen -mol C96H24            # a paper test system
+//	molgen -mol alkane:100        # C100H202
+//	molgen -mol flake:5           # C150H30
+//	molgen -list                  # show the paper's systems with stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+)
+
+func main() {
+	var (
+		molSpec = flag.String("mol", "", "molecule: formula, alkane:N, or flake:K")
+		list    = flag.Bool("list", false, "list the paper's test systems")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %7s %8s %8s %11s\n", "Molecule", "Atoms", "Shells", "Funcs", "Structure")
+		for _, f := range []string{"C6H6", "C24H12", "C54H18", "C96H24", "C150H30",
+			"C10H22", "C100H202", "C144H290"} {
+			mol, err := chem.PaperMolecule(f)
+			fatalIf(err)
+			ns, nf, err := basis.CountFuncs(mol, "cc-pvdz")
+			fatalIf(err)
+			kind := "2D graphene flake"
+			if strings.Contains(mol.Name, "alkane") {
+				kind = "1D linear alkane"
+			}
+			fmt.Printf("%-10s %7d %8d %8d   %s\n", f, mol.NumAtoms(), ns, nf, kind)
+		}
+		return
+	}
+	if *molSpec == "" {
+		fatalIf(fmt.Errorf("need -mol or -list"))
+	}
+	var mol *chem.Molecule
+	var err error
+	switch {
+	case strings.HasPrefix(*molSpec, "alkane:"):
+		var n int
+		n, err = strconv.Atoi((*molSpec)[len("alkane:"):])
+		if err == nil {
+			mol = chem.Alkane(n)
+		}
+	case strings.HasPrefix(*molSpec, "flake:"):
+		var k int
+		k, err = strconv.Atoi((*molSpec)[len("flake:"):])
+		if err == nil {
+			mol = chem.GrapheneFlake(k)
+		}
+	default:
+		mol, err = chem.PaperMolecule(*molSpec)
+	}
+	fatalIf(err)
+	fmt.Print(mol.XYZ())
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "molgen:", err)
+		os.Exit(1)
+	}
+}

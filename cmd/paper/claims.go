@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+
+	"gtfock/internal/model"
+)
+
+// claims reproduces the quantitative claims made in the paper's prose:
+//   - Sec. IV-C: ~1e5+ centralized-scheduler accesses for C100H202 at 3888
+//     cores versus ~349 atomic queue operations per GTFock node queue;
+//   - Sec. III-G: average steal victims s ~= 3.8 for C96H24 at 3888 cores;
+//   - Sec. III-G: ERI computation must get ~50x faster before
+//     communication dominates at maximum parallelism;
+//   - isoefficiency n_shells = O(sqrt(p)).
+func (l *lab) claims() {
+	cores := l.coreCounts()[len(l.coreCounts())-1]
+	alkane := l.molecules()[2]
+	flake := l.molecules()[0]
+
+	fmt.Printf("Claims (Secs. III-G, IV-C), at %d cores:\n", cores)
+
+	nw := l.simulate(alkane, cores, "nwchem")
+	gt := l.simulate(alkane, cores, "gtfock")
+	fmt.Printf("  scheduler accesses, %s: centralized counter = %d total;\n",
+		alkane, nw.QueueOpsTotal())
+	fmt.Printf("      GTFock distributed queues = %.0f atomic ops per queue (paper: 349)\n",
+		gt.QueueOpsAvg())
+
+	gtf := l.simulate(flake, cores, "gtfock")
+	fmt.Printf("  steal victims, %s: s = %.2f per process (paper: 3.8)\n",
+		flake, gtf.VictimsAvg())
+
+	s := l.system(flake)
+	m := model.FromSystem(s.rbs, s.rscr, gtf.VictimsAvg(), l.config(s))
+	fmt.Printf("  performance model, %s: B = %.0f, q = %.0f, A = %.2f\n",
+		flake, m.B, m.Q, m.A)
+	fmt.Printf("      L(p=n^2) = %.4f -> ERI computation must be %.0fx faster for\n",
+		m.LMaxParallelism(), m.CriticalTIntSpeedup())
+	fmt.Println("      communication to dominate (paper: ~50x)")
+	fmt.Printf("      isoefficiency: keeping L of (%d shells, %d procs) at 4x the\n",
+		m.NShells, 64)
+	fmt.Printf("      processes needs %d shells (n = O(sqrt p))\n",
+		m.IsoefficiencyShells(64, 256))
+	fmt.Println()
+}

@@ -1,0 +1,71 @@
+// Alkane screening & reordering study: linear alkanes are the paper's
+// "1D chain-like" systems where Cauchy-Schwarz screening removes most
+// quartets and shell ordering decides how scattered each task's density
+// footprint is (Sec. III-D, Fig. 1). This example quantifies both and
+// then shows work stealing rebalancing the irregular partition.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gtfock"
+	"gtfock/internal/core"
+	"gtfock/internal/linalg"
+	"gtfock/internal/reorder"
+)
+
+func main() {
+	mol := gtfock.Alkane(40) // C40H82
+	bs, err := gtfock.BuildBasis(mol, "cc-pvdz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scr := gtfock.ComputeScreening(bs, 0)
+	n := bs.NumShells()
+	fmt.Printf("%s: %d shells; screening keeps %.1f%% of shell pairs\n",
+		mol.Formula(), n, 100*scr.AvgPhi()/float64(n))
+
+	// Ordering quality: normalized index spread of the significant sets.
+	fmt.Println("\nShell-ordering quality (lower = tighter task footprints):")
+	for _, o := range []struct {
+		name  string
+		order []int
+	}{
+		{"generator (atoms)", reorder.Identity(n)},
+		{"random", reorder.Random(n, 1)},
+		{"cell (paper)", reorder.Cell(bs, 0)},
+		{"morton (extension)", reorder.Morton(bs, 0)},
+	} {
+		pbs := bs.Permute(o.order)
+		pscr := scr.Permute(o.order, pbs)
+		spread := reorder.IndexSpread(pscr.Phi, n)
+		// Span-based D_local buffer one process would prefetch for a
+		// mid-molecule task block under this ordering (what strided
+		// one-sided Gets actually move; Sec. III-D).
+		blk := core.TaskBlock{R0: n / 3, R1: n/3 + 10, C0: n / 2, C1: n/2 + 10}
+		fp := core.NewFootprint()
+		fp.AddBlock(pscr, blk)
+		fmt.Printf("  %-20s spread = %.3f   10x10 block D_local buffer = %8.1f KB\n",
+			o.name, spread, float64(fp.BufferBytes(pbs))/1e3)
+	}
+
+	// Work stealing on a deliberately imbalanced 6x1 grid (each process
+	// owns a band of the chain; end bands have less screened work). Run
+	// the real build on a smaller chain in the minimal basis so the
+	// example finishes in seconds.
+	small := gtfock.Alkane(12)
+	sbs, err := gtfock.BuildBasis(small, "sto-3g")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sscr := gtfock.ComputeScreening(sbs, 0)
+	order := reorder.Cell(sbs, 0)
+	pbs := sbs.Permute(order)
+	pscr := sscr.Permute(order, pbs)
+	d := linalg.Identity(pbs.NumFuncs).Scale(0.2)
+	res := gtfock.BuildFock(pbs, pscr, d, gtfock.FockOptions{Prow: 6, Pcol: 1})
+	fmt.Printf("\nreal 6x1 build on %s/STO-3G: load balance l = %.3f with %.1f steals/process\n",
+		small.Formula(), res.Stats.LoadBalance(), res.Stats.StealsAvg())
+	fmt.Println("(compare Table VIII: stealing keeps l near 1 despite 1D irregularity)")
+}

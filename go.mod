@@ -1,0 +1,3 @@
+module gtfock
+
+go 1.22

@@ -1,0 +1,252 @@
+package basis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gtfock/internal/chem"
+)
+
+func TestDoubleFactorial(t *testing.T) {
+	cases := map[int]float64{-1: 1, 0: 1, 1: 1, 2: 2, 3: 3, 4: 8, 5: 15, 7: 105}
+	for n, want := range cases {
+		if got := doubleFactorial(n); got != want {
+			t.Fatalf("doubleFactorial(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestShellCounts(t *testing.T) {
+	s := Shell{L: 0}
+	if s.NumFuncs() != 1 || s.NumCart() != 1 {
+		t.Fatal("s shell counts")
+	}
+	p := Shell{L: 1}
+	if p.NumFuncs() != 3 || p.NumCart() != 3 {
+		t.Fatal("p shell counts")
+	}
+	d := Shell{L: 2}
+	if d.NumFuncs() != 5 || d.NumCart() != 6 {
+		t.Fatal("d shell counts")
+	}
+}
+
+// Table II structure check: shells and functions per molecule must match
+// the cc-pVDZ counts given in the paper (C100H202: 1206 shells, 2410
+// functions is stated explicitly in Sec. III-D).
+func TestPaperShellFunctionCounts(t *testing.T) {
+	cases := []struct {
+		formula          string
+		shells, funcs    int
+		atoms, electrons int
+	}{
+		{"C96H24", 96*6 + 24*3, 96*14 + 24*5, 120, 600},
+		{"C150H30", 150*6 + 30*3, 150*14 + 30*5, 180, 930},
+		{"C100H202", 1206, 2410, 302, 802},
+		{"C144H290", 144*6 + 290*3, 144*14 + 290*5, 434, 1154},
+		{"C24H12", 24*6 + 12*3, 24*14 + 12*5, 36, 156},
+		{"C10H22", 10*6 + 22*3, 10*14 + 22*5, 32, 82},
+	}
+	for _, c := range cases {
+		mol, err := chem.PaperMolecule(c.formula)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(mol, "cc-pvdz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.NumShells() != c.shells {
+			t.Errorf("%s: shells = %d, want %d", c.formula, b.NumShells(), c.shells)
+		}
+		if b.NumFuncs != c.funcs {
+			t.Errorf("%s: funcs = %d, want %d", c.formula, b.NumFuncs, c.funcs)
+		}
+		ns, nf, err := CountFuncs(mol, "cc-pvdz")
+		if err != nil || ns != c.shells || nf != c.funcs {
+			t.Errorf("%s: CountFuncs = %d,%d,%v", c.formula, ns, nf, err)
+		}
+	}
+}
+
+func TestOffsetsConsistent(t *testing.T) {
+	mol := chem.Methane()
+	b, err := Build(mol, "cc-pvdz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CH4: C = 6 shells, 4 H x 3 shells = 12; total 18 shells, 14+20=34 funcs.
+	if b.NumShells() != 18 || b.NumFuncs != 34 {
+		t.Fatalf("CH4 cc-pvdz: %d shells, %d funcs", b.NumShells(), b.NumFuncs)
+	}
+	off := 0
+	for i := range b.Shells {
+		if b.Offsets[i] != off {
+			t.Fatalf("offset[%d] = %d, want %d", i, b.Offsets[i], off)
+		}
+		off += b.ShellFuncs(i)
+	}
+	if off != b.NumFuncs {
+		t.Fatal("offsets do not sum to NumFuncs")
+	}
+}
+
+func TestByAtomAndAtomOf(t *testing.T) {
+	mol := chem.Hydrogen2(0)
+	b, err := Build(mol, "cc-pvdz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ByAtom) != 2 || len(b.ByAtom[0]) != 3 || len(b.ByAtom[1]) != 3 {
+		t.Fatalf("ByAtom = %v", b.ByAtom)
+	}
+	for a, shells := range b.ByAtom {
+		for _, s := range shells {
+			if b.AtomOf[s] != a || b.Shells[s].Atom != a {
+				t.Fatal("AtomOf inconsistent")
+			}
+			if b.Shells[s].Center != mol.Atoms[a].Pos {
+				t.Fatal("shell center mismatch")
+			}
+		}
+	}
+}
+
+func TestUnknownBasisAndElement(t *testing.T) {
+	mol := chem.Methane()
+	if _, err := Build(mol, "nope"); err == nil {
+		t.Fatal("expected error for unknown basis")
+	}
+	bad := &chem.Molecule{Atoms: []chem.Atom{{Z: 8}}}
+	if _, err := Build(bad, "cc-pvdz"); err == nil {
+		t.Fatal("expected error for missing element")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	mol := chem.Methane()
+	b, _ := Build(mol, "cc-pvdz")
+	n := b.NumShells()
+	rng := rand.New(rand.NewSource(42))
+	order := rng.Perm(n)
+	pb := b.Permute(order)
+	if pb.NumFuncs != b.NumFuncs || pb.NumShells() != n {
+		t.Fatal("Permute changed totals")
+	}
+	for newIdx, oldIdx := range order {
+		if pb.Shells[newIdx].L != b.Shells[oldIdx].L ||
+			pb.Shells[newIdx].Atom != b.Shells[oldIdx].Atom {
+			t.Fatal("Permute mangled shells")
+		}
+	}
+	// ByAtom must still index correctly.
+	for a, shells := range pb.ByAtom {
+		for _, s := range shells {
+			if pb.Shells[s].Atom != a {
+				t.Fatal("Permute ByAtom broken")
+			}
+		}
+	}
+	// Offsets rebuilt.
+	off := 0
+	for i := range pb.Shells {
+		if pb.Offsets[i] != off {
+			t.Fatal("Permute offsets broken")
+		}
+		off += pb.ShellFuncs(i)
+	}
+}
+
+func TestPermuteRejectsBadOrder(t *testing.T) {
+	mol := chem.Hydrogen2(0)
+	b, _ := Build(mol, "sto-3g")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-permutation")
+		}
+	}()
+	b.Permute([]int{0, 0})
+}
+
+// Contracted normalization: the self-overlap computed from the normalized
+// coefficients must be exactly 1 for every shell.
+func TestContractionNormalized(t *testing.T) {
+	mol := chem.Methane()
+	for _, name := range Names() {
+		b, err := Build(mol, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, sh := range b.Shells {
+			var s float64
+			for i := range sh.Coefs {
+				for j := range sh.Coefs {
+					s += sh.Coefs[i] * sh.Coefs[j] *
+						refSelfOverlap(sh.Exps[i], sh.Exps[j], sh.L)
+				}
+			}
+			if math.Abs(s-1) > 1e-12 {
+				t.Fatalf("%s shell %d (L=%d): self-overlap %v", name, si, sh.L, s)
+			}
+		}
+	}
+}
+
+func TestPrimNormSingle(t *testing.T) {
+	// For a single primitive s function, N^2 * (pi/2a)^{3/2} == 1.
+	for _, a := range []float64{0.1, 1.0, 13.5} {
+		n := primNorm(a, 0)
+		s := n * n * math.Pow(math.Pi/(2*a), 1.5)
+		if math.Abs(s-1) > 1e-13 {
+			t.Fatalf("primNorm(a=%v, l=0): self overlap %v", a, s)
+		}
+	}
+}
+
+func TestBasisFamilySizes(t *testing.T) {
+	mol := chem.Methane()       // 1 C + 4 H
+	cases := map[string][2]int{ // shells, funcs
+		"sto-3g":  {3 + 4*1, 5 + 4*1},
+		"6-31g":   {5 + 4*2, 9 + 4*2},
+		"cc-pvdz": {6 + 4*3, 14 + 4*5},
+		"cc-pvtz": {10 + 4*6, 30 + 4*14},
+	}
+	for name, want := range cases {
+		b, err := Build(mol, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b.NumShells() != want[0] || b.NumFuncs != want[1] {
+			t.Fatalf("%s: %d shells / %d funcs, want %d / %d",
+				name, b.NumShells(), b.NumFuncs, want[0], want[1])
+		}
+	}
+}
+
+// Larger basis sets must have strictly more functions (basis-set ladder).
+func TestBasisLadderMonotone(t *testing.T) {
+	mol := chem.Benzene()
+	prev := 0
+	for _, name := range Names() {
+		b, err := Build(mol, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.NumFuncs <= prev {
+			t.Fatalf("%s has %d funcs, not more than previous %d",
+				name, b.NumFuncs, prev)
+		}
+		prev = b.NumFuncs
+	}
+}
+
+func TestAvgFuncsPerShell(t *testing.T) {
+	mol, _ := chem.PaperMolecule("C100H202")
+	b, _ := Build(mol, "cc-pvdz")
+	got := b.AvgFuncsPerShell()
+	want := 2410.0 / 1206.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("A = %v, want %v", got, want)
+	}
+}

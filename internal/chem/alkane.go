@@ -1,0 +1,127 @@
+package chem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Geometry constants (Angstrom / degrees) for generated hydrocarbons.
+const (
+	ccSingleBondA = 1.526  // sp3 C-C
+	chBondA       = 1.090  // C-H
+	cccAngleDeg   = 111.0  // backbone C-C-C angle
+	tetAngleDeg   = 109.47 // ideal tetrahedral angle
+	ccAromaticA   = 1.421  // graphene C-C
+	chAromaticA   = 1.080  // aromatic C-H
+)
+
+// Alkane generates the all-anti (zig-zag) linear alkane CnH(2n+2) for
+// n >= 1. The backbone lies in the xz-plane extending along +x; these are
+// the paper's "1D chain-like" test molecules (C10H22, C100H202, C144H290).
+func Alkane(n int) *Molecule {
+	if n < 1 {
+		panic("chem: Alkane requires n >= 1")
+	}
+	cc := ccSingleBondA * BohrPerAngstrom
+	ch := chBondA * BohrPerAngstrom
+	half := cccAngleDeg * math.Pi / 180 / 2
+	dx := cc * math.Sin(half)
+	dz := cc * math.Cos(half)
+
+	mol := &Molecule{Name: fmt.Sprintf("C%dH%d linear alkane", n, 2*n+2)}
+	carbons := make([]Vec3, n)
+	for i := 0; i < n; i++ {
+		z := 0.0
+		if i%2 == 1 {
+			z = dz
+		}
+		carbons[i] = Vec3{X: float64(i) * dx, Z: z}
+	}
+	// Atom ordering: carbons first in chain order, then hydrogens in the
+	// order of their parent carbon. Shell reordering (Sec. III-D) will
+	// interleave them spatially later; the generator keeps a simple,
+	// deterministic order.
+	for _, c := range carbons {
+		mol.Atoms = append(mol.Atoms, Atom{Z: ZCarbon, Pos: c})
+	}
+	for i, c := range carbons {
+		var neighbors []Vec3
+		if i > 0 {
+			neighbors = append(neighbors, carbons[i-1])
+		}
+		if i < n-1 {
+			neighbors = append(neighbors, carbons[i+1])
+		}
+		for _, h := range hydrogenDirections(c, neighbors) {
+			mol.Atoms = append(mol.Atoms, Atom{Z: ZHydrogen, Pos: c.Add(h.Scale(ch))})
+		}
+	}
+	return mol
+}
+
+// Methane returns CH4 with ideal tetrahedral geometry.
+func Methane() *Molecule {
+	mol := &Molecule{Name: "CH4 methane"}
+	mol.Atoms = append(mol.Atoms, Atom{Z: ZCarbon, Pos: Vec3{}})
+	ch := chBondA * BohrPerAngstrom
+	s := 1 / math.Sqrt(3)
+	for _, d := range []Vec3{{s, s, s}, {s, -s, -s}, {-s, s, -s}, {-s, -s, s}} {
+		mol.Atoms = append(mol.Atoms, Atom{Z: ZHydrogen, Pos: d.Scale(ch)})
+	}
+	return mol
+}
+
+// Hydrogen2 returns the H2 molecule at the given bond length in Angstrom
+// (pass 0 for the experimental 0.741 A). Useful for minimal SCF tests.
+func Hydrogen2(bondA float64) *Molecule {
+	if bondA <= 0 {
+		bondA = 0.741
+	}
+	d := bondA * BohrPerAngstrom
+	return &Molecule{
+		Name: "H2",
+		Atoms: []Atom{
+			{Z: ZHydrogen, Pos: Vec3{Z: -d / 2}},
+			{Z: ZHydrogen, Pos: Vec3{Z: d / 2}},
+		},
+	}
+}
+
+// hydrogenDirections completes a carbon's coordination to 4 bonds with
+// approximately tetrahedral unit vectors, given the positions of its
+// existing heavy-atom neighbors.
+func hydrogenDirections(c Vec3, neighbors []Vec3) []Vec3 {
+	tet := tetAngleDeg * math.Pi / 180
+	switch len(neighbors) {
+	case 0: // isolated carbon: 4 tetrahedral directions
+		s := 1 / math.Sqrt(3)
+		return []Vec3{{s, s, s}, {s, -s, -s}, {-s, s, -s}, {-s, -s, s}}
+	case 1: // CH3: three H at tetAngle from the single C-C bond
+		n := neighbors[0].Sub(c).Unit()
+		p := perpendicular(n)
+		base := n.Scale(math.Cos(tet)).Add(p.Scale(math.Sin(tet)))
+		out := make([]Vec3, 0, 3)
+		for k := 0; k < 3; k++ {
+			out = append(out, rotateAbout(base, n, float64(k)*2*math.Pi/3).Unit())
+		}
+		return out
+	case 2: // CH2: two H in the plane bisecting the C-C-C angle
+		n1 := neighbors[0].Sub(c).Unit()
+		n2 := neighbors[1].Sub(c).Unit()
+		bisector := n1.Add(n2).Scale(-1).Unit()
+		axis := n1.Cross(n2).Unit()
+		half := tet / 2
+		return []Vec3{
+			bisector.Scale(math.Cos(half)).Add(axis.Scale(math.Sin(half))).Unit(),
+			bisector.Scale(math.Cos(half)).Sub(axis.Scale(math.Sin(half))).Unit(),
+		}
+	case 3: // CH: opposite the average of the three neighbors
+		sum := Vec3{}
+		for _, nb := range neighbors {
+			sum = sum.Add(nb.Sub(c).Unit())
+		}
+		return []Vec3{sum.Scale(-1).Unit()}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,73 @@
+// Package chem provides molecular geometry: 3-vectors, elements, the
+// Molecule type, and generators for the test systems used in the paper's
+// evaluation — hexagonal graphene flakes C(6k^2)H(6k) (C24H12, C96H24,
+// C150H30, ...) and all-anti linear alkanes CnH(2n+2) (C10H22, C100H202,
+// C144H290, ...).
+//
+// All coordinates are stored in atomic units (Bohr); generator inputs use
+// Angstrom bond lengths, converted internally.
+package chem
+
+import "math"
+
+// BohrPerAngstrom converts Angstrom to Bohr (CODATA).
+const BohrPerAngstrom = 1.8897259886
+
+// Vec3 is a point or direction in R^3.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns a*v.
+func (v Vec3) Scale(a float64) Vec3 { return Vec3{a * v.X, a * v.Y, a * v.Z} }
+
+// Dot returns the inner product v . w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the vector product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns |v|^2.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Unit returns v/|v|; it panics on the zero vector.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		panic("chem: Unit of zero vector")
+	}
+	return v.Scale(1 / n)
+}
+
+// Dist returns |v - w|.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// perpendicular returns an arbitrary unit vector orthogonal to v.
+func perpendicular(v Vec3) Vec3 {
+	u := v.Unit()
+	// Cross with the axis least aligned with v.
+	ref := Vec3{1, 0, 0}
+	if math.Abs(u.X) > math.Abs(u.Y) {
+		ref = Vec3{0, 1, 0}
+	}
+	return u.Cross(ref).Unit()
+}
+
+// rotateAbout rotates v by angle theta about the unit axis k (Rodrigues).
+func rotateAbout(v, k Vec3, theta float64) Vec3 {
+	c, s := math.Cos(theta), math.Sin(theta)
+	return v.Scale(c).Add(k.Cross(v).Scale(s)).Add(k.Scale(k.Dot(v) * (1 - c)))
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+	"gtfock/internal/dist"
+	"gtfock/internal/linalg"
+	"gtfock/internal/screen"
+)
+
+func TestSymmetryCheckPicksOneOrdering(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			a, b := SymmetryCheck(i, j), SymmetryCheck(j, i)
+			if i == j {
+				if !a {
+					t.Fatalf("SymmetryCheck(%d,%d) must be true", i, j)
+				}
+			} else if a == b {
+				t.Fatalf("SymmetryCheck(%d,%d)=%v and (%d,%d)=%v: not exclusive",
+					i, j, a, j, i, b)
+			}
+		}
+	}
+}
+
+// Every quartet orbit must be computed exactly once by the task scheme:
+// enumerate the quartets each task computes (symmetry checks only) and
+// verify each unordered orbit appears exactly once.
+func TestTaskSchemeCoversOrbitsOnce(t *testing.T) {
+	const ns = 7
+	type orbit [4]int
+	canon := func(m, p, n, q int) orbit {
+		// Canonical form of the 8-fold orbit of (mp|nq).
+		bra := [2]int{m, p}
+		ket := [2]int{n, q}
+		if bra[0] < bra[1] {
+			bra[0], bra[1] = bra[1], bra[0]
+		}
+		if ket[0] < ket[1] {
+			ket[0], ket[1] = ket[1], ket[0]
+		}
+		if bra[0] < ket[0] || (bra[0] == ket[0] && bra[1] < ket[1]) {
+			bra, ket = ket, bra
+		}
+		return orbit{bra[0], bra[1], ket[0], ket[1]}
+	}
+	seen := map[orbit]int{}
+	for m := 0; m < ns; m++ {
+		for n := 0; n < ns; n++ {
+			if !SymmetryCheck(m, n) {
+				continue
+			}
+			for p := 0; p < ns; p++ {
+				if !SymmetryCheck(m, p) {
+					continue
+				}
+				for q := 0; q < ns; q++ {
+					if !SymmetryCheck(n, q) {
+						continue
+					}
+					if m == n && !SymmetryCheck(p, q) {
+						continue
+					}
+					seen[canon(m, p, n, q)]++
+				}
+			}
+		}
+	}
+	// All n^4/8-ish orbits must be present exactly once.
+	want := 0
+	for m := 0; m < ns; m++ {
+		for p := 0; p <= m; p++ {
+			for n := 0; n < ns; n++ {
+				for q := 0; q <= n; q++ {
+					if m > n || (m == n && p >= q) {
+						want++
+					}
+				}
+			}
+		}
+	}
+	if len(seen) != want {
+		t.Fatalf("covered %d orbits, want %d", len(seen), want)
+	}
+	for o, c := range seen {
+		if c != 1 {
+			t.Fatalf("orbit %v covered %d times", o, c)
+		}
+	}
+}
+
+func TestQueuePopOrderAndExhaustion(t *testing.T) {
+	q := NewQueue(TaskBlock{R0: 2, R1: 4, C0: 5, C1: 7})
+	var got []Task
+	for {
+		task, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, task)
+	}
+	want := []Task{{2, 5}, {2, 6}, {3, 5}, {3, 6}}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueStealHalvesAndPreservesTasks(t *testing.T) {
+	q := NewQueue(TaskBlock{R0: 0, R1: 8, C0: 0, C1: 3})
+	blk, ok := q.Steal()
+	if !ok {
+		t.Fatal("steal failed")
+	}
+	if blk.Count() != 12 {
+		t.Fatalf("stole %d tasks, want half (12)", blk.Count())
+	}
+	// Owner keeps the rest; total tasks conserved.
+	rest := 0
+	for {
+		_, ok := q.Pop()
+		if !ok {
+			break
+		}
+		rest++
+	}
+	if rest+blk.Count() != 24 {
+		t.Fatalf("tasks lost: %d + %d != 24", rest, blk.Count())
+	}
+}
+
+func TestQueueConcurrentPopSteal(t *testing.T) {
+	const rows, cols = 40, 10
+	q := NewQueue(TaskBlock{R0: 0, R1: rows, C0: 0, C1: cols})
+	var mu sync.Mutex
+	seen := map[Task]int{}
+	record := func(task Task) {
+		mu.Lock()
+		seen[task]++
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	// One owner popping, three thieves stealing into their own queues.
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for {
+			task, ok := q.Pop()
+			if !ok {
+				return
+			}
+			record(task)
+		}
+	}()
+	for th := 0; th < 3; th++ {
+		go func() {
+			defer wg.Done()
+			for {
+				blk, ok := q.Steal()
+				if !ok {
+					return
+				}
+				mine := NewQueue(blk)
+				for {
+					task, ok := mine.Pop()
+					if !ok {
+						break
+					}
+					record(task)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != rows*cols {
+		t.Fatalf("executed %d distinct tasks, want %d", len(seen), rows*cols)
+	}
+	for task, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %v executed %d times", task, c)
+		}
+	}
+}
+
+func buildSetup(t *testing.T, mol *chem.Molecule, bname string) (*basis.Set, *screen.Screening, *linalg.Matrix) {
+	t.Helper()
+	bs, err := basis.Build(mol, bname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := screen.Compute(bs, 1e-11)
+	// A symmetric pseudo-density with decaying off-diagonals.
+	d := linalg.NewMatrix(bs.NumFuncs, bs.NumFuncs)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64() * math.Exp(-0.1*float64(i-j))
+			d.Set(i, j, v)
+			d.Set(j, i, v)
+		}
+	}
+	return bs, scr, d
+}
+
+// The real-mode parallel build must match the brute-force serial oracle
+// for every grid shape.
+func TestBuildMatchesSerialOracle(t *testing.T) {
+	bs, scr, d := buildSetup(t, chem.Methane(), "sto-3g")
+	ref := BuildSerial(bs, scr, d)
+	for _, grid := range [][2]int{{1, 1}, {1, 3}, {2, 2}, {3, 4}, {5, 5}} {
+		res := Build(bs, scr, d, Options{Prow: grid[0], Pcol: grid[1]})
+		if err := linalg.MaxAbsDiff(ref, res.G); err > 1e-9 {
+			t.Fatalf("grid %v: |G - serial| = %g", grid, err)
+		}
+		if res.G.SymmetryError() > 1e-11 {
+			t.Fatalf("grid %v: G not symmetric", grid)
+		}
+	}
+}
+
+// Same check with d functions in play (cc-pVDZ) on a molecule with
+// nontrivial screening.
+func TestBuildMatchesSerialOracleCCPVDZ(t *testing.T) {
+	bs, scr, d := buildSetup(t, chem.Hydrogen2(0.9), "cc-pvdz")
+	ref := BuildSerial(bs, scr, d)
+	res := Build(bs, scr, d, Options{Prow: 2, Pcol: 3})
+	if err := linalg.MaxAbsDiff(ref, res.G); err > 1e-9 {
+		t.Fatalf("|G - serial| = %g", err)
+	}
+}
+
+// The build must be invariant (after index mapping) under shell
+// reordering: compute in a permuted basis and map back.
+func TestBuildInvariantUnderReordering(t *testing.T) {
+	bs, scr, d := buildSetup(t, chem.Alkane(2), "sto-3g")
+	ref := Build(bs, scr, d, Options{Prow: 2, Pcol: 2}).G
+
+	order := rand.New(rand.NewSource(5)).Perm(bs.NumShells())
+	pbs := bs.Permute(order)
+	fmap := bs.FunctionPermutation(order)
+	pd := linalg.NewMatrix(d.Rows, d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			pd.Set(fmap[i], fmap[j], d.At(i, j))
+		}
+	}
+	pscr := screen.Compute(pbs, 1e-11)
+	pres := Build(pbs, pscr, pd, Options{Prow: 2, Pcol: 2}).G
+	back := linalg.NewMatrix(d.Rows, d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			back.Set(i, j, pres.At(fmap[i], fmap[j]))
+		}
+	}
+	if err := linalg.MaxAbsDiff(ref, back); err > 1e-8 {
+		t.Fatalf("reordering changed G by %g", err)
+	}
+}
+
+// Work stealing engages when the initial partition is imbalanced, and all
+// tasks still run exactly once (validated against the oracle).
+func TestBuildWithStealingStillCorrect(t *testing.T) {
+	bs, scr, d := buildSetup(t, chem.Alkane(3), "sto-3g")
+	ref := BuildSerial(bs, scr, d)
+	// Tall skinny grid: column procs own very different workloads due to
+	// screening irregularity; steals will happen at these sizes.
+	res := Build(bs, scr, d, Options{Prow: 7, Pcol: 1})
+	if err := linalg.MaxAbsDiff(ref, res.G); err > 1e-9 {
+		t.Fatalf("|G - serial| = %g", err)
+	}
+	var tasks int64
+	for i := range res.Stats.Per {
+		tasks += res.Stats.Per[i].TasksRun
+	}
+	ns := int64(bs.NumShells())
+	if tasks != ns*ns {
+		t.Fatalf("ran %d tasks, want %d", tasks, ns*ns)
+	}
+}
+
+func TestBuildAccountsCommunication(t *testing.T) {
+	bs, scr, d := buildSetup(t, chem.Methane(), "sto-3g")
+	res := Build(bs, scr, d, Options{Prow: 2, Pcol: 2})
+	if res.Stats.CallsAvg() <= 0 {
+		t.Fatal("no communication calls recorded")
+	}
+	if res.Stats.VolumeAvgMB() <= 0 {
+		t.Fatal("no communication volume recorded")
+	}
+	if res.Stats.TFockAvg() <= 0 || res.Stats.TCompAvg() <= 0 {
+		t.Fatal("no times recorded")
+	}
+	if res.Stats.TCompAvg() > res.Stats.TFockAvg() {
+		t.Fatal("compute time exceeds total time")
+	}
+}
+
+func TestFootprintContainsTaskBlocks(t *testing.T) {
+	_, scr, _ := buildSetup(t, chem.Alkane(4), "sto-3g")
+	fp := NewFootprint()
+	b := TaskBlock{R0: 2, R1: 5, C0: 7, C1: 9}
+	fp.AddBlock(scr, b)
+	// Region 1 rows present with spans covering Phi.
+	for m := b.R0; m < b.R1; m++ {
+		lo, hi, ok := fp.Span(m)
+		if !ok {
+			t.Fatalf("row %d missing from footprint", m)
+		}
+		phi := scr.Phi[m]
+		if lo > phi[0] || hi < phi[len(phi)-1] {
+			t.Fatalf("span [%d,%d] does not cover Phi(%d)", lo, hi, m)
+		}
+	}
+	// Region 3 rows: members of Phi(M) for block rows.
+	for _, p := range scr.Phi[b.R0] {
+		if _, _, ok := fp.Span(p); !ok {
+			t.Fatalf("region-3 row %d missing", p)
+		}
+	}
+}
+
+func TestFootprintTransfersPositive(t *testing.T) {
+	bs, scr, _ := buildSetup(t, chem.Alkane(4), "sto-3g")
+	grid := dist.UniformGrid2D(2, 2, bs.NumFuncs, bs.NumFuncs)
+	fp := NewFootprint()
+	fp.AddBlock(scr, TaskBlock{R0: 0, R1: 3, C0: 0, C1: 3})
+	calls, bytes := fp.Transfers(bs, grid)
+	if calls <= 0 || bytes <= 0 {
+		t.Fatal("no transfers")
+	}
+	if fp.BufferBytes(bs) < bytes/2 {
+		t.Fatal("buffer bytes inconsistent with transfer bytes")
+	}
+}
+
+// Fig. 1's headline: the D footprint of a 50x50 block of tasks is vastly
+// smaller than 2500x the single-task footprint (around 80x in the paper).
+func TestBlockFootprintSharesData(t *testing.T) {
+	mol := chem.Alkane(24)
+	bs, err := basis.Build(mol, "sto-3g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := screen.Compute(bs, 1e-10)
+	single, _ := ExactDElements(bs, scr, TaskBlock{R0: 30, R1: 31, C0: 60, C1: 61})
+	block, _ := ExactDElements(bs, scr, TaskBlock{R0: 30, R1: 40, C0: 60, C1: 70})
+	if single <= 0 || block <= 0 {
+		t.Fatal("empty footprints")
+	}
+	ratio := float64(block) / float64(single)
+	if ratio >= 100 { // 100 tasks in the block
+		t.Fatalf("no sharing: block/single = %g for 100 tasks", ratio)
+	}
+	if ratio < 1 {
+		t.Fatalf("block footprint smaller than single task: %g", ratio)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import "testing"
+
+// FuzzQueue drives a queue with an arbitrary pop/steal schedule and checks
+// task conservation: every task is delivered exactly once.
+func FuzzQueue(f *testing.F) {
+	f.Add(uint8(4), uint8(3), []byte{0, 1, 0, 1, 1, 0})
+	f.Add(uint8(10), uint8(10), []byte{1, 1, 1, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, rows, cols uint8, schedule []byte) {
+		r := int(rows%32) + 1
+		c := int(cols%32) + 1
+		q := NewQueue(TaskBlock{R0: 0, R1: r, C0: 0, C1: c})
+		seen := map[Task]int{}
+		var stolen []*Queue
+		for _, op := range schedule {
+			switch op % 3 {
+			case 0: // owner pop
+				if task, ok := q.Pop(); ok {
+					seen[task]++
+				}
+			case 1: // steal into a new queue
+				if blk, ok := q.Steal(); ok {
+					stolen = append(stolen, NewQueue(blk))
+				}
+			case 2: // drain one stolen queue
+				if len(stolen) > 0 {
+					sq := stolen[len(stolen)-1]
+					stolen = stolen[:len(stolen)-1]
+					for {
+						task, ok := sq.Pop()
+						if !ok {
+							break
+						}
+						seen[task]++
+					}
+				}
+			}
+		}
+		// Drain everything that remains.
+		for {
+			task, ok := q.Pop()
+			if !ok {
+				break
+			}
+			seen[task]++
+		}
+		for _, sq := range stolen {
+			for {
+				task, ok := sq.Pop()
+				if !ok {
+					break
+				}
+				seen[task]++
+			}
+		}
+		if len(seen) != r*c {
+			t.Fatalf("delivered %d distinct tasks, want %d", len(seen), r*c)
+		}
+		for task, n := range seen {
+			if n != 1 {
+				t.Fatalf("task %v delivered %d times", task, n)
+			}
+			if task.M < 0 || task.M >= r || task.N < 0 || task.N >= c {
+				t.Fatalf("task %v out of range", task)
+			}
+		}
+	})
+}
+
+// FuzzSymmetryCheck verifies the orbit-selection predicate's exclusivity
+// for arbitrary index pairs.
+func FuzzSymmetryCheck(f *testing.F) {
+	f.Add(3, 5)
+	f.Add(0, 0)
+	f.Fuzz(func(t *testing.T, i, j int) {
+		if i < 0 {
+			i = -i
+		}
+		if j < 0 {
+			j = -j
+		}
+		a, b := SymmetryCheck(i, j), SymmetryCheck(j, i)
+		if i == j {
+			if !a || !b {
+				t.Fatal("diagonal must pass")
+			}
+		} else if a == b {
+			t.Fatalf("(%d,%d): not mutually exclusive", i, j)
+		}
+	})
+}

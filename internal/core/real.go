@@ -1,0 +1,308 @@
+package core
+
+import (
+	"time"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/dist"
+	"gtfock/internal/integrals"
+	"gtfock/internal/linalg"
+	"gtfock/internal/screen"
+)
+
+// Options configures a real-mode Fock build.
+type Options struct {
+	Prow, Pcol int     // process grid (defaults 1x1)
+	PrimTol    float64 // primitive prescreening threshold for the ERI engine
+	UseHGP     bool    // Head-Gordon-Pople ERI algorithm instead of McMurchie-Davidson
+}
+
+// Result is the outcome of a Fock build.
+type Result struct {
+	// G is the symmetric two-electron matrix: F = H_core + G.
+	G *linalg.Matrix
+	// Stats holds the per-process accounting of the run.
+	Stats *dist.RunStats
+	// Wall is the wall-clock duration of the parallel section.
+	Wall time.Duration
+}
+
+// Build runs the paper's Algorithm 4 for real: prow x pcol goroutine
+// processes over block-distributed global arrays, with static task
+// partitioning, D prefetch, local F accumulation, and distributed work
+// stealing. The density d must be symmetric.
+func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) Result {
+	if opt.Prow <= 0 {
+		opt.Prow = 1
+	}
+	if opt.Pcol <= 0 {
+		opt.Pcol = 1
+	}
+	ns := bs.NumShells()
+	nprocs := opt.Prow * opt.Pcol
+
+	// Shell-level block cuts and the matching function-level grid.
+	rowShellCuts := dist.UniformCuts(ns, opt.Prow)
+	colShellCuts := dist.UniformCuts(ns, opt.Pcol)
+	grid := dist.NewGrid2D(opt.Prow, opt.Pcol,
+		funcCuts(bs, rowShellCuts), funcCuts(bs, colShellCuts))
+
+	stats := dist.NewRunStats(nprocs)
+	gaD := dist.NewGlobalArray(grid, dist.NewRunStats(nprocs)) // load not accounted
+	gaD.LoadMatrix(d)
+	gaF := dist.NewGlobalArray(grid, stats)
+
+	// Per-process task queues holding the static partition (Sec. III-C).
+	queues := make([]*Queue, nprocs)
+	blocks := make([]TaskBlock, nprocs)
+	for i := 0; i < opt.Prow; i++ {
+		for j := 0; j < opt.Pcol; j++ {
+			pid := grid.ProcID(i, j)
+			blocks[pid] = TaskBlock{
+				R0: rowShellCuts[i], R1: rowShellCuts[i+1],
+				C0: colShellCuts[j], C1: colShellCuts[j+1],
+			}
+			queues[pid] = NewQueue(blocks[pid])
+		}
+	}
+
+	start := time.Now()
+	dist.RunProcs(nprocs, func(rank int) {
+		w := newWorker(rank, bs, scr, grid, gaD, gaF, stats, opt)
+		w.run(blocks, queues, opt)
+	})
+	wall := time.Since(start)
+
+	// Per-queue atomic-operation accounting (Sec. IV-C).
+	for pid, q := range queues {
+		stats.Per[pid].QueueOps = q.Ops
+	}
+
+	g2e := gaF.ToMatrix()
+	g := g2e.Clone()
+	g.AXPY(1, g2e.T()) // G = acc + acc^T completes the 8-fold symmetry
+	return Result{G: g, Stats: stats, Wall: wall}
+}
+
+// funcCuts maps shell-index cuts to basis-function-index cuts.
+func funcCuts(bs *basis.Set, shellCuts []int) []int {
+	out := make([]int, len(shellCuts))
+	for i, s := range shellCuts {
+		if s == bs.NumShells() {
+			out[i] = bs.NumFuncs
+		} else {
+			out[i] = bs.Offsets[s]
+		}
+	}
+	return out
+}
+
+// worker is the per-process state of a real-mode build.
+type worker struct {
+	rank  int
+	bs    *basis.Set
+	scr   *screen.Screening
+	grid  *dist.Grid2D
+	gaD   *dist.GlobalArray
+	gaF   *dist.GlobalArray
+	stats *dist.RunStats
+	eng   *integrals.Engine
+	pairs map[int64]*integrals.ShellPair
+	dloc  []float64 // dense n x n local D image (prefetched patches)
+	floc  []float64 // dense n x n local F accumulator
+	fp    *Footprint
+	nf    int
+	comp  time.Duration
+}
+
+func newWorker(rank int, bs *basis.Set, scr *screen.Screening, grid *dist.Grid2D,
+	gaD, gaF *dist.GlobalArray, stats *dist.RunStats, opt Options) *worker {
+	eng := integrals.NewEngine()
+	eng.PrimTol = opt.PrimTol
+	eng.UseHGP = opt.UseHGP
+	return &worker{
+		rank: rank, bs: bs, scr: scr, grid: grid,
+		gaD: gaD, gaF: gaF, stats: stats, eng: eng,
+		pairs: map[int64]*integrals.ShellPair{},
+		dloc:  make([]float64, bs.NumFuncs*bs.NumFuncs),
+		floc:  make([]float64, bs.NumFuncs*bs.NumFuncs),
+		fp:    NewFootprint(),
+		nf:    bs.NumFuncs,
+	}
+}
+
+func (w *worker) pair(a, b int) *integrals.ShellPair {
+	key := int64(a)*int64(w.bs.NumShells()) + int64(b)
+	if p, ok := w.pairs[key]; ok {
+		return p
+	}
+	p := w.eng.Pair(&w.bs.Shells[a], &w.bs.Shells[b])
+	w.pairs[key] = p
+	return p
+}
+
+// fetchFootprint Gets the D patches of fp into dloc, one call per row
+// shell per owner column (the transfer granularity of Sec. III-D).
+func (w *worker) fetchFootprint(fp *Footprint) {
+	for _, m := range fp.Rows() {
+		lo, hi, _ := fp.Span(m)
+		r0 := w.bs.Offsets[m]
+		r1 := r0 + w.bs.ShellFuncs(m)
+		c0 := w.bs.Offsets[lo]
+		c1 := w.bs.Offsets[hi] + w.bs.ShellFuncs(hi)
+		for _, p := range w.grid.Patches(r0, r1, c0, c1) {
+			w.gaD.Get(w.rank, p.R0, p.R1, p.C0, p.C1,
+				w.dloc[p.R0*w.nf+p.C0:], w.nf)
+		}
+	}
+}
+
+// flush accumulates the local F contributions back to the distributed F,
+// over the merged footprint spans (Algorithm 4, line 9).
+func (w *worker) flush() {
+	for _, m := range w.fp.Rows() {
+		lo, hi, _ := w.fp.Span(m)
+		r0 := w.bs.Offsets[m]
+		r1 := r0 + w.bs.ShellFuncs(m)
+		c0 := w.bs.Offsets[lo]
+		c1 := w.bs.Offsets[hi] + w.bs.ShellFuncs(hi)
+		for _, p := range w.grid.Patches(r0, r1, c0, c1) {
+			w.gaF.Acc(w.rank, p.R0, p.R1, p.C0, p.C1,
+				w.floc[p.R0*w.nf+p.C0:], w.nf, 1)
+		}
+	}
+}
+
+// run is Algorithm 4: prefetch, drain own queue, steal until nothing
+// remains, flush.
+func (w *worker) run(blocks []TaskBlock, queues []*Queue, opt Options) {
+	t0 := time.Now()
+	st := &w.stats.Per[w.rank]
+
+	w.fp.AddBlock(w.scr, blocks[w.rank])
+	w.fetchFootprint(w.fp)
+
+	my := queues[w.rank]
+	victims := map[int]bool{}
+	myRow := w.rank / opt.Pcol
+	for {
+		t, ok := my.Pop()
+		if !ok {
+			// Work stealing (Sec. III-F): scan the grid row-wise starting
+			// from our own row.
+			stole := false
+			for r := 0; r < opt.Prow && !stole; r++ {
+				row := (myRow + r) % opt.Prow
+				for c := 0; c < opt.Pcol && !stole; c++ {
+					v := row*opt.Pcol + c
+					if v == w.rank {
+						continue
+					}
+					blk, ok := queues[v].Steal()
+					if !ok {
+						continue
+					}
+					fpSteal := NewFootprint()
+					fpSteal.AddBlock(w.scr, blk)
+					w.fetchFootprint(fpSteal)
+					w.fp.AddBlock(w.scr, blk)
+					my.AddBlock(blk)
+					if !victims[v] {
+						victims[v] = true
+						st.Victims++
+					}
+					st.Steals++
+					stole = true
+				}
+			}
+			if !stole {
+				break
+			}
+			continue
+		}
+		c0 := time.Now()
+		w.doTask(t)
+		w.comp += time.Since(c0)
+		st.TasksRun++
+	}
+	w.flush()
+
+	st.ComputeTime = w.comp.Seconds()
+	st.TotalTime = time.Since(t0).Seconds()
+}
+
+// doTask is Algorithm 3: compute the unique, screened quartets of
+// (M,: | N,:) and apply their Fock contributions to the local buffers.
+func (w *worker) doTask(t Task) {
+	m, n := t.M, t.N
+	if !SymmetryCheck(m, n) {
+		return
+	}
+	for _, p := range w.scr.Phi[m] {
+		if !SymmetryCheck(m, p) {
+			continue
+		}
+		bra := w.pair(m, p)
+		for _, q := range w.scr.Phi[n] {
+			if !SymmetryCheck(n, q) || !w.scr.KeepQuartet(m, p, n, q) {
+				continue
+			}
+			// Diagonal tasks (M==N) see both bra-ket orderings (MP|MQ)
+			// and (MQ|MP) of the same orbit; break the tie on (P,Q).
+			// (Algorithm 3 in the paper omits this case.)
+			if m == n && !SymmetryCheck(p, q) {
+				continue
+			}
+			batch := w.eng.ERI(bra, w.pair(n, q))
+			ApplyQuartet(w.bs, w.dloc, w.floc, m, p, n, q, batch)
+		}
+	}
+}
+
+// ApplyQuartet applies the scaled 6-block Fock update for the unique
+// batch v[i in B1][j in B2][k in K1][l in K2] = (ij|kl), where (B1,B2) is
+// the bra shell pair and (K1,K2) the ket pair, into the dense n x n
+// buffers d (density, read) and f (Fock accumulator, written):
+//
+//	F_ij += 4 D_kl v'   F_ik -= D_jl v'   F_il -= D_jk v'
+//	F_kl += 4 D_ij v'   F_jl -= D_ik v'   F_jk -= D_il v'
+//
+// with v' = v / 2^{[B1==B2] + [K1==K2] + [(B1,B2)==(K1,K2)]}; adding
+// G + G^T at the end restores the full 8-fold symmetric sum of eq. (3)
+// (see DESIGN.md).
+func ApplyQuartet(bs *basis.Set, d, f []float64, m, p, n, q int, batch []float64) {
+	om, op, on, oq := bs.Offsets[m], bs.Offsets[p], bs.Offsets[n], bs.Offsets[q]
+	nm, np, nn, nq2 := bs.ShellFuncs(m), bs.ShellFuncs(p), bs.ShellFuncs(n), bs.ShellFuncs(q)
+	scale := 1.0
+	if m == p {
+		scale *= 0.5
+	}
+	if n == q {
+		scale *= 0.5
+	}
+	if m == n && p == q {
+		scale *= 0.5
+	}
+	nf := bs.NumFuncs
+	idx := 0
+	for i := 0; i < nm; i++ {
+		gi := om + i
+		for j := 0; j < np; j++ {
+			gj := op + j
+			for k := 0; k < nn; k++ {
+				gk := on + k
+				for l := 0; l < nq2; l++ {
+					gl := oq + l
+					v := batch[idx] * scale
+					idx++
+					f[gi*nf+gj] += 4 * v * d[gk*nf+gl]
+					f[gk*nf+gl] += 4 * v * d[gi*nf+gj]
+					f[gi*nf+gk] -= v * d[gj*nf+gl]
+					f[gj*nf+gl] -= v * d[gi*nf+gk]
+					f[gi*nf+gl] -= v * d[gj*nf+gk]
+					f[gj*nf+gk] -= v * d[gi*nf+gl]
+				}
+			}
+		}
+	}
+}

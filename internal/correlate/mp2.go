@@ -1,0 +1,159 @@
+// Package correlate implements post-Hartree-Fock electron correlation for
+// closed shells: MP2 (second-order Moller-Plesset perturbation theory) on
+// canonical SCF orbitals, and an exact full-CI solver for two-electron
+// systems used as a correlation oracle in tests. The paper motivates HF
+// as "the starting point for accurate electronic correlation methods";
+// this package is the first such consumer of the converged orbitals.
+package correlate
+
+import (
+	"fmt"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/integrals"
+	"gtfock/internal/linalg"
+	"gtfock/internal/scf"
+)
+
+// TransformMO performs the O(N^5) four-index transformation of an AO
+// tensor to the MO basis given orbital coefficients c (AO x MO):
+// (pq|rs)_MO = sum C_mp C_nq C_lr C_ss' (mn|ls').
+func TransformMO(ao []float64, c *linalg.Matrix) []float64 {
+	n := c.Rows
+	nmo := c.Cols
+	cur := ao
+	dims := [4]int{n, n, n, n}
+	// Transform one index at a time (always the leading one, then rotate).
+	for pass := 0; pass < 4; pass++ {
+		rest := dims[1] * dims[2] * dims[3]
+		out := make([]float64, nmo*rest)
+		for p := 0; p < nmo; p++ {
+			dst := out[p*rest : (p+1)*rest]
+			for m := 0; m < dims[0]; m++ {
+				f := c.At(m, p)
+				if f == 0 {
+					continue
+				}
+				src := cur[m*rest : (m+1)*rest]
+				for r, v := range src {
+					dst[r] += f * v
+				}
+			}
+		}
+		// Rotate: move the transformed leading index to the back.
+		rot := make([]float64, len(out))
+		lead := nmo
+		for a := 0; a < lead; a++ {
+			for r := 0; r < rest; r++ {
+				rot[r*lead+a] = out[a*rest+r]
+			}
+		}
+		cur = rot
+		dims = [4]int{dims[1], dims[2], dims[3], nmo}
+	}
+	return cur
+}
+
+// MP2Result holds the MP2 correlation result.
+type MP2Result struct {
+	ECorr        float64 // MP2 correlation energy (negative)
+	ETotal       float64 // HF total + ECorr
+	SameSpin     float64 // triplet-like component
+	OppositeSpin float64 // singlet-like component
+}
+
+// MP2 computes the closed-shell MP2 correlation energy from a converged
+// SCF result:
+//
+//	E2 = sum_{ijab} (ia|jb) [2 (ia|jb) - (ib|ja)] / (ei + ej - ea - eb)
+//
+// with i, j occupied and a, b virtual spatial orbitals.
+func MP2(res *scf.Result) (*MP2Result, error) {
+	if res.C == nil || len(res.OrbitalEnergies) == 0 {
+		return nil, fmt.Errorf("correlate: SCF result lacks canonical orbitals")
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("correlate: SCF not converged")
+	}
+	n := res.Basis.NumFuncs
+	nocc := res.NOcc
+	if nocc <= 0 || nocc >= n {
+		return nil, fmt.Errorf("correlate: no virtual space (nocc=%d, n=%d)", nocc, n)
+	}
+	ao := integrals.AOTensor(res.Basis)
+	mo := TransformMO(ao, res.C)
+	eps := res.OrbitalEnergies
+
+	at := func(p, q, r, s int) float64 { return mo[((p*n+q)*n+r)*n+s] }
+	var e2, ss, os float64
+	for i := 0; i < nocc; i++ {
+		for j := 0; j < nocc; j++ {
+			for a := nocc; a < n; a++ {
+				for b := nocc; b < n; b++ {
+					iajb := at(i, a, j, b)
+					ibja := at(i, b, j, a)
+					denom := eps[i] + eps[j] - eps[a] - eps[b]
+					os += iajb * iajb / denom
+					ss += iajb * (iajb - ibja) / denom
+					e2 += iajb * (2*iajb - ibja) / denom
+				}
+			}
+		}
+	}
+	return &MP2Result{
+		ECorr:        e2,
+		ETotal:       res.Energy + e2,
+		SameSpin:     ss,
+		OppositeSpin: os,
+	}, nil
+}
+
+// FCI2e solves the two-electron Schroedinger equation exactly in the
+// given basis by diagonalizing the spatial two-particle Hamiltonian
+// H[(p,q),(r,s)] = h_pr d_qs + h_qs d_pr + (pr|qs) over the full n^2
+// orbital-product space (the symmetric/singlet ground state is the global
+// ground state for two electrons). Returns the total energy including
+// nuclear repulsion. It is the correlation oracle for H2-like systems.
+func FCI2e(bs *basis.Set) (float64, error) {
+	if bs.Mol.NumElectrons() != 2 {
+		return 0, fmt.Errorf("correlate: FCI2e requires a 2-electron system, got %d",
+			bs.Mol.NumElectrons())
+	}
+	n := bs.NumFuncs
+	// Orthonormal MO-like basis from the core Hamiltonian (any orthonormal
+	// set works; this one is well-conditioned).
+	s := integrals.Overlap(bs)
+	x := linalg.InvSqrtSym(s, 0)
+	hcore := integrals.CoreHamiltonian(bs)
+	hPrime := linalg.MatMul(linalg.MatMul(x.T(), hcore), x)
+	eig := linalg.EigSym(hPrime)
+	c := linalg.MatMul(x, eig.Vectors)
+
+	h := linalg.MatMul(linalg.MatMul(c.T(), hcore), c)
+	mo := TransformMO(integrals.AOTensor(bs), c)
+	at := func(p, q, r, s int) float64 { return mo[((p*n+q)*n+r)*n+s] }
+
+	dim := n * n
+	hmat := linalg.NewMatrix(dim, dim)
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			row := p*n + q
+			for r := 0; r < n; r++ {
+				for ss := 0; ss < n; ss++ {
+					col := r*n + ss
+					var v float64
+					if q == ss {
+						v += h.At(p, r)
+					}
+					if p == r {
+						v += h.At(q, ss)
+					}
+					v += at(p, r, q, ss)
+					hmat.Set(row, col, v)
+				}
+			}
+		}
+	}
+	evals := linalg.EigSym(hmat).Values
+	return evals[0] + bs.Mol.NuclearRepulsion(), nil
+}

@@ -1,0 +1,198 @@
+package correlate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+	"gtfock/internal/integrals"
+	"gtfock/internal/linalg"
+	"gtfock/internal/scf"
+)
+
+func runSCF(t *testing.T, mol *chem.Molecule, bname string) *scf.Result {
+	t.Helper()
+	res, err := scf.RunHF(mol, scf.Options{BasisName: bname})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("SCF not converged")
+	}
+	return res
+}
+
+func TestTransformMOIdentity(t *testing.T) {
+	mol := chem.Hydrogen2(0)
+	bs, _ := basis.Build(mol, "sto-3g")
+	ao := integrals.AOTensor(bs)
+	mo := TransformMO(ao, linalg.Identity(bs.NumFuncs))
+	for i := range ao {
+		if math.Abs(ao[i]-mo[i]) > 1e-12 {
+			t.Fatalf("identity transform changed element %d", i)
+		}
+	}
+}
+
+// TransformMO must agree with a brute-force quadruple contraction.
+func TestTransformMOBruteForce(t *testing.T) {
+	mol := chem.Hydrogen2(0.9)
+	bs, _ := basis.Build(mol, "sto-3g")
+	n := bs.NumFuncs
+	ao := integrals.AOTensor(bs)
+	rng := rand.New(rand.NewSource(3))
+	c := linalg.NewMatrix(n, n)
+	for i := range c.Data {
+		c.Data[i] = rng.NormFloat64()
+	}
+	mo := TransformMO(ao, c)
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			for r := 0; r < n; r++ {
+				for s := 0; s < n; s++ {
+					var want float64
+					for m := 0; m < n; m++ {
+						for nn := 0; nn < n; nn++ {
+							for l := 0; l < n; l++ {
+								for ss := 0; ss < n; ss++ {
+									want += c.At(m, p) * c.At(nn, q) * c.At(l, r) * c.At(ss, s) *
+										ao[((m*n+nn)*n+l)*n+ss]
+								}
+							}
+						}
+					}
+					got := mo[((p*n+q)*n+r)*n+s]
+					if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+						t.Fatalf("(%d%d|%d%d): %g vs %g", p, q, r, s, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// MO integrals keep the 8-fold permutational symmetry under an orthogonal
+// (real) transformation.
+func TestMOIntegralSymmetry(t *testing.T) {
+	res := runSCF(t, chem.Hydrogen2(0.8), "sto-3g")
+	n := res.Basis.NumFuncs
+	mo := TransformMO(integrals.AOTensor(res.Basis), res.C)
+	at := func(p, q, r, s int) float64 { return mo[((p*n+q)*n+r)*n+s] }
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			for r := 0; r < n; r++ {
+				for s := 0; s < n; s++ {
+					v := at(p, q, r, s)
+					for _, w := range []float64{
+						at(q, p, r, s), at(p, q, s, r), at(r, s, p, q),
+					} {
+						if math.Abs(v-w) > 1e-10*(1+math.Abs(v)) {
+							t.Fatal("MO integral symmetry broken")
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Textbook check: H2/STO-3G at R = 1.4 a0 has E(FCI) ~ -1.1373 (Szabo &
+// Ostlund: correlation energy -0.02056 on top of -1.1167).
+func TestFCI2eH2STO3G(t *testing.T) {
+	mol := chem.Hydrogen2(1.4 / chem.BohrPerAngstrom)
+	bs, _ := basis.Build(mol, "sto-3g")
+	efci, err := FCI2e(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(efci-(-1.1373)) > 2e-3 {
+		t.Fatalf("E(FCI) = %.6f, want ~-1.1373", efci)
+	}
+}
+
+func TestFCI2eRejectsNon2e(t *testing.T) {
+	bs, _ := basis.Build(chem.Methane(), "sto-3g")
+	if _, err := FCI2e(bs); err == nil {
+		t.Fatal("expected error for 10-electron system")
+	}
+}
+
+// MP2 on H2: negative correlation, bounded below by FCI, zero same-spin
+// component (only one occupied spatial orbital).
+func TestMP2H2AgainstFCI(t *testing.T) {
+	mol := chem.Hydrogen2(1.4 / chem.BohrPerAngstrom)
+	res := runSCF(t, mol, "sto-3g")
+	mp2, err := MP2(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp2.ECorr >= 0 {
+		t.Fatalf("MP2 correlation %g not negative", mp2.ECorr)
+	}
+	if math.Abs(mp2.SameSpin) > 1e-12 {
+		t.Fatalf("same-spin MP2 %g must vanish for 2 electrons", mp2.SameSpin)
+	}
+	if math.Abs(mp2.ECorr-mp2.OppositeSpin) > 1e-12 {
+		t.Fatal("ECorr != SS + OS")
+	}
+	bs := res.Basis
+	efci, err := FCI2e(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Variational bound: E_HF + E2 can overshoot in tiny bases, but FCI is
+	// exact: E_FCI < E_HF, and MP2 must recover a sizable fraction.
+	if efci >= res.Energy {
+		t.Fatalf("FCI %.6f not below HF %.6f", efci, res.Energy)
+	}
+	frac := mp2.ECorr / (efci - res.Energy)
+	if frac < 0.3 || frac > 1.7 {
+		t.Fatalf("MP2 recovers %.2f of FCI correlation; implausible", frac)
+	}
+	if mp2.ETotal != res.Energy+mp2.ECorr {
+		t.Fatal("ETotal inconsistent")
+	}
+}
+
+// A bigger basis recovers more correlation energy.
+func TestMP2BasisSetTrend(t *testing.T) {
+	mol := chem.Hydrogen2(0.74)
+	small, err := MP2(runSCF(t, mol, "sto-3g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := MP2(runSCF(t, mol, "cc-pvdz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.ECorr >= small.ECorr {
+		t.Fatalf("cc-pVDZ correlation %g not below STO-3G %g", big.ECorr, small.ECorr)
+	}
+}
+
+// MP2 on methane: sensible magnitude, nonzero same-spin part.
+func TestMP2Methane(t *testing.T) {
+	res := runSCF(t, chem.Methane(), "sto-3g")
+	mp2, err := MP2(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp2.ECorr >= -0.01 || mp2.ECorr < -0.5 {
+		t.Fatalf("CH4/STO-3G MP2 correlation %g implausible", mp2.ECorr)
+	}
+	if mp2.SameSpin >= 0 || mp2.OppositeSpin >= 0 {
+		t.Fatal("spin components must both be negative")
+	}
+	if math.Abs(mp2.SameSpin+mp2.OppositeSpin-mp2.ECorr) > 1e-12 {
+		t.Fatal("spin decomposition inconsistent")
+	}
+}
+
+func TestMP2RequiresOrbitals(t *testing.T) {
+	res := &scf.Result{Converged: true}
+	if _, err := MP2(res); err == nil {
+		t.Fatal("expected error without orbitals")
+	}
+}

@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"sync"
+
+	"gtfock/internal/linalg"
+)
+
+// GlobalArray is a shared-memory stand-in for a Global Arrays 2D
+// block-distributed array: goroutine "processes" address it with one-sided
+// Get/Put/Acc operations on arbitrary rectangular patches, and every
+// operation is accounted against the calling process exactly as the paper
+// instruments GA (call counts and transfer volumes, Tables VI/VII; volumes
+// include local transfers, matching the paper's measurement note in
+// Sec. IV-C).
+//
+// Concurrency contract: Acc and Put from concurrent processes are safe
+// (per-owner-block locking). Get is unsynchronized and must be separated
+// from writes by a barrier, which is how the Fock builders use it
+// (prefetch phase reads D; accumulate phase writes F).
+type GlobalArray struct {
+	Grid  *Grid2D
+	data  []float64
+	locks []sync.Mutex // one per owner block
+	stats *RunStats
+}
+
+// NewGlobalArray creates a zeroed global array over grid, accounting into
+// stats (which must have grid.NumProcs() entries).
+func NewGlobalArray(grid *Grid2D, stats *RunStats) *GlobalArray {
+	return &GlobalArray{
+		Grid:  grid,
+		data:  make([]float64, grid.Rows*grid.Cols),
+		locks: make([]sync.Mutex, grid.NumProcs()),
+		stats: stats,
+	}
+}
+
+// charge records one one-sided call touching the given patches.
+func (g *GlobalArray) charge(proc int, r0, r1, c0, c1 int) {
+	st := &g.stats.Per[proc]
+	st.Calls++
+	elems := int64(r1-r0) * int64(c1-c0)
+	st.Bytes += 8 * elems
+	for _, p := range g.Grid.Patches(r0, r1, c0, c1) {
+		if p.Proc != proc {
+			st.RemoteBytes += 8 * int64(p.Elems())
+		}
+	}
+}
+
+// Get copies the patch [r0,r1) x [c0,c1) into dst with leading dimension
+// ld (dst row stride). One GA call.
+func (g *GlobalArray) Get(proc, r0, r1, c0, c1 int, dst []float64, ld int) {
+	g.charge(proc, r0, r1, c0, c1)
+	w := c1 - c0
+	for r := r0; r < r1; r++ {
+		copy(dst[(r-r0)*ld:(r-r0)*ld+w], g.data[r*g.Grid.Cols+c0:r*g.Grid.Cols+c1])
+	}
+}
+
+// Put stores src (leading dimension ld) into the patch. One GA call.
+func (g *GlobalArray) Put(proc, r0, r1, c0, c1 int, src []float64, ld int) {
+	g.charge(proc, r0, r1, c0, c1)
+	for _, p := range g.Grid.Patches(r0, r1, c0, c1) {
+		g.locks[p.Proc].Lock()
+		for r := p.R0; r < p.R1; r++ {
+			copy(g.data[r*g.Grid.Cols+p.C0:r*g.Grid.Cols+p.C1],
+				src[(r-r0)*ld+(p.C0-c0):(r-r0)*ld+(p.C1-c0)])
+		}
+		g.locks[p.Proc].Unlock()
+	}
+}
+
+// Acc atomically accumulates alpha*src into the patch. One GA call.
+func (g *GlobalArray) Acc(proc, r0, r1, c0, c1 int, src []float64, ld int, alpha float64) {
+	g.charge(proc, r0, r1, c0, c1)
+	for _, p := range g.Grid.Patches(r0, r1, c0, c1) {
+		g.locks[p.Proc].Lock()
+		for r := p.R0; r < p.R1; r++ {
+			dst := g.data[r*g.Grid.Cols+p.C0 : r*g.Grid.Cols+p.C1]
+			row := src[(r-r0)*ld+(p.C0-c0):]
+			for i := range dst {
+				dst[i] += alpha * row[i]
+			}
+		}
+		g.locks[p.Proc].Unlock()
+	}
+}
+
+// ToMatrix copies the full array into a dense matrix (no accounting; a
+// host-side convenience for verification and output).
+func (g *GlobalArray) ToMatrix() *linalg.Matrix {
+	m := linalg.NewMatrix(g.Grid.Rows, g.Grid.Cols)
+	copy(m.Data, g.data)
+	return m
+}
+
+// LoadMatrix fills the array from a dense matrix (no accounting).
+func (g *GlobalArray) LoadMatrix(m *linalg.Matrix) {
+	if m.Rows != g.Grid.Rows || m.Cols != g.Grid.Cols {
+		panic("dist: LoadMatrix shape mismatch")
+	}
+	copy(g.data, m.Data)
+}
+
+// Zero resets all elements (no accounting).
+func (g *GlobalArray) Zero() {
+	for i := range g.data {
+		g.data[i] = 0
+	}
+}
+
+// RunProcs runs fn(rank) on p concurrent goroutine processes and waits for
+// all of them (the SPMD launch used by real-mode algorithms).
+func RunProcs(p int, fn func(rank int)) {
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for rank := 0; rank < p; rank++ {
+		go func(r int) {
+			defer wg.Done()
+			fn(r)
+		}(rank)
+	}
+	wg.Wait()
+}

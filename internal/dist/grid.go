@@ -1,0 +1,151 @@
+// Package dist is the distributed-computing substrate standing in for the
+// Global Arrays / MPI / InfiniBand stack of the paper's experiments.
+//
+// It provides two things:
+//
+//  1. A *real* shared-memory implementation of the one-sided operations
+//     GTFock uses (Get/Put/Acc on 2D block-distributed global arrays),
+//     executed by goroutine "processes" with per-process communication
+//     accounting. This mode runs the algorithms for real and is used for
+//     correctness tests and laptop-scale speedups.
+//
+//  2. A discrete-event simulation (DES) layer — virtual per-process
+//     clocks, an event heap, and an alpha-beta (latency + bandwidth)
+//     communication cost model with the paper's machine constants — used
+//     to reproduce the paper-scale experiments (12...3888 cores) that no
+//     laptop can run. The DES preserves exactly the quantities the paper
+//     reports: per-process compute time, parallel overhead, communication
+//     volume and call counts, steals, and load balance.
+package dist
+
+import "fmt"
+
+// Grid2D is a prow x pcol virtual process grid owning a 2D blocked
+// distribution of an nrows x ncols matrix (paper Sec. III-C/E): process
+// p_{ij} owns rows [RowCuts[i], RowCuts[i+1]) and columns
+// [ColCuts[j], ColCuts[j+1]).
+type Grid2D struct {
+	Prow, Pcol int
+	Rows, Cols int
+	RowCuts    []int // len Prow+1, RowCuts[0]=0, RowCuts[Prow]=Rows
+	ColCuts    []int // len Pcol+1
+}
+
+// NewGrid2D builds a grid with the given cut points.
+func NewGrid2D(prow, pcol int, rowCuts, colCuts []int) *Grid2D {
+	if len(rowCuts) != prow+1 || len(colCuts) != pcol+1 {
+		panic("dist: cut length mismatch")
+	}
+	for i := 0; i < prow; i++ {
+		if rowCuts[i] > rowCuts[i+1] {
+			panic("dist: row cuts not monotone")
+		}
+	}
+	for j := 0; j < pcol; j++ {
+		if colCuts[j] > colCuts[j+1] {
+			panic("dist: col cuts not monotone")
+		}
+	}
+	return &Grid2D{
+		Prow: prow, Pcol: pcol,
+		Rows: rowCuts[prow], Cols: colCuts[pcol],
+		RowCuts: rowCuts, ColCuts: colCuts,
+	}
+}
+
+// UniformGrid2D builds a grid with near-equal block sizes.
+func UniformGrid2D(prow, pcol, rows, cols int) *Grid2D {
+	return NewGrid2D(prow, pcol, UniformCuts(rows, prow), UniformCuts(cols, pcol))
+}
+
+// UniformCuts splits n items into p near-equal contiguous ranges.
+func UniformCuts(n, p int) []int {
+	cuts := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		cuts[i] = i * n / p
+	}
+	return cuts
+}
+
+// NumProcs returns prow*pcol.
+func (g *Grid2D) NumProcs() int { return g.Prow * g.Pcol }
+
+// ProcID returns the linear process id of grid coordinates (i, j).
+func (g *Grid2D) ProcID(i, j int) int { return i*g.Pcol + j }
+
+// Coords returns the grid coordinates of linear process id p.
+func (g *Grid2D) Coords(p int) (i, j int) { return p / g.Pcol, p % g.Pcol }
+
+// RowOwner returns the grid row index owning matrix row r.
+func (g *Grid2D) RowOwner(r int) int { return ownerOf(g.RowCuts, r) }
+
+// ColOwner returns the grid column index owning matrix column c.
+func (g *Grid2D) ColOwner(c int) int { return ownerOf(g.ColCuts, c) }
+
+// Owner returns the linear process id owning element (r, c).
+func (g *Grid2D) Owner(r, c int) int {
+	return g.ProcID(g.RowOwner(r), g.ColOwner(c))
+}
+
+func ownerOf(cuts []int, x int) int {
+	lo, hi := 0, len(cuts)-1
+	if x < 0 || x >= cuts[hi] {
+		panic(fmt.Sprintf("dist: index %d out of range [0,%d)", x, cuts[hi]))
+	}
+	// Binary search for the block containing x (empty blocks skipped).
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if cuts[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Patch is a rectangular region [R0,R1) x [C0,C1) owned by one process.
+type Patch struct {
+	Proc           int
+	R0, R1, C0, C1 int
+}
+
+// Elems returns the number of elements of the patch.
+func (p Patch) Elems() int { return (p.R1 - p.R0) * (p.C1 - p.C0) }
+
+// Patches decomposes the region [r0,r1) x [c0,c1) into per-owner patches,
+// in row-major owner order. Empty patches are skipped.
+func (g *Grid2D) Patches(r0, r1, c0, c1 int) []Patch {
+	var out []Patch
+	if r0 >= r1 || c0 >= c1 {
+		return out
+	}
+	for bi := g.RowOwner(r0); bi < g.Prow && g.RowCuts[bi] < r1; bi++ {
+		pr0, pr1 := maxInt(r0, g.RowCuts[bi]), minInt(r1, g.RowCuts[bi+1])
+		if pr0 >= pr1 {
+			continue
+		}
+		for bj := g.ColOwner(c0); bj < g.Pcol && g.ColCuts[bj] < c1; bj++ {
+			pc0, pc1 := maxInt(c0, g.ColCuts[bj]), minInt(c1, g.ColCuts[bj+1])
+			if pc0 >= pc1 {
+				continue
+			}
+			out = append(out, Patch{Proc: g.ProcID(bi, bj), R0: pr0, R1: pr1, C0: pc0, C1: pc1})
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceAddAndSpans(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(1, 0, 2, SpanComm)
+	tr.Add(0, 1, 3, SpanCompute)
+	tr.Add(0, 5, 5, SpanCompute) // zero-length: dropped
+	tr.Add(0, 6, 4, SpanCompute) // reversed: dropped
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	// Sorted by proc then start.
+	if spans[0].Proc != 0 || spans[1].Proc != 1 {
+		t.Fatalf("spans not sorted: %+v", spans)
+	}
+	if tr.Makespan() != 3 {
+		t.Fatalf("makespan %v", tr.Makespan())
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add(0, 0, 1, SpanCompute) // must not panic
+}
+
+func TestTraceTimeline(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(0, 0, 1, SpanComm)
+	tr.Add(0, 1, 10, SpanCompute)
+	tr.Add(1, 0, 5, SpanCompute)
+	out := tr.Timeline(20, 8)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 proc rows
+		t.Fatalf("timeline:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "c") || !strings.Contains(lines[1], "m") {
+		t.Fatalf("proc 0 row missing kinds: %q", lines[1])
+	}
+	// Proc 1 idle in the second half.
+	if !strings.Contains(lines[2], ".") {
+		t.Fatalf("proc 1 row missing idle: %q", lines[2])
+	}
+}
+
+func TestTraceTimelineEmpty(t *testing.T) {
+	tr := &Trace{}
+	if !strings.Contains(tr.Timeline(10, 4), "empty") {
+		t.Fatal("expected empty-trace message")
+	}
+}
+
+func TestTraceKindTotals(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(0, 0, 2, SpanCompute)
+	tr.Add(1, 1, 4, SpanCompute)
+	tr.Add(0, 2, 3, SpanComm)
+	totals := tr.KindTotals()
+	if totals[SpanCompute] != 5 || totals[SpanComm] != 1 {
+		t.Fatalf("totals = %v", totals)
+	}
+}
+
+func TestTraceRowCompression(t *testing.T) {
+	tr := &Trace{}
+	for p := 0; p < 100; p++ {
+		tr.Add(p, 0, 1, SpanCompute)
+	}
+	out := tr.Timeline(10, 10)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 11 { // header + 10 rows
+		t.Fatalf("expected 10 compressed rows, got %d lines", len(lines)-1)
+	}
+}

@@ -1,0 +1,48 @@
+package integrals
+
+import "gtfock/internal/basis"
+
+// AOTensor computes the full AO ERI tensor (ij|kl), stored row-major over
+// four basis-function indices. Memory is n^4 floats: intended for the
+// small systems correlation methods run on here.
+func AOTensor(bs *basis.Set) []float64 {
+	n := bs.NumFuncs
+	t := make([]float64, n*n*n*n)
+	eng := NewEngine()
+	ns := bs.NumShells()
+	pairs := make([]*ShellPair, ns*ns)
+	pair := func(a, b int) *ShellPair {
+		if p := pairs[a*ns+b]; p != nil {
+			return p
+		}
+		p := eng.Pair(&bs.Shells[a], &bs.Shells[b])
+		pairs[a*ns+b] = p
+		return p
+	}
+	for m := 0; m < ns; m++ {
+		for nn := 0; nn < ns; nn++ {
+			bra := pair(m, nn)
+			for p := 0; p < ns; p++ {
+				for q := 0; q < ns; q++ {
+					batch := eng.ERI(bra, pair(p, q))
+					om, on := bs.Offsets[m], bs.Offsets[nn]
+					op, oq := bs.Offsets[p], bs.Offsets[q]
+					nm, nnf := bs.ShellFuncs(m), bs.ShellFuncs(nn)
+					np, nq := bs.ShellFuncs(p), bs.ShellFuncs(q)
+					idx := 0
+					for i := 0; i < nm; i++ {
+						for j := 0; j < nnf; j++ {
+							for k := 0; k < np; k++ {
+								for l := 0; l < nq; l++ {
+									t[(((om+i)*n+(on+j))*n+(op+k))*n+(oq+l)] = batch[idx]
+									idx++
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,88 @@
+package integrals
+
+import (
+	"math"
+	"testing"
+)
+
+// boysQuad evaluates F_m(x) by composite Gauss-Legendre quadrature on
+// [0,1]: an independent (slow, accurate) reference.
+func boysQuad(m int, x float64) float64 {
+	// 5-point Gauss-Legendre nodes/weights on [-1,1].
+	nodes := []float64{-0.9061798459386640, -0.5384693101056831, 0,
+		0.5384693101056831, 0.9061798459386640}
+	weights := []float64{0.2369268850561891, 0.4786286704993665,
+		0.5688888888888889, 0.4786286704993665, 0.2369268850561891}
+	const panels = 200
+	h := 1.0 / panels
+	var sum float64
+	for p := 0; p < panels; p++ {
+		a := float64(p) * h
+		for i, t := range nodes {
+			u := a + h/2*(t+1)
+			sum += weights[i] * h / 2 * math.Pow(u, float64(2*m)) * math.Exp(-x*u*u)
+		}
+	}
+	return sum
+}
+
+func TestBoysAgainstQuadrature(t *testing.T) {
+	for _, m := range []int{0, 1, 2, 5, 8, 12} {
+		for _, x := range []float64{0, 1e-8, 0.1, 0.5, 1, 3.3, 10, 25, 34.9, 35.1, 50, 200} {
+			got := BoysSingle(m, x)
+			want := boysQuad(m, x)
+			tol := 1e-12 * (1 + want)
+			if math.Abs(got-want) > tol {
+				t.Errorf("F_%d(%g) = %.15g, quadrature %.15g", m, x, got, want)
+			}
+		}
+	}
+}
+
+func TestBoysSmallXLimit(t *testing.T) {
+	out := Boys(6, 0, nil)
+	for m := 0; m <= 6; m++ {
+		want := 1 / float64(2*m+1)
+		if math.Abs(out[m]-want) > 1e-15 {
+			t.Fatalf("F_%d(0) = %v, want %v", m, out[m], want)
+		}
+	}
+}
+
+func TestBoysRecursionIdentity(t *testing.T) {
+	// (2m+1) F_m(x) = 2x F_{m+1}(x) + e^{-x}
+	for _, x := range []float64{0.2, 2, 17, 40, 90} {
+		out := Boys(10, x, nil)
+		ex := math.Exp(-x)
+		for m := 0; m < 10; m++ {
+			lhs := float64(2*m+1) * out[m]
+			rhs := 2*x*out[m+1] + ex
+			if math.Abs(lhs-rhs) > 1e-13*(1+math.Abs(lhs)) {
+				t.Fatalf("recursion broken at m=%d x=%g: %v vs %v", m, x, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestBoysMonotoneDecreasingInM(t *testing.T) {
+	for _, x := range []float64{0, 1, 10, 60} {
+		out := Boys(8, x, nil)
+		for m := 1; m <= 8; m++ {
+			if out[m] > out[m-1] {
+				t.Fatalf("F_%d(%g) > F_%d(%g)", m, x, m-1, x)
+			}
+			if out[m] < 0 {
+				t.Fatalf("F_%d(%g) negative", m, x)
+			}
+		}
+	}
+}
+
+func TestBoysF0LargeX(t *testing.T) {
+	// F_0(x) -> sqrt(pi/x)/2 as x -> inf.
+	x := 500.0
+	want := 0.5 * math.Sqrt(math.Pi/x)
+	if math.Abs(BoysSingle(0, x)-want) > 1e-15 {
+		t.Fatal("large-x asymptote")
+	}
+}

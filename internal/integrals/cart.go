@@ -1,0 +1,140 @@
+package integrals
+
+// Cart is one Cartesian angular momentum component (lx, ly, lz).
+type Cart struct{ X, Y, Z int }
+
+// cartCache[l] lists the Cartesian components of angular momentum l in the
+// canonical order: lx descending, then ly descending.
+var cartCache [][]Cart
+
+func init() {
+	const maxL = 8
+	cartCache = make([][]Cart, maxL+1)
+	for l := 0; l <= maxL; l++ {
+		var cs []Cart
+		for x := l; x >= 0; x-- {
+			for y := l - x; y >= 0; y-- {
+				cs = append(cs, Cart{x, y, l - x - y})
+			}
+		}
+		cartCache[l] = cs
+	}
+}
+
+// CartComponents returns the Cartesian components of angular momentum l.
+func CartComponents(l int) []Cart { return cartCache[l] }
+
+// NumCart returns the number of Cartesian components of angular momentum l.
+func NumCart(l int) int { return (l + 1) * (l + 2) / 2 }
+
+// NumSph returns the number of spherical components of angular momentum l.
+func NumSph(l int) int { return 2*l + 1 }
+
+// sphMatrix returns the (2l+1) x NumCart(l) matrix taking raw-polynomial
+// Cartesian components (in CartComponents order) to the real spherical
+// components used by this library. The rows are scaled so that all 2l+1
+// spherical functions share the same self-overlap as the reference
+// component used by basis.Build's normalization ("all-ones" component:
+// x for p, xy for d), making contracted spherical functions unit-norm.
+//
+// Supported through l=2 (the basis sets here go up to d); higher l panics.
+func sphMatrix(l int) [][]float64 {
+	switch l {
+	case 0:
+		return [][]float64{{1}}
+	case 1:
+		// Cartesian order (x, y, z); keep that order for "spherical" p.
+		return [][]float64{
+			{1, 0, 0},
+			{0, 1, 0},
+			{0, 0, 1},
+		}
+	case 2:
+		// Cartesian order: xx, xy, xz, yy, yz, zz.
+		s3 := 1.7320508075688772935 // sqrt(3)
+		return [][]float64{
+			{0, 1, 0, 0, 0, 0}, // xy
+			{0, 0, 0, 0, 1, 0}, // yz
+			{-1 / (2 * s3), 0, 0, -1 / (2 * s3), 0, 1 / s3}, // (2zz-xx-yy)/(2*sqrt(3))
+			{0, 0, 1, 0, 0, 0},      // xz
+			{0.5, 0, 0, -0.5, 0, 0}, // (xx-yy)/2
+		}
+	default:
+		// f and beyond: generated real solid harmonics (solidharm.go).
+		return generatedSphMatrix(l)
+	}
+}
+
+// sphTransform1 applies the Cartesian-to-spherical transform to the first
+// index of a tensor stored row-major with the first index of Cartesian
+// dimension nc and trailing block size rest. Result has leading dimension
+// ns. src and dst must not alias.
+func sphTransform1(l int, src, dst []float64, rest int) {
+	mat := sphMatrix(l)
+	nc := NumCart(l)
+	ns := NumSph(l)
+	for s := 0; s < ns; s++ {
+		row := mat[s]
+		d := dst[s*rest : (s+1)*rest]
+		for r := range d {
+			d[r] = 0
+		}
+		for c := 0; c < nc; c++ {
+			f := row[c]
+			if f == 0 {
+				continue
+			}
+			blk := src[c*rest : (c+1)*rest]
+			for r, v := range blk {
+				d[r] += f * v
+			}
+		}
+	}
+	_ = nc
+}
+
+// sphTransform4 transforms a Cartesian quartet batch
+// [na_c][nb_c][nc_c][nd_c] (row-major) into the spherical batch
+// [na_s][nb_s][nc_s][nd_s] for angular momenta la..ld, using scratch.
+// Returns a slice of the engine-owned scratch buffer.
+func sphTransform4(la, lb, lc, ld int, cart []float64, scratch *[2][]float64) []float64 {
+	dims := [4]int{NumCart(la), NumCart(lb), NumCart(lc), NumCart(ld)}
+	ls := [4]int{la, lb, lc, ld}
+	cur := cart
+	toggle := 0
+	for idx := 3; idx >= 0; idx-- {
+		l := ls[idx]
+		ncIdx := dims[idx]
+		nsIdx := NumSph(l)
+		// Identity transforms (s, p in this convention) need no work.
+		if l <= 1 {
+			dims[idx] = nsIdx
+			continue
+		}
+		// Move the target index to the front by viewing the tensor as
+		// (pre, idx, post) and transforming each pre-slab.
+		pre := 1
+		for i := 0; i < idx; i++ {
+			pre *= dims[i]
+		}
+		post := 1
+		for i := idx + 1; i < 4; i++ {
+			post *= dims[i]
+		}
+		need := pre * nsIdx * post
+		buf := &scratch[toggle]
+		toggle = 1 - toggle
+		if cap(*buf) < need {
+			*buf = make([]float64, need)
+		}
+		out := (*buf)[:need]
+		for p := 0; p < pre; p++ {
+			srcSlab := cur[p*ncIdx*post : (p+1)*ncIdx*post]
+			dstSlab := out[p*nsIdx*post : (p+1)*nsIdx*post]
+			sphTransform1(l, srcSlab, dstSlab, post)
+		}
+		cur = out
+		dims[idx] = nsIdx
+	}
+	return cur
+}

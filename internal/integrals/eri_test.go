@@ -1,0 +1,362 @@
+package integrals
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+)
+
+// rawShell builds an unnormalized shell for engine-level tests.
+func rawShell(l int, center chem.Vec3, exps, coefs []float64) *basis.Shell {
+	return &basis.Shell{L: l, Center: center, Exps: exps, Coefs: coefs}
+}
+
+func randShell(rng *rand.Rand, l int) *basis.Shell {
+	nprim := 1 + rng.Intn(3)
+	exps := make([]float64, nprim)
+	coefs := make([]float64, nprim)
+	for i := range exps {
+		exps[i] = 0.2 + 3*rng.Float64()
+		coefs[i] = 0.3 + rng.Float64()
+	}
+	c := chem.Vec3{
+		X: 2 * rng.NormFloat64() * 0.5,
+		Y: 2 * rng.NormFloat64() * 0.5,
+		Z: 2 * rng.NormFloat64() * 0.5,
+	}
+	return rawShell(l, c, exps, coefs)
+}
+
+// Closed form for a primitive (ss|ss) with all centers coincident:
+// 2 pi^{5/2} / (p q sqrt(p+q)).
+func TestSSSSClosedForm(t *testing.T) {
+	e := NewEngine()
+	c := chem.Vec3{}
+	a := rawShell(0, c, []float64{1.1}, []float64{1})
+	b := rawShell(0, c, []float64{0.7}, []float64{1})
+	cs := rawShell(0, c, []float64{2.3}, []float64{1})
+	d := rawShell(0, c, []float64{0.4}, []float64{1})
+	got := e.ERI(e.Pair(a, b), e.Pair(cs, d))[0]
+	p, q := 1.1+0.7, 2.3+0.4
+	want := 2 * math.Pow(math.Pi, 2.5) / (p * q * math.Sqrt(p+q))
+	if math.Abs(got-want) > 1e-13*want {
+		t.Fatalf("(ss|ss) = %.15g, want %.15g", got, want)
+	}
+}
+
+// Separated s functions: (ss|ss) with bra at origin, ket at distance R
+// tends to 1/R times bra and ket charges for large R.
+func TestSSSSLongRangeCoulombLimit(t *testing.T) {
+	e := NewEngine()
+	R := 20.0
+	a := rawShell(0, chem.Vec3{}, []float64{2.0}, []float64{1})
+	b := rawShell(0, chem.Vec3{}, []float64{1.0}, []float64{1})
+	cs := rawShell(0, chem.Vec3{Z: R}, []float64{1.5}, []float64{1})
+	d := rawShell(0, chem.Vec3{Z: R}, []float64{0.9}, []float64{1})
+	got := e.ERI(e.Pair(a, b), e.Pair(cs, d))[0]
+	// charge of each raw gaussian product: (pi/p)^{3/2}
+	qb := math.Pow(math.Pi/3.0, 1.5)
+	qk := math.Pow(math.Pi/2.4, 1.5)
+	want := qb * qk / R
+	if math.Abs(got-want) > 1e-10*want {
+		t.Fatalf("long-range (ss|ss) = %.12g, want %.12g", got, want)
+	}
+}
+
+// The production MD engine must agree with the independent Obara-Saika
+// oracle for every angular momentum combination through d.
+func TestMDAgainstObaraSaika(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	e := NewEngine()
+	for la := 0; la <= 2; la++ {
+		for lb := 0; lb <= 2; lb++ {
+			for lc := 0; lc <= 2; lc++ {
+				for ld := 0; ld <= 2; ld++ {
+					a := randShell(rng, la)
+					b := randShell(rng, lb)
+					c := randShell(rng, lc)
+					d := randShell(rng, ld)
+					md := e.ERICart(e.Pair(a, b), e.Pair(c, d))
+					os := ERICartOS(a, b, c, d)
+					if len(md) != len(os) {
+						t.Fatalf("L=%d%d%d%d: length %d vs %d", la, lb, lc, ld, len(md), len(os))
+					}
+					var scale float64
+					for _, v := range os {
+						if m := math.Abs(v); m > scale {
+							scale = m
+						}
+					}
+					for i := range md {
+						if math.Abs(md[i]-os[i]) > 1e-10*(1+scale) {
+							t.Fatalf("L=%d%d%d%d elem %d: MD %.14g vs OS %.14g",
+								la, lb, lc, ld, i, md[i], os[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// 8-fold permutational symmetry of the ERIs (eq. 4) at batch level.
+func TestERIPermutationalSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := NewEngine()
+	for trial := 0; trial < 6; trial++ {
+		a := randShell(rng, rng.Intn(3))
+		b := randShell(rng, rng.Intn(3))
+		c := randShell(rng, rng.Intn(3))
+		d := randShell(rng, rng.Intn(3))
+		na, nb, nc, nd := a.NumFuncs(), b.NumFuncs(), c.NumFuncs(), d.NumFuncs()
+
+		abcd := append([]float64(nil), e.ERI(e.Pair(a, b), e.Pair(c, d))...)
+		bacd := append([]float64(nil), e.ERI(e.Pair(b, a), e.Pair(c, d))...)
+		abdc := append([]float64(nil), e.ERI(e.Pair(a, b), e.Pair(d, c))...)
+		cdab := append([]float64(nil), e.ERI(e.Pair(c, d), e.Pair(a, b))...)
+
+		at := func(batch []float64, dims [4]int, i, j, k, l int) float64 {
+			return batch[((i*dims[1]+j)*dims[2]+k)*dims[3]+l]
+		}
+		var scale float64
+		for _, v := range abcd {
+			if m := math.Abs(v); m > scale {
+				scale = m
+			}
+		}
+		tol := 1e-11 * (1 + scale)
+		for i := 0; i < na; i++ {
+			for j := 0; j < nb; j++ {
+				for k := 0; k < nc; k++ {
+					for l := 0; l < nd; l++ {
+						v := at(abcd, [4]int{na, nb, nc, nd}, i, j, k, l)
+						if math.Abs(v-at(bacd, [4]int{nb, na, nc, nd}, j, i, k, l)) > tol {
+							t.Fatal("(ij|kl) != (ji|kl)")
+						}
+						if math.Abs(v-at(abdc, [4]int{na, nb, nd, nc}, i, j, l, k)) > tol {
+							t.Fatal("(ij|kl) != (ij|lk)")
+						}
+						if math.Abs(v-at(cdab, [4]int{nc, nd, na, nb}, k, l, i, j)) > tol {
+							t.Fatal("(ij|kl) != (kl|ij)")
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Translation invariance: shifting every center leaves ERIs unchanged.
+func TestERITranslationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e := NewEngine()
+	shift := chem.Vec3{X: 1.7, Y: -0.4, Z: 3.1}
+	for trial := 0; trial < 4; trial++ {
+		sh := make([]*basis.Shell, 4)
+		sh2 := make([]*basis.Shell, 4)
+		for i := range sh {
+			s := randShell(rng, rng.Intn(3))
+			sh[i] = s
+			c := *s
+			c.Center = s.Center.Add(shift)
+			sh2[i] = &c
+		}
+		v1 := append([]float64(nil), e.ERI(e.Pair(sh[0], sh[1]), e.Pair(sh[2], sh[3]))...)
+		v2 := e.ERI(e.Pair(sh2[0], sh2[1]), e.Pair(sh2[2], sh2[3]))
+		for i := range v1 {
+			if math.Abs(v1[i]-v2[i]) > 1e-11*(1+math.Abs(v1[i])) {
+				t.Fatalf("translation broke element %d: %g vs %g", i, v1[i], v2[i])
+			}
+		}
+	}
+}
+
+// Cauchy-Schwarz: (ij|kl)^2 <= (ij|ij)(kl|kl) (Sec. II-D).
+func TestERISchwarzInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	e := NewEngine()
+	for trial := 0; trial < 8; trial++ {
+		a := randShell(rng, rng.Intn(3))
+		b := randShell(rng, rng.Intn(3))
+		c := randShell(rng, rng.Intn(3))
+		d := randShell(rng, rng.Intn(3))
+		pab, pcd := e.Pair(a, b), e.Pair(c, d)
+		na, nb, nc, nd := a.NumFuncs(), b.NumFuncs(), c.NumFuncs(), d.NumFuncs()
+		abcd := append([]float64(nil), e.ERI(pab, pcd)...)
+		abab := append([]float64(nil), e.ERI(pab, pab)...)
+		cdcd := append([]float64(nil), e.ERI(pcd, pcd)...)
+		for i := 0; i < na; i++ {
+			for j := 0; j < nb; j++ {
+				diagAB := abab[((i*nb+j)*na+i)*nb+j]
+				for k := 0; k < nc; k++ {
+					for l := 0; l < nd; l++ {
+						diagCD := cdcd[((k*nd+l)*nc+k)*nd+l]
+						v := abcd[((i*nb+j)*nc+k)*nd+l]
+						if v*v > diagAB*diagCD*(1+1e-9)+1e-14 {
+							t.Fatalf("Schwarz violated: (ij|kl)^2=%g > %g",
+								v*v, diagAB*diagCD)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Diagonal batches (ij|ij) are non-negative (positive semidefiniteness of
+// the Coulomb metric).
+func TestERIDiagonalNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	e := NewEngine()
+	for trial := 0; trial < 10; trial++ {
+		a := randShell(rng, rng.Intn(3))
+		b := randShell(rng, rng.Intn(3))
+		p := e.Pair(a, b)
+		batch := e.ERI(p, p)
+		na, nb := a.NumFuncs(), b.NumFuncs()
+		for i := 0; i < na; i++ {
+			for j := 0; j < nb; j++ {
+				if d := batch[((i*nb+j)*na+i)*nb+j]; d < -1e-13 {
+					t.Fatalf("(ij|ij) = %g < 0", d)
+				}
+			}
+		}
+	}
+}
+
+// Primitive prescreening drops work but changes nothing beyond tolerance.
+func TestPrimitivePrescreening(t *testing.T) {
+	mol := chem.Alkane(4)
+	bs, err := basis.Build(mol, "cc-pvdz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := NewEngine()
+	pre := NewEngine()
+	pre.PrimTol = 1e-12
+	// A far-apart shell pair: many primitive pairs negligible.
+	s1 := &bs.Shells[0]
+	var far *basis.Shell
+	for i := range bs.Shells {
+		if bs.Shells[i].Center.Dist(s1.Center) > 10 {
+			far = &bs.Shells[i]
+			break
+		}
+	}
+	if far == nil {
+		t.Skip("no far pair in this geometry")
+	}
+	p1, p2 := plain.Pair(s1, far), plain.Pair(s1, s1)
+	q1, q2 := pre.Pair(s1, far), pre.Pair(s1, s1)
+	v1 := append([]float64(nil), plain.ERI(p1, p2)...)
+	v2 := pre.ERI(q1, q2)
+	for i := range v1 {
+		if math.Abs(v1[i]-v2[i]) > 1e-9 {
+			t.Fatalf("prescreening changed integral %d: %g vs %g", i, v1[i], v2[i])
+		}
+	}
+	if len(q1.prims) >= len(p1.prims) {
+		t.Fatalf("prescreening dropped nothing: %d vs %d prims", len(q1.prims), len(p1.prims))
+	}
+	if plain.Stats.PrimQuartets <= pre.Stats.PrimQuartets {
+		t.Fatal("prescreened engine did not do less primitive work")
+	}
+}
+
+func TestEngineStatsCount(t *testing.T) {
+	e := NewEngine()
+	a := rawShell(0, chem.Vec3{}, []float64{1}, []float64{1})
+	p := e.Pair(a, a)
+	e.ERI(p, p)
+	if e.Stats.Quartets != 1 || e.Stats.Integrals != 1 || e.Stats.PrimQuartets != 1 {
+		t.Fatalf("stats = %+v", e.Stats)
+	}
+	d := rawShell(2, chem.Vec3{}, []float64{1}, []float64{1})
+	pd := e.Pair(d, d)
+	e.ERI(pd, pd)
+	if e.Stats.Quartets != 2 || e.Stats.Integrals != 1+625 {
+		t.Fatalf("stats after d quartet = %+v", e.Stats)
+	}
+}
+
+// Spherical d batch has 5 components per d index and matches the
+// explicitly transformed Cartesian batch.
+func TestSphericalTransformConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	e := NewEngine()
+	a := randShell(rng, 2)
+	b := randShell(rng, 0)
+	c := randShell(rng, 1)
+	d := randShell(rng, 2)
+	pab, pcd := e.Pair(a, b), e.Pair(c, d)
+	cart := append([]float64(nil), e.ERICart(pab, pcd)...)
+	sph := e.ERI(pab, pcd)
+	if len(sph) != 5*1*3*5 {
+		t.Fatalf("spherical batch length %d", len(sph))
+	}
+	// Manually transform index 0 and 3 with the d matrix.
+	mat := sphMatrix(2)
+	na, nb, nc, nd := 6, 1, 3, 6
+	for i := 0; i < 5; i++ {
+		for j := 0; j < nb; j++ {
+			for k := 0; k < nc; k++ {
+				for l := 0; l < 5; l++ {
+					var want float64
+					for ci := 0; ci < na; ci++ {
+						if mat[i][ci] == 0 {
+							continue
+						}
+						for cl := 0; cl < nd; cl++ {
+							if mat[l][cl] == 0 {
+								continue
+							}
+							want += mat[i][ci] * mat[l][cl] *
+								cart[((ci*nb+j)*nc+k)*nd+cl]
+						}
+					}
+					got := sph[((i*nb+j)*3+k)*5+l]
+					if math.Abs(got-want) > 1e-11*(1+math.Abs(want)) {
+						t.Fatalf("spherical mismatch at %d%d%d%d: %g vs %g",
+							i, j, k, l, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkERIssss(b *testing.B) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(1))
+	s1, s2 := randShell(rng, 0), randShell(rng, 0)
+	p1, p2 := e.Pair(s1, s2), e.Pair(s2, s1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ERI(p1, p2)
+	}
+}
+
+func BenchmarkERIpppp(b *testing.B) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(2))
+	s1, s2 := randShell(rng, 1), randShell(rng, 1)
+	p1, p2 := e.Pair(s1, s2), e.Pair(s2, s1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ERI(p1, p2)
+	}
+}
+
+func BenchmarkERIdddd(b *testing.B) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(3))
+	s1, s2 := randShell(rng, 2), randShell(rng, 2)
+	p1, p2 := e.Pair(s1, s2), e.Pair(s2, s1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ERI(p1, p2)
+	}
+}

@@ -1,0 +1,45 @@
+package integrals
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBoys checks the Boys function invariants for arbitrary inputs:
+// bounds, monotonicity in m, and the downward recursion identity.
+func FuzzBoys(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1e-15)
+	f.Add(0.5)
+	f.Add(34.999)
+	f.Add(35.001)
+	f.Add(1e4)
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Skip()
+		}
+		x = math.Abs(x)
+		if x > 1e6 {
+			t.Skip()
+		}
+		const mmax = 12
+		out := Boys(mmax, x, nil)
+		ex := math.Exp(-x)
+		for m := 0; m <= mmax; m++ {
+			if out[m] < 0 || out[m] > 1 {
+				t.Fatalf("F_%d(%g) = %g out of [0,1]", m, x, out[m])
+			}
+			if m > 0 && out[m] > out[m-1]+1e-15 {
+				t.Fatalf("F not monotone in m at x=%g", x)
+			}
+			if m < mmax {
+				lhs := float64(2*m+1) * out[m]
+				rhs := 2*x*out[m+1] + ex
+				if math.Abs(lhs-rhs) > 1e-10*(1+math.Abs(lhs)) {
+					t.Fatalf("recursion identity broken at m=%d x=%g: %g vs %g",
+						m, x, lhs, rhs)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package integrals
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The HGP path must agree with the MD path for every angular momentum
+// combination through d (and a sample of f cases).
+func TestHGPAgainstMD(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	md := NewEngine()
+	hgp := NewEngine()
+	hgp.UseHGP = true
+	for la := 0; la <= 2; la++ {
+		for lb := 0; lb <= 2; lb++ {
+			for lc := 0; lc <= 2; lc++ {
+				for ld := 0; ld <= 2; ld++ {
+					a := randShell(rng, la)
+					b := randShell(rng, lb)
+					c := randShell(rng, lc)
+					d := randShell(rng, ld)
+					want := append([]float64(nil),
+						md.ERICart(md.Pair(a, b), md.Pair(c, d))...)
+					got := hgp.eriCartHGP(hgp.Pair(a, b), hgp.Pair(c, d))
+					compareBatches(t, want, got, la, lb, lc, ld)
+				}
+			}
+		}
+	}
+}
+
+func TestHGPAgainstMDFShells(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	md := NewEngine()
+	hgp := NewEngine()
+	hgp.UseHGP = true
+	for _, ls := range [][4]int{{3, 0, 0, 0}, {3, 1, 2, 0}, {3, 2, 3, 1}, {3, 3, 3, 3}} {
+		a := randShell(rng, ls[0])
+		b := randShell(rng, ls[1])
+		c := randShell(rng, ls[2])
+		d := randShell(rng, ls[3])
+		want := append([]float64(nil), md.ERICart(md.Pair(a, b), md.Pair(c, d))...)
+		got := hgp.eriCartHGP(hgp.Pair(a, b), hgp.Pair(c, d))
+		compareBatches(t, want, got, ls[0], ls[1], ls[2], ls[3])
+	}
+}
+
+func compareBatches(t *testing.T, want, got []float64, ls ...int) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("L=%v: lengths %d vs %d", ls, len(want), len(got))
+	}
+	var scale float64
+	for _, v := range want {
+		if m := math.Abs(v); m > scale {
+			scale = m
+		}
+	}
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-10*(1+scale) {
+			t.Fatalf("L=%v elem %d: MD %.15g vs HGP %.15g", ls, i, want[i], got[i])
+		}
+	}
+}
+
+// The spherical ERI through the engine dispatch must be identical under
+// both algorithms.
+func TestEngineUseHGPDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	a, b := randShell(rng, 2), randShell(rng, 1)
+	md := NewEngine()
+	hgp := NewEngine()
+	hgp.UseHGP = true
+	want := append([]float64(nil), md.ERI(md.Pair(a, b), md.Pair(b, a))...)
+	got := hgp.ERI(hgp.Pair(a, b), hgp.Pair(b, a))
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-11*(1+math.Abs(want[i])) {
+			t.Fatalf("dispatch mismatch at %d", i)
+		}
+	}
+	if hgp.Stats.Quartets != 1 || hgp.Stats.Integrals != int64(len(got)) {
+		t.Fatalf("HGP stats not recorded: %+v", hgp.Stats)
+	}
+}
+
+func BenchmarkERIHGPpppp(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	e := NewEngine()
+	e.UseHGP = true
+	s1, s2 := randShell(rng, 1), randShell(rng, 1)
+	p1, p2 := e.Pair(s1, s2), e.Pair(s2, s1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ERI(p1, p2)
+	}
+}
+
+func BenchmarkERIHGPdddd(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	e := NewEngine()
+	e.UseHGP = true
+	s1, s2 := randShell(rng, 2), randShell(rng, 2)
+	p1, p2 := e.Pair(s1, s2), e.Pair(s2, s1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ERI(p1, p2)
+	}
+}

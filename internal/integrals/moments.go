@@ -1,0 +1,69 @@
+package integrals
+
+import (
+	"math"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+	"gtfock/internal/linalg"
+)
+
+// Dipole returns the three electronic dipole-moment integral matrices
+// M_d[i][j] = <i| (r - origin)_d |j> for d = x, y, z, over the spherical
+// basis. Using the Gaussian product decomposition,
+// (x - o) = (x - A_x) + (A_x - o), the 1D factor is
+// S(i+1, j) + (A_x - o) S(i, j).
+func Dipole(bs *basis.Set, origin chem.Vec3) [3]*linalg.Matrix {
+	n := bs.NumFuncs
+	out := [3]*linalg.Matrix{
+		linalg.NewMatrix(n, n), linalg.NewMatrix(n, n), linalg.NewMatrix(n, n),
+	}
+	var scratch [2][]float64
+	for si := range bs.Shells {
+		for sj := si; sj < len(bs.Shells); sj++ {
+			a, b := &bs.Shells[si], &bs.Shells[sj]
+			ctx := newOE1CtxExtra(a, b, 1, 0)
+			ca, cb := CartComponents(a.L), CartComponents(b.L)
+			nb := len(cb)
+			aoff := [3]float64{
+				a.Center.X - origin.X,
+				a.Center.Y - origin.Y,
+				a.Center.Z - origin.Z,
+			}
+			for dim := 0; dim < 3; dim++ {
+				cart := make([]float64, len(ca)*nb)
+				for pi := range ctx.prims {
+					pr := &ctx.prims[pi]
+					sqp := math.Sqrt(math.Pi / pr.p)
+					for ia, A := range ca {
+						for ib, B := range cb {
+							ax := [3]int{A.X, A.Y, A.Z}
+							bx := [3]int{B.X, B.Y, B.Z}
+							v := pr.cck
+							for d := 0; d < 3; d++ {
+								s := ctx.e0(pr, d, ax[d], bx[d]) * sqp
+								if d == dim {
+									raised := ctx.e0(pr, d, ax[d]+1, bx[d]) * sqp
+									s = raised + aoff[d]*s
+								}
+								v *= s
+							}
+							cart[ia*nb+ib] += v
+						}
+					}
+				}
+				sph := sphTransform2(a.L, b.L, cart, &scratch)
+				na, nbs := a.NumFuncs(), b.NumFuncs()
+				oi, oj := bs.Offsets[si], bs.Offsets[sj]
+				for i := 0; i < na; i++ {
+					for j := 0; j < nbs; j++ {
+						v := sph[i*nbs+j]
+						out[dim].Set(oi+i, oj+j, v)
+						out[dim].Set(oj+j, oi+i, v)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

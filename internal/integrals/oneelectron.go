@@ -1,0 +1,294 @@
+package integrals
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+	"gtfock/internal/linalg"
+)
+
+// Overlap returns the overlap matrix S over the basis (spherical functions).
+func Overlap(bs *basis.Set) *linalg.Matrix {
+	return oneElectron(bs, func(ctx *oe1Ctx, cart []float64) {
+		ctx.overlapKinetic(cart, nil)
+	})
+}
+
+// Kinetic returns the kinetic energy matrix T = <i| -1/2 nabla^2 |j>.
+func Kinetic(bs *basis.Set) *linalg.Matrix {
+	return oneElectron(bs, func(ctx *oe1Ctx, cart []float64) {
+		tmp := make([]float64, len(cart))
+		ctx.overlapKinetic(tmp, cart)
+	})
+}
+
+// NuclearAttraction returns V = <i| sum_C -Z_C/|r-R_C| |j> for the
+// molecule the basis was built on.
+func NuclearAttraction(bs *basis.Set) *linalg.Matrix {
+	return oneElectron(bs, func(ctx *oe1Ctx, cart []float64) {
+		ctx.nuclear(cart, bs.Mol)
+	})
+}
+
+// CoreHamiltonian returns H_core = T + V.
+func CoreHamiltonian(bs *basis.Set) *linalg.Matrix {
+	h := Kinetic(bs)
+	h.AXPY(1, NuclearAttraction(bs))
+	return h
+}
+
+// oe1Ctx carries the per-shell-pair state for one-electron integrals.
+type oe1Ctx struct {
+	a, b   *basis.Shell
+	la, lb int
+	// E-table index extensions: kinetic needs j+2, dipole needs i+1.
+	iExtra, jExtra int
+	// Per primitive pair: exponent data and extended E tables.
+	prims []oe1Prim
+}
+
+type oe1Prim struct {
+	p, bexp float64
+	P       chem.Vec3
+	cck     float64 // cc * exp(-mu |AB|^2)
+	e       [3][]float64
+}
+
+const (
+	oe1JExtra = 2 // kinetic needs j+2
+)
+
+func newOE1Ctx(a, b *basis.Shell) *oe1Ctx { return newOE1CtxExtra(a, b, 0, oe1JExtra) }
+
+func newOE1CtxExtra(a, b *basis.Shell, iExtra, jExtra int) *oe1Ctx {
+	ctx := &oe1Ctx{a: a, b: b, la: a.L, lb: b.L, iExtra: iExtra, jExtra: jExtra}
+	ab2 := a.Center.Sub(b.Center).Norm2()
+	la, lb := a.L, b.L
+	jdim := lb + 1 + jExtra
+	tdim := la + iExtra + lb + jExtra + 1
+	for i, ea := range a.Exps {
+		for j, eb := range b.Exps {
+			p := ea + eb
+			mu := ea * eb / p
+			P := a.Center.Scale(ea / p).Add(b.Center.Scale(eb / p))
+			pr := oe1Prim{
+				p:    p,
+				bexp: eb,
+				P:    P,
+				cck:  a.Coefs[i] * b.Coefs[j] * math.Exp(-mu*ab2),
+			}
+			pa := P.Sub(a.Center)
+			pb := P.Sub(b.Center)
+			paD := [3]float64{pa.X, pa.Y, pa.Z}
+			pbD := [3]float64{pb.X, pb.Y, pb.Z}
+			for d := 0; d < 3; d++ {
+				pr.e[d] = make([]float64, (la+iExtra+1)*jdim*tdim)
+				eTable(la+iExtra, lb+jExtra, 1/(2*p), paD[d], pbD[d], pr.e[d], jdim, tdim)
+			}
+			ctx.prims = append(ctx.prims, pr)
+		}
+	}
+	return ctx
+}
+
+// e0 returns the t=0 MD coefficient E_0^{ij} for dimension d of primitive
+// pair pr; with the sqrt(pi/p) factor this is the 1D overlap.
+func (ctx *oe1Ctx) e0(pr *oe1Prim, d, i, j int) float64 {
+	jdim := ctx.lb + 1 + ctx.jExtra
+	tdim := ctx.la + ctx.iExtra + ctx.lb + ctx.jExtra + 1
+	return pr.e[d][(i*jdim+j)*tdim]
+}
+
+// overlapKinetic fills the Cartesian overlap block (sOut, if non-nil) and
+// kinetic block (tOut, if non-nil) for the shell pair.
+func (ctx *oe1Ctx) overlapKinetic(sOut, tOut []float64) {
+	ca, cb := CartComponents(ctx.la), CartComponents(ctx.lb)
+	nb := len(cb)
+	for i := range sOut {
+		sOut[i] = 0
+	}
+	for i := range tOut {
+		tOut[i] = 0
+	}
+	for pi := range ctx.prims {
+		pr := &ctx.prims[pi]
+		sqp := math.Sqrt(math.Pi / pr.p)
+		for ia, A := range ca {
+			for ib, B := range cb {
+				idx := ia*nb + ib
+				sx := ctx.e0(pr, 0, A.X, B.X) * sqp
+				sy := ctx.e0(pr, 1, A.Y, B.Y) * sqp
+				sz := ctx.e0(pr, 2, A.Z, B.Z) * sqp
+				if sOut != nil {
+					sOut[idx] += pr.cck * sx * sy * sz
+				}
+				if tOut != nil {
+					kx := ctx.kin1D(pr, 0, A.X, B.X) * sqp
+					ky := ctx.kin1D(pr, 1, A.Y, B.Y) * sqp
+					kz := ctx.kin1D(pr, 2, A.Z, B.Z) * sqp
+					tOut[idx] += pr.cck * (kx*sy*sz + sx*ky*sz + sx*sy*kz)
+				}
+			}
+		}
+	}
+}
+
+// kin1D returns the 1D kinetic integral (without the sqrt(pi/p) factor):
+// -1/2 <i| d^2/dx^2 |j> = -1/2 j(j-1) S(i,j-2) + b(2j+1) S(i,j) - 2b^2 S(i,j+2).
+func (ctx *oe1Ctx) kin1D(pr *oe1Prim, d, i, j int) float64 {
+	b := pr.bexp
+	v := b * float64(2*j+1) * ctx.e0(pr, d, i, j)
+	v -= 2 * b * b * ctx.e0(pr, d, i, j+2)
+	if j >= 2 {
+		v -= 0.5 * float64(j) * float64(j-1) * ctx.e0(pr, d, i, j-2)
+	}
+	return v
+}
+
+// nuclear fills the Cartesian nuclear-attraction block for the shell pair.
+func (ctx *oe1Ctx) nuclear(out []float64, mol *chem.Molecule) {
+	la, lb := ctx.la, ctx.lb
+	ca, cb := CartComponents(la), CartComponents(lb)
+	nb := len(cb)
+	ltot := la + lb
+	td := ltot + 1
+	td3 := td * td * td
+	rtab := make([]float64, td3)
+	raux := make([]float64, (ltot+1)*td3)
+	var boys [maxBoysM + 1]float64
+	jdim := lb + 1 + oe1JExtra
+	tdim := la + lb + oe1JExtra + 1
+	for i := range out {
+		out[i] = 0
+	}
+	for pi := range ctx.prims {
+		pr := &ctx.prims[pi]
+		for _, atom := range mol.Atoms {
+			pc := pr.P.Sub(atom.Pos)
+			x := pr.p * pc.Norm2()
+			Boys(ltot, x, boys[:])
+			hermiteRTable(ltot, pr.p, pc, boys[:], rtab, raux)
+			pref := -float64(atom.Z) * 2 * math.Pi / pr.p * pr.cck
+			for ia, A := range ca {
+				for ib, B := range cb {
+					exBase := (A.X*jdim + B.X) * tdim
+					eyBase := (A.Y*jdim + B.Y) * tdim
+					ezBase := (A.Z*jdim + B.Z) * tdim
+					var s float64
+					for t := 0; t <= A.X+B.X; t++ {
+						ex := pr.e[0][exBase+t]
+						if ex == 0 {
+							continue
+						}
+						for u := 0; u <= A.Y+B.Y; u++ {
+							ey := pr.e[1][eyBase+u]
+							if ey == 0 {
+								continue
+							}
+							for v := 0; v <= A.Z+B.Z; v++ {
+								ez := pr.e[2][ezBase+v]
+								if ez != 0 {
+									s += ex * ey * ez * rtab[(t*td+u)*td+v]
+								}
+							}
+						}
+					}
+					out[ia*nb+ib] += pref * s
+				}
+			}
+		}
+	}
+}
+
+// oneElectron assembles a full matrix from per-shell-pair Cartesian blocks
+// produced by fill, spherical-transforming each block. Shell-pair rows are
+// distributed over GOMAXPROCS goroutines; each (si, sj) block writes a
+// disjoint region of the matrix, so no synchronization is needed beyond
+// the final join.
+func oneElectron(bs *basis.Set, fill func(*oe1Ctx, []float64)) *linalg.Matrix {
+	m := linalg.NewMatrix(bs.NumFuncs, bs.NumFuncs)
+	ns := len(bs.Shells)
+	nw := runtime.GOMAXPROCS(0)
+	if nw > ns {
+		nw = ns
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	rows := make(chan int, ns)
+	for si := 0; si < ns; si++ {
+		rows <- si
+	}
+	close(rows)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch [2][]float64
+			for si := range rows {
+				for sj := si; sj < ns; sj++ {
+					a, b := &bs.Shells[si], &bs.Shells[sj]
+					ctx := newOE1Ctx(a, b)
+					cart := make([]float64, a.NumCart()*b.NumCart())
+					fill(ctx, cart)
+					sph := sphTransform2(a.L, b.L, cart, &scratch)
+					na, nb := a.NumFuncs(), b.NumFuncs()
+					oi, oj := bs.Offsets[si], bs.Offsets[sj]
+					for i := 0; i < na; i++ {
+						for j := 0; j < nb; j++ {
+							v := sph[i*nb+j]
+							m.Set(oi+i, oj+j, v)
+							m.Set(oj+j, oi+i, v)
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+// sphTransform2 transforms a 2-index Cartesian block [na_c][nb_c] to
+// spherical [na_s][nb_s].
+func sphTransform2(la, lb int, cart []float64, scratch *[2][]float64) []float64 {
+	// Transform second index: view as (na_c) slabs of length nb_c.
+	cur := cart
+	ncB, nsB := NumCart(lb), NumSph(lb)
+	ncA, nsA := NumCart(la), NumSph(la)
+	if lb > 1 {
+		buf := &scratch[0]
+		if cap(*buf) < ncA*nsB {
+			*buf = make([]float64, ncA*nsB)
+		}
+		out := (*buf)[:ncA*nsB]
+		mat := sphMatrix(lb)
+		for i := 0; i < ncA; i++ {
+			for s := 0; s < nsB; s++ {
+				var v float64
+				for c := 0; c < ncB; c++ {
+					if f := mat[s][c]; f != 0 {
+						v += f * cur[i*ncB+c]
+					}
+				}
+				out[i*nsB+s] = v
+			}
+		}
+		cur = out
+	}
+	nb := nsB
+	if la > 1 {
+		buf := &scratch[1]
+		if cap(*buf) < nsA*nb {
+			*buf = make([]float64, nsA*nb)
+		}
+		out := (*buf)[:nsA*nb]
+		sphTransform1(la, cur, out, nb)
+		cur = out
+	}
+	return cur
+}

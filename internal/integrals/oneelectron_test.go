@@ -1,0 +1,167 @@
+package integrals
+
+import (
+	"math"
+	"testing"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+	"gtfock/internal/linalg"
+)
+
+func hAtom(t *testing.T, name string) *basis.Set {
+	t.Helper()
+	mol := &chem.Molecule{Name: "H", Atoms: []chem.Atom{{Z: chem.ZHydrogen}}}
+	bs, err := basis.Build(mol, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bs
+}
+
+// A normalized basis must give unit diagonal overlap.
+func TestOverlapDiagonalIsOne(t *testing.T) {
+	for _, name := range basis.Names() {
+		mol := chem.Methane()
+		bs, err := basis.Build(mol, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Overlap(bs)
+		for i := 0; i < s.Rows; i++ {
+			if math.Abs(s.At(i, i)-1) > 1e-10 {
+				t.Fatalf("%s: S[%d][%d] = %.12f, want 1", name, i, i, s.At(i, i))
+			}
+		}
+	}
+}
+
+func TestOverlapSymmetricPositiveDefinite(t *testing.T) {
+	mol := chem.Hydrogen2(0)
+	bs, _ := basis.Build(mol, "cc-pvdz")
+	s := Overlap(bs)
+	if s.SymmetryError() > 1e-12 {
+		t.Fatalf("S asymmetric by %g", s.SymmetryError())
+	}
+	eig := linalg.EigSym(s)
+	if eig.Values[0] <= 0 {
+		t.Fatalf("S not positive definite: lambda_min = %g", eig.Values[0])
+	}
+}
+
+// Known STO-3G hydrogen-atom values: <s|T|s> = 0.7600, <s|V|s> = -1.2266
+// (standard textbook/reference values for the STO-3G 1s function).
+func TestSTO3GHydrogenOneElectron(t *testing.T) {
+	bs := hAtom(t, "sto-3g")
+	tm := Kinetic(bs)
+	vm := NuclearAttraction(bs)
+	if math.Abs(tm.At(0, 0)-0.7600) > 2e-3 {
+		t.Fatalf("<s|T|s> = %.6f, want ~0.7600", tm.At(0, 0))
+	}
+	if math.Abs(vm.At(0, 0)-(-1.2266)) > 2e-3 {
+		t.Fatalf("<s|V|s> = %.6f, want ~-1.2266", vm.At(0, 0))
+	}
+}
+
+// Known STO-3G hydrogen (ss|ss) = 0.7746 (the standard H2 minimal-basis
+// two-electron integral at a single center).
+func TestSTO3GHydrogenERI(t *testing.T) {
+	bs := hAtom(t, "sto-3g")
+	e := NewEngine()
+	p := e.Pair(&bs.Shells[0], &bs.Shells[0])
+	v := e.ERI(p, p)[0]
+	if math.Abs(v-0.7746) > 2e-3 {
+		t.Fatalf("(ss|ss) = %.6f, want ~0.7746", v)
+	}
+}
+
+func TestKineticPositiveDiagonal(t *testing.T) {
+	mol := chem.Methane()
+	bs, _ := basis.Build(mol, "cc-pvdz")
+	tm := Kinetic(bs)
+	if tm.SymmetryError() > 1e-11 {
+		t.Fatalf("T asymmetric by %g", tm.SymmetryError())
+	}
+	for i := 0; i < tm.Rows; i++ {
+		if tm.At(i, i) <= 0 {
+			t.Fatalf("T[%d][%d] = %g <= 0", i, i, tm.At(i, i))
+		}
+	}
+}
+
+func TestNuclearAttractionNegativeDiagonal(t *testing.T) {
+	mol := chem.Methane()
+	bs, _ := basis.Build(mol, "cc-pvdz")
+	vm := NuclearAttraction(bs)
+	if vm.SymmetryError() > 1e-11 {
+		t.Fatalf("V asymmetric by %g", vm.SymmetryError())
+	}
+	for i := 0; i < vm.Rows; i++ {
+		if vm.At(i, i) >= 0 {
+			t.Fatalf("V[%d][%d] = %g >= 0", i, i, vm.At(i, i))
+		}
+	}
+}
+
+func TestCoreHamiltonianIsTPlusV(t *testing.T) {
+	mol := chem.Hydrogen2(0)
+	bs, _ := basis.Build(mol, "sto-3g")
+	h := CoreHamiltonian(bs)
+	want := Kinetic(bs)
+	want.AXPY(1, NuclearAttraction(bs))
+	if linalg.MaxAbsDiff(h, want) > 1e-14 {
+		t.Fatal("H_core != T + V")
+	}
+}
+
+// Overlap between two identical s shells decays as exp(-mu R^2): check the
+// H2 off-diagonal falls monotonically with bond length.
+func TestOverlapDecaysWithDistance(t *testing.T) {
+	prev := math.Inf(1)
+	for _, r := range []float64{0.5, 1.0, 2.0, 4.0} {
+		mol := chem.Hydrogen2(r)
+		bs, _ := basis.Build(mol, "sto-3g")
+		s := Overlap(bs)
+		off := s.At(0, 1)
+		if off <= 0 || off >= prev {
+			t.Fatalf("overlap at R=%g is %g, prev %g", r, off, prev)
+		}
+		prev = off
+	}
+}
+
+// One-electron integrals are translation invariant.
+func TestOneElectronTranslationInvariance(t *testing.T) {
+	mol := chem.Methane()
+	bs, _ := basis.Build(mol, "sto-3g")
+	s1, t1, v1 := Overlap(bs), Kinetic(bs), NuclearAttraction(bs)
+	mol2 := chem.Methane()
+	mol2.Translate(chem.Vec3{X: -4, Y: 2, Z: 9})
+	bs2, _ := basis.Build(mol2, "sto-3g")
+	s2, t2, v2 := Overlap(bs2), Kinetic(bs2), NuclearAttraction(bs2)
+	if linalg.MaxAbsDiff(s1, s2) > 1e-11 ||
+		linalg.MaxAbsDiff(t1, t2) > 1e-11 ||
+		linalg.MaxAbsDiff(v1, v2) > 1e-10 {
+		t.Fatal("one-electron integrals not translation invariant")
+	}
+}
+
+// Spherical d functions on one center must be orthonormal among themselves.
+func TestDShellOrthonormal(t *testing.T) {
+	mol := &chem.Molecule{Atoms: []chem.Atom{{Z: chem.ZCarbon}}}
+	bs, _ := basis.Build(mol, "cc-pvdz")
+	s := Overlap(bs)
+	// The d shell is the last 5 functions.
+	n := bs.NumFuncs
+	for i := n - 5; i < n; i++ {
+		for j := n - 5; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(s.At(i, j)-want) > 1e-10 {
+				t.Fatalf("d-shell overlap [%d][%d] = %g, want %g", i, j, s.At(i, j), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package integrals
+
+import (
+	"math"
+	"sync"
+)
+
+// poly is a homogeneous polynomial in x, y, z of fixed degree, stored as
+// coefficients over the Cartesian monomials of that degree (CartComponents
+// order).
+type poly struct {
+	l int
+	c []float64
+}
+
+func newPoly(l int) poly { return poly{l: l, c: make([]float64, NumCart(l))} }
+
+func monomialIndex(l int, m Cart) int {
+	for i, c := range CartComponents(l) {
+		if c == m {
+			return i
+		}
+	}
+	panic("integrals: monomial not found")
+}
+
+// mulMono returns p multiplied by the monomial x^dx y^dy z^dz.
+func (p poly) mulMono(dx, dy, dz int) poly {
+	q := newPoly(p.l + dx + dy + dz)
+	for i, v := range p.c {
+		if v == 0 {
+			continue
+		}
+		m := CartComponents(p.l)[i]
+		q.c[monomialIndex(q.l, Cart{m.X + dx, m.Y + dy, m.Z + dz})] += v
+	}
+	return q
+}
+
+// mulR2 returns p * (x^2 + y^2 + z^2).
+func (p poly) mulR2() poly {
+	q := newPoly(p.l + 2)
+	for _, d := range [][3]int{{2, 0, 0}, {0, 2, 0}, {0, 0, 2}} {
+		t := p.mulMono(d[0], d[1], d[2])
+		for i, v := range t.c {
+			q.c[i] += v
+		}
+	}
+	return q
+}
+
+// axpy adds a*o into p (same degree).
+func (p poly) axpy(a float64, o poly) {
+	for i, v := range o.c {
+		p.c[i] += a * v
+	}
+}
+
+func (p poly) scale(a float64) {
+	for i := range p.c {
+		p.c[i] *= a
+	}
+}
+
+// selfOverlapRel returns <p|p> against a Gaussian weight in units where
+// the moment integral of x^{2a} y^{2b} z^{2c} is (2a-1)!!(2b-1)!!(2c-1)!!
+// (the alpha-dependent common factor cancels for homogeneous polynomials
+// of equal degree).
+func (p poly) selfOverlapRel() float64 {
+	var s float64
+	comps := CartComponents(p.l)
+	for i, a := range p.c {
+		if a == 0 {
+			continue
+		}
+		for j, b := range p.c {
+			if b == 0 {
+				continue
+			}
+			mi, mj := comps[i], comps[j]
+			px, py, pz := mi.X+mj.X, mi.Y+mj.Y, mi.Z+mj.Z
+			if px%2 == 1 || py%2 == 1 || pz%2 == 1 {
+				continue
+			}
+			s += a * b * oddFactorial(px-1) * oddFactorial(py-1) * oddFactorial(pz-1)
+		}
+	}
+	return s
+}
+
+// oddFactorial returns n!! for odd (or -1) n.
+func oddFactorial(n int) float64 {
+	r := 1.0
+	for ; n > 1; n -= 2 {
+		r *= float64(n)
+	}
+	return r
+}
+
+// solidHarmonics returns the 2l+1 real solid harmonic polynomials of
+// degree l in the order m = -l..l (sine components for m<0, cosine for
+// m>=0), built by the standard recursions:
+//
+//	C_{l+1,l+1} = x C_{l,l} - y S_{l,l}
+//	S_{l+1,l+1} = x S_{l,l} + y C_{l,l}
+//	(l-m+1) R_{l+1,m} = (2l+1) z R_{l,m} - (l+m) r^2 R_{l-1,m}
+//
+// Each polynomial is rescaled so its self-overlap equals that of the
+// reference Cartesian component used by the basis-set normalization
+// (x^ceil(l/2) y^floor(l/2)), making contracted spherical functions
+// unit-norm under basis.Build's convention.
+func solidHarmonics(l int) []poly {
+	// Build C_{k,m} and S_{k,m} for k = 0..l.
+	cs := map[[2]int]poly{} // {k, m} -> cosine polys, m >= 0
+	ss := map[[2]int]poly{} // {k, m} -> sine polys, m >= 1
+	c00 := newPoly(0)
+	c00.c[0] = 1
+	cs[[2]int{0, 0}] = c00
+	for k := 0; k < l; k++ {
+		// Diagonal raise: m = k -> k+1.
+		ck := cs[[2]int{k, k}]
+		cNew := ck.mulMono(1, 0, 0)
+		var sNew poly
+		if k >= 1 {
+			sk := ss[[2]int{k, k}]
+			cNew.axpy(-1, sk.mulMono(0, 1, 0))
+			sNew = sk.mulMono(1, 0, 0)
+			sNew.axpy(1, ck.mulMono(0, 1, 0))
+		} else {
+			sNew = ck.mulMono(0, 1, 0)
+		}
+		cs[[2]int{k + 1, k + 1}] = cNew
+		ss[[2]int{k + 1, k + 1}] = sNew
+
+		// Vertical raise for m = 0..k: R_{k+1,m}.
+		for m := 0; m <= k; m++ {
+			raise := func(tab map[[2]int]poly, minM int) {
+				if m < minM {
+					return
+				}
+				r := tab[[2]int{k, m}].mulMono(0, 0, 1)
+				r.scale(float64(2*k+1) / float64(k-m+1))
+				if k >= 1 && m <= k-1 {
+					prev := tab[[2]int{k - 1, m}].mulR2()
+					r.axpy(-float64(k+m)/float64(k-m+1), prev)
+				}
+				tab[[2]int{k + 1, m}] = r
+			}
+			raise(cs, 0)
+			raise(ss, 1)
+		}
+	}
+
+	// Assemble in m = -l..l order and normalize.
+	target := oddFactorial(2*((l+1)/2)-1) * oddFactorial(2*(l/2)-1)
+	out := make([]poly, 0, 2*l+1)
+	for m := -l; m <= l; m++ {
+		var p poly
+		if m < 0 {
+			p = ss[[2]int{l, -m}]
+		} else {
+			p = cs[[2]int{l, m}]
+		}
+		s := p.selfOverlapRel()
+		if s <= 0 {
+			panic("integrals: degenerate solid harmonic")
+		}
+		p.scale(math.Sqrt(target / s))
+		out = append(out, p)
+	}
+	return out
+}
+
+var (
+	sphMatrixMu    sync.Mutex
+	sphMatrixCache = map[int][][]float64{}
+)
+
+// generatedSphMatrix returns the (2l+1) x NumCart(l) Cartesian-to-
+// spherical matrix generated from real solid harmonics, cached per l.
+func generatedSphMatrix(l int) [][]float64 {
+	sphMatrixMu.Lock()
+	defer sphMatrixMu.Unlock()
+	if m, ok := sphMatrixCache[l]; ok {
+		return m
+	}
+	harms := solidHarmonics(l)
+	m := make([][]float64, len(harms))
+	for i, h := range harms {
+		m[i] = h.c
+	}
+	sphMatrixCache[l] = m
+	return m
+}

@@ -1,0 +1,60 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveLinear solves the square system a*x = b by Gaussian elimination
+// with partial pivoting. a and b are not modified.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveLinear shape mismatch (%dx%d, b %d)",
+			a.Rows, a.Cols, len(b))
+	}
+	// Working copies.
+	m := a.Clone()
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best = v
+				piv = r
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("linalg: singular system at column %d", col)
+		}
+		if piv != col {
+			for c := 0; c < n; c++ {
+				m.Data[col*n+c], m.Data[piv*n+c] = m.Data[piv*n+c], m.Data[col*n+c]
+			}
+			x[col], x[piv] = x[piv], x[col]
+		}
+		// Eliminate below.
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m.Data[r*n+c] -= f * m.Data[col*n+c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for c := r + 1; c < n; c++ {
+			s -= m.At(r, c) * x[c]
+		}
+		x[r] = s / m.At(r, r)
+	}
+	return x, nil
+}

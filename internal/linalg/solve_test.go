@@ -1,0 +1,68 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveLinearKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLinear(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 3, 8, 20} {
+		a := randMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)) // diagonally dominant: well-conditioned
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ax := MatVec(a, x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-10 {
+				t.Fatalf("n=%d: residual %g at %d", n, ax[i]-b[i], i)
+			}
+		}
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero leading pivot forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestSolveLinearShapeError(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}

@@ -1,0 +1,131 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The tridiagonal solver must agree with the independent Jacobi method on
+// eigenvalues, and both must reconstruct the input.
+func TestTridiagMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 5, 9, 17, 40, 100} {
+		a := randSym(rng, n)
+		tri := EigSymTridiag(a)
+		jac := EigSymJacobi(a)
+		scale := 1 + a.MaxAbs()
+		for i := 0; i < n; i++ {
+			if math.Abs(tri.Values[i]-jac.Values[i]) > 1e-10*scale {
+				t.Fatalf("n=%d: eigenvalue %d: tridiag %.14g vs jacobi %.14g",
+					n, i, tri.Values[i], jac.Values[i])
+			}
+		}
+		// Reconstruction and orthonormality.
+		lam := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			lam.Set(i, i, tri.Values[i])
+		}
+		recon := MatMul(MatMul(tri.Vectors, lam), tri.Vectors.T())
+		if d := MaxAbsDiff(a, recon); d > 1e-9*scale {
+			t.Fatalf("n=%d: reconstruction error %g", n, d)
+		}
+		vtv := MatMul(tri.Vectors.T(), tri.Vectors)
+		if d := MaxAbsDiff(vtv, Identity(n)); d > 1e-10 {
+			t.Fatalf("n=%d: vectors not orthonormal (%g)", n, d)
+		}
+	}
+}
+
+func TestTridiagDegenerateEigenvalues(t *testing.T) {
+	// Matrix with repeated eigenvalues: I + rank-1.
+	n := 12
+	a := Identity(n)
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 1 / math.Sqrt(float64(n))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Add(i, j, 3*u[i]*u[j])
+		}
+	}
+	eig := EigSymTridiag(a)
+	// n-1 eigenvalues at 1, one at 4.
+	for i := 0; i < n-1; i++ {
+		if math.Abs(eig.Values[i]-1) > 1e-10 {
+			t.Fatalf("eigenvalue %d = %v, want 1", i, eig.Values[i])
+		}
+	}
+	if math.Abs(eig.Values[n-1]-4) > 1e-10 {
+		t.Fatalf("top eigenvalue %v, want 4", eig.Values[n-1])
+	}
+}
+
+func TestTridiagAlreadyDiagonal(t *testing.T) {
+	n := 10
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, float64(n-i))
+	}
+	eig := EigSymTridiag(a)
+	for i := 0; i < n; i++ {
+		if math.Abs(eig.Values[i]-float64(i+1)) > 1e-12 {
+			t.Fatalf("diag eigenvalues wrong: %v", eig.Values)
+		}
+	}
+}
+
+func TestTridiagZeroAndEmpty(t *testing.T) {
+	eig := EigSymTridiag(NewMatrix(0, 0))
+	if len(eig.Values) != 0 {
+		t.Fatal("empty matrix")
+	}
+	z := NewMatrix(5, 5)
+	eig = EigSymTridiag(z)
+	for _, v := range eig.Values {
+		if v != 0 {
+			t.Fatal("zero matrix eigenvalues")
+		}
+	}
+}
+
+// Graded matrices (huge dynamic range) are the classic tqli stress test.
+func TestTridiagGradedMatrix(t *testing.T) {
+	n := 20
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, math.Pow(10, float64(i-10)))
+		if i > 0 {
+			v := math.Pow(10, float64(i-11)) // coupling on the small scale
+			a.Set(i, i-1, v)
+			a.Set(i-1, i, v)
+		}
+	}
+	tri := EigSymTridiag(a)
+	jac := EigSymJacobi(a)
+	for i := 0; i < n; i++ {
+		denom := math.Max(math.Abs(jac.Values[i]), 1e-12)
+		if math.Abs(tri.Values[i]-jac.Values[i])/math.Max(denom, 1e-6) > 1e-6 {
+			t.Fatalf("graded eigenvalue %d: %g vs %g", i, tri.Values[i], jac.Values[i])
+		}
+	}
+}
+
+func BenchmarkEigSymTridiag200(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	a := randSym(rng, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EigSymTridiag(a)
+	}
+}
+
+func BenchmarkEigSymJacobi200(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	a := randSym(rng, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EigSymJacobi(a)
+	}
+}

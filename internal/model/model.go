@@ -1,0 +1,106 @@
+// Package model implements the performance model of the paper's
+// Sec. III-G, equations (6)-(12): average compute time, communication
+// volumes v1/v2, communication time, the overhead ratio L(p) = T_comm /
+// T_comp, efficiency, the isoefficiency relation n_shells = O(sqrt(p)),
+// and the critical integral-speed analysis ("how much faster must ERI
+// computation get before communication dominates").
+//
+// The volumes follow the paper's expressions; time conversions use bytes
+// (8 per element) against the bandwidth, which differs from the printed
+// eq. (11) only by a constant factor the paper leaves implicit.
+package model
+
+import (
+	"math"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/dist"
+	"gtfock/internal/screen"
+)
+
+// Params are the model inputs of Sec. III-G.
+type Params struct {
+	TInt    float64 // average time per ERI (s)
+	A       float64 // average basis functions per shell
+	B       float64 // average size of Phi(M)
+	Q       float64 // average |Phi(M) intersect Phi(M+1)|
+	S       float64 // average number of steal victims per process
+	Beta    float64 // network bandwidth (bytes/s)
+	NShells int
+}
+
+// FromSystem extracts the model parameters from a screened basis set;
+// s (avg victims) comes from a simulation or measurement.
+func FromSystem(bs *basis.Set, scr *screen.Screening, s float64, cfg dist.Config) Params {
+	return Params{
+		TInt:    cfg.TIntGTFock,
+		A:       bs.AvgFuncsPerShell(),
+		B:       scr.AvgPhi(),
+		Q:       scr.AvgPhiOverlap(),
+		S:       s,
+		Beta:    cfg.BandwidthBps,
+		NShells: bs.NumShells(),
+	}
+}
+
+// TComp returns eq. (6): t_int B^2 A^2 n^2 / (8 p).
+func (m Params) TComp(p int) float64 {
+	n := float64(m.NShells)
+	return m.TInt * m.B * m.B * m.A * m.A * n * n / (8 * float64(p))
+}
+
+// V1 returns eq. (7) in elements: 4 A^2 B n^2 / p.
+func (m Params) V1(p int) float64 {
+	n := float64(m.NShells)
+	return 4 * m.A * m.A * m.B * n * n / float64(p)
+}
+
+// V2 returns eq. (8) in elements: 2 ((n/sqrt(p))(B-q) + q)^2 A^2.
+func (m Params) V2(p int) float64 {
+	n := float64(m.NShells)
+	u := n/math.Sqrt(float64(p))*(m.B-m.Q) + m.Q
+	return 2 * u * u * m.A * m.A
+}
+
+// V returns eq. (9): (1+s)(v1+v2) elements.
+func (m Params) V(p int) float64 { return (1 + m.S) * (m.V1(p) + m.V2(p)) }
+
+// TComm returns eq. (10) with byte units: 8*V(p)/beta seconds.
+func (m Params) TComm(p int) float64 { return 8 * m.V(p) / m.Beta }
+
+// L returns eq. (11): the overhead ratio T_comm(p)/T_comp(p).
+func (m Params) L(p int) float64 { return m.TComm(p) / m.TComp(p) }
+
+// Efficiency returns E(p) = 1/(1+L(p)), from E = T_comp(1)/(p T(p)) with
+// T(p) = T_comp(p) + T_comm(p).
+func (m Params) Efficiency(p int) float64 { return 1 / (1 + m.L(p)) }
+
+// LMaxParallelism returns eq. (12): L at the maximum available
+// parallelism p = n_shells^2.
+func (m Params) LMaxParallelism() float64 {
+	return m.L(m.NShells * m.NShells)
+}
+
+// CriticalTIntSpeedup returns how many times faster ERI computation must
+// become before communication starts to dominate at maximum parallelism
+// (L reaches 1): the paper's "approximately 50 times faster" analysis for
+// C96H24. L scales as 1/t_int, so the factor is simply 1/L(n^2).
+func (m Params) CriticalTIntSpeedup() float64 {
+	l := m.LMaxParallelism()
+	if l <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / l
+}
+
+// IsoefficiencyShells returns the number of shells needed to keep the
+// overhead ratio at the level the system currently has with refShells
+// shells on refProcs processes, when scaling to p processes — the
+// n_shells = O(sqrt(p)) isoefficiency relation. It solves
+// L(n, p) = L(ref) for n with fixed A, B, q, s.
+func (m Params) IsoefficiencyShells(refProcs, p int) int {
+	// L depends on n and p only through sqrt(p)/n (plus lower-order
+	// terms); match sqrt(p)/n exactly.
+	ratio := math.Sqrt(float64(refProcs)) / float64(m.NShells)
+	return int(math.Round(math.Sqrt(float64(p)) / ratio))
+}

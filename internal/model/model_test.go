@@ -1,0 +1,131 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+	"gtfock/internal/dist"
+	"gtfock/internal/screen"
+)
+
+func paperishParams() Params {
+	// Roughly C96H24-like values with the paper's machine constants.
+	return Params{
+		TInt:    4.76e-6,
+		A:       2.26,
+		B:       300,
+		Q:       290,
+		S:       3.8,
+		Beta:    5e9,
+		NShells: 648,
+	}
+}
+
+func TestTCompScalesInversely(t *testing.T) {
+	m := paperishParams()
+	if r := m.TComp(1) / m.TComp(16); math.Abs(r-16) > 1e-9 {
+		t.Fatalf("TComp scaling ratio %g, want 16", r)
+	}
+	if m.TComp(1) <= 0 {
+		t.Fatal("non-positive compute time")
+	}
+}
+
+func TestVolumesPositiveAndV1Scales(t *testing.T) {
+	m := paperishParams()
+	for _, p := range []int{1, 9, 144, 324} {
+		if m.V1(p) <= 0 || m.V2(p) <= 0 || m.V(p) <= m.V1(p) {
+			t.Fatalf("volume sanity failed at p=%d", p)
+		}
+	}
+	if r := m.V1(4) / m.V1(16); math.Abs(r-4) > 1e-9 {
+		t.Fatal("V1 does not scale as 1/p")
+	}
+}
+
+// Efficiency is constant when sqrt(p)/n is constant: the isoefficiency
+// relation n = O(sqrt(p)).
+func TestIsoefficiency(t *testing.T) {
+	m := paperishParams()
+	l1 := m.L(64)
+	m2 := m
+	m2.NShells = m.NShells * 3
+	l2 := m2.L(64 * 9)
+	// v2's q-term breaks exact equality; allow 5%.
+	if math.Abs(l1-l2)/l1 > 0.05 {
+		t.Fatalf("L not preserved under isoefficient scaling: %g vs %g", l1, l2)
+	}
+	if n := m.IsoefficiencyShells(64, 64*9); n != m.NShells*3 {
+		t.Fatalf("IsoefficiencyShells = %d, want %d", n, m.NShells*3)
+	}
+}
+
+func TestLIncreasesWithP(t *testing.T) {
+	m := paperishParams()
+	prev := 0.0
+	for _, p := range []int{1, 4, 16, 64, 256} {
+		l := m.L(p)
+		if l <= prev {
+			t.Fatalf("L not increasing: L(%d)=%g after %g", p, l, prev)
+		}
+		prev = l
+		if e := m.Efficiency(p); e <= 0 || e > 1 {
+			t.Fatalf("efficiency %g out of range", e)
+		}
+	}
+}
+
+// The paper's headline claim: for a C96H24-like system, computation still
+// dominates at maximum parallelism (L << 1), and ERI computation would
+// need to be tens of times faster for communication to take over.
+func TestCriticalSpeedupClaim(t *testing.T) {
+	m := paperishParams()
+	l := m.LMaxParallelism()
+	if l >= 1 {
+		t.Fatalf("communication already dominates: L(n^2) = %g", l)
+	}
+	f := m.CriticalTIntSpeedup()
+	if f < 5 || f > 500 {
+		t.Fatalf("critical speedup %g outside plausible range of the ~50x claim", f)
+	}
+	// L scales inversely with t_int.
+	m2 := m
+	m2.TInt = m.TInt / f
+	if math.Abs(m2.LMaxParallelism()-1) > 1e-9 {
+		t.Fatalf("after speedup, L = %g, want 1", m2.LMaxParallelism())
+	}
+}
+
+func TestFromSystem(t *testing.T) {
+	mol := chem.Alkane(8)
+	bs, err := basis.Build(mol, "cc-pvdz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := screen.Compute(bs, 1e-10)
+	m := FromSystem(bs, scr, 2.5, dist.Lonestar())
+	if m.NShells != bs.NumShells() || m.S != 2.5 {
+		t.Fatal("params not propagated")
+	}
+	if m.A <= 1 || m.B <= 1 || m.Q < 0 || m.Q > m.B {
+		t.Fatalf("implausible extracted params %+v", m)
+	}
+	if m.TComp(12) <= 0 || m.L(12) <= 0 {
+		t.Fatal("model not evaluable")
+	}
+}
+
+// Denser systems (larger B) push the communication crossover further out:
+// the 2/B term of eq. (12).
+func TestDenserSystemsComputeDominated(t *testing.T) {
+	sparse := paperishParams()
+	sparse.B, sparse.Q = 50, 45
+	dense := paperishParams()
+	dense.B, dense.Q = 500, 480
+	if dense.LMaxParallelism() >= sparse.LMaxParallelism() {
+		t.Fatalf("denser system should have lower L(n^2): %g vs %g",
+			dense.LMaxParallelism(), sparse.LMaxParallelism())
+	}
+}

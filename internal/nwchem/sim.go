@@ -1,0 +1,129 @@
+package nwchem
+
+import (
+	"fmt"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/dist"
+	"gtfock/internal/screen"
+)
+
+// Simulate runs the baseline algorithm through the discrete-event
+// simulator with one process per core (NWChem runs one MPI rank per core,
+// Sec. IV-A). Every task costs one serialized access to the centralized
+// counter; surviving atom quartets cost block fetches/accumulates under
+// the alpha-beta model and compute time t_int_nw * w(I,J) * w(K,L).
+//
+// The per-ERI time is cfg.TIntGTFock * cfg.TIntNWChemFactor: NWChem's
+// integral code is faster per ERI thanks to primitive pre-screening
+// (Table V), especially on alkanes.
+func Simulate(bs *basis.Set, scr *screen.Screening, cfg dist.Config, cores int) (*dist.RunStats, error) {
+	ad, err := NewAtomData(bs, scr)
+	if err != nil {
+		return nil, err
+	}
+	nprocs := cores
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("nwchem: non-positive core count %d", cores)
+	}
+	tint := cfg.TIntGTFock * cfg.TIntNWChemFactor * scr.WorkScale
+	stats := dist.NewRunStats(nprocs)
+	queue := &dist.CentralQueue{ServiceSec: cfg.QueueServiceSec, LatencySec: cfg.LatencySec}
+	stream := NewTaskStream(ad)
+
+	// Request heap: each entry is "process p asks the counter for its next
+	// task at time At".
+	var h dist.EventHeap
+	for p := 0; p < nprocs; p++ {
+		dist.PushEvent(&h, dist.Event{At: 0, Proc: p})
+	}
+
+	na := ad.N
+	for h.Len() > 0 {
+		e := dist.PopEvent(&h)
+		p := e.Proc
+		st := &stats.Per[p]
+		granted := queue.Access(e.At)
+		st.QueueOps++
+		st.CommTime += granted - e.At
+
+		td, ok := stream.Next()
+		if !ok {
+			// Queue exhausted: the process learns there is no more work
+			// and leaves.
+			st.TotalTime = granted
+			continue
+		}
+		st.TasksRun++
+
+		// Surviving L values of the 5-quartet block.
+		lmax := td.Lo + 4
+		if lmax > td.Lhi {
+			lmax = td.Lhi
+		}
+		var calls, bytes int64
+		var work float64
+		var blocks [18][2]int // at most 3 + 3*5 distinct atom blocks
+		nblocks := 0
+		addBlock := func(i, j int) {
+			for b := 0; b < nblocks; b++ {
+				if blocks[b][0] == i && blocks[b][1] == j {
+					return
+				}
+			}
+			blocks[nblocks] = [2]int{i, j}
+			nblocks++
+			calls++
+			bytes += 8 * int64(ad.FuncLen[i]) * int64(ad.FuncLen[j])
+		}
+		wIJ := ad.W[td.I*na+td.J]
+		for l := td.Lo; l <= lmax; l++ {
+			if !ad.Sig(td.K, l) {
+				continue
+			}
+			addBlock(td.I, td.J)
+			addBlock(td.I, td.K)
+			addBlock(td.J, td.K)
+			addBlock(td.K, l)
+			addBlock(td.J, l)
+			addBlock(td.I, l)
+			// Coincidence scaling makes the canonical-quartet sum equal
+			// the ordered-quartet sum / 8 (same total as GTFock's model).
+			scale := 1.0
+			if td.I == td.J {
+				scale *= 0.5
+			}
+			if td.K == l {
+				scale *= 0.5
+			}
+			if td.I == td.K && td.J == l {
+				scale *= 0.5
+			}
+			work += tint * scale * wIJ * ad.W[td.K*na+l]
+		}
+		// D fetch + F accumulate over the same blocks.
+		calls *= 2
+		bytes *= 2
+		st.Calls += calls
+		st.Bytes += bytes
+		comm := cfg.CommTime(calls, bytes)
+		st.CommTime += comm
+		st.ComputeTime += work
+		dist.PushEvent(&h, dist.Event{At: granted + comm + work, Proc: p})
+	}
+
+	return stats, nil
+}
+
+// TotalTasks returns the number of tasks Algorithm 2 enumerates for this
+// system (the id space of the centralized scheduler).
+func TotalTasks(ad *AtomData) int64 {
+	stream := NewTaskStream(ad)
+	var n int64
+	for {
+		if _, ok := stream.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,79 @@
+// Package props computes molecular properties from a converged SCF
+// density: the dipole moment and Mulliken population analysis. These are
+// the standard first consumers of the Fock/density machinery and serve as
+// end-to-end checks that the density is physically sensible.
+package props
+
+import (
+	"fmt"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+	"gtfock/internal/integrals"
+	"gtfock/internal/linalg"
+)
+
+// Dipole returns the total dipole moment (atomic units, e*bohr) of a
+// molecule with physical density d (D = 2 C_occ C_occ^T for closed
+// shells): mu = sum_A Z_A (R_A - o) - Tr(D M) with M the dipole integrals
+// about origin o. For a neutral molecule the result is independent of o.
+func Dipole(bs *basis.Set, d *linalg.Matrix, origin chem.Vec3) chem.Vec3 {
+	mol := bs.Mol
+	m := integrals.Dipole(bs, origin)
+	var mu chem.Vec3
+	for _, a := range mol.Atoms {
+		mu = mu.Add(a.Pos.Sub(origin).Scale(float64(a.Z)))
+	}
+	mu.X -= linalg.TraceMul(d, m[0])
+	mu.Y -= linalg.TraceMul(d, m[1])
+	mu.Z -= linalg.TraceMul(d, m[2])
+	return mu
+}
+
+// DebyePerAU converts a dipole moment from atomic units to Debye.
+const DebyePerAU = 2.541746473
+
+// Mulliken returns per-atom Mulliken charges q_A = Z_A - sum_{i in A}
+// (D S)_{ii}, given the physical density d and overlap s. Charges sum to
+// the total molecular charge (zero for the neutral molecules here).
+func Mulliken(bs *basis.Set, d, s *linalg.Matrix) ([]float64, error) {
+	mol := bs.Mol
+	n := bs.NumFuncs
+	if d.Rows != n || s.Rows != n {
+		return nil, fmt.Errorf("props: matrix size mismatch with basis")
+	}
+	// Diagonal of D*S.
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var v float64
+		for k := 0; k < n; k++ {
+			v += d.At(i, k) * s.At(k, i)
+		}
+		diag[i] = v
+	}
+	charges := make([]float64, len(mol.Atoms))
+	for a := range mol.Atoms {
+		charges[a] = float64(mol.Atoms[a].Z)
+	}
+	for si, sh := range bs.Shells {
+		off := bs.Offsets[si]
+		for k := 0; k < sh.NumFuncs(); k++ {
+			charges[sh.Atom] -= diag[off+k]
+		}
+	}
+	return charges, nil
+}
+
+// GrossPopulations returns the per-atom electron counts N_A =
+// sum_{i in A} (D S)_{ii} (the complement of the Mulliken charges).
+func GrossPopulations(bs *basis.Set, d, s *linalg.Matrix) ([]float64, error) {
+	charges, err := Mulliken(bs, d, s)
+	if err != nil {
+		return nil, err
+	}
+	pops := make([]float64, len(charges))
+	for a, q := range charges {
+		pops[a] = float64(bs.Mol.Atoms[a].Z) - q
+	}
+	return pops, nil
+}

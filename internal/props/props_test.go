@@ -1,0 +1,133 @@
+package props
+
+import (
+	"math"
+	"testing"
+
+	"gtfock/internal/chem"
+	"gtfock/internal/integrals"
+	"gtfock/internal/scf"
+)
+
+func converge(t *testing.T, mol *chem.Molecule, basisName string) *scf.Result {
+	t.Helper()
+	res, err := scf.RunHF(mol, scf.Options{BasisName: basisName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("SCF did not converge")
+	}
+	return res
+}
+
+// Symmetric molecules have zero dipole.
+func TestDipoleVanishesBySymmetry(t *testing.T) {
+	for _, mol := range []*chem.Molecule{chem.Hydrogen2(0), chem.Methane()} {
+		res := converge(t, mol, "sto-3g")
+		mu := Dipole(res.Basis, res.D, chem.Vec3{})
+		if mu.Norm() > 1e-5 {
+			t.Fatalf("%s dipole = %v, want 0", mol.Formula(), mu)
+		}
+	}
+}
+
+// For a neutral molecule the total dipole is origin-independent.
+func TestDipoleOriginIndependent(t *testing.T) {
+	// Distorted methane: one stretched C-H bond gives a nonzero dipole.
+	mol := chem.Methane()
+	mol.Atoms[1].Pos = mol.Atoms[1].Pos.Scale(1.3)
+	res := converge(t, mol, "sto-3g")
+	mu1 := Dipole(res.Basis, res.D, chem.Vec3{})
+	mu2 := Dipole(res.Basis, res.D, chem.Vec3{X: 3, Y: -1, Z: 2})
+	if mu1.Sub(mu2).Norm() > 1e-7 {
+		t.Fatalf("dipole origin-dependent: %v vs %v", mu1, mu2)
+	}
+	if mu1.Norm() < 1e-3 {
+		t.Fatal("distorted methane should have a dipole")
+	}
+	// The dipole must point along the distortion axis (the stretched bond).
+	axis := mol.Atoms[1].Pos.Unit()
+	cos := mu1.Unit().Dot(axis)
+	if math.Abs(math.Abs(cos)-1) > 1e-6 {
+		t.Fatalf("dipole not along stretched bond: cos = %v", cos)
+	}
+}
+
+// Mulliken charges must sum to the molecular charge (0) and show C
+// negative / H positive in methane (carbon is more electronegative).
+func TestMullikenMethane(t *testing.T) {
+	mol := chem.Methane()
+	res := converge(t, mol, "sto-3g")
+	s := integrals.Overlap(res.Basis)
+	q, err := Mulliken(res.Basis, res.D, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range q {
+		total += v
+	}
+	if math.Abs(total) > 1e-8 {
+		t.Fatalf("charges sum to %g, want 0", total)
+	}
+	if q[0] >= 0 {
+		t.Fatalf("carbon charge %g, want negative", q[0])
+	}
+	for i := 1; i < 5; i++ {
+		if q[i] <= 0 {
+			t.Fatalf("hydrogen %d charge %g, want positive", i, q[i])
+		}
+		if math.Abs(q[i]-q[1]) > 1e-8 {
+			t.Fatal("equivalent hydrogens have different charges")
+		}
+	}
+}
+
+// Gross populations complement the charges and sum to the electron count.
+func TestGrossPopulations(t *testing.T) {
+	mol := chem.Hydrogen2(0)
+	res := converge(t, mol, "cc-pvdz")
+	s := integrals.Overlap(res.Basis)
+	pops, err := GrossPopulations(res.Basis, res.D, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range pops {
+		total += p
+	}
+	if math.Abs(total-2) > 1e-8 {
+		t.Fatalf("populations sum to %g, want 2", total)
+	}
+	if math.Abs(pops[0]-pops[1]) > 1e-8 {
+		t.Fatal("H2 atoms must have equal populations")
+	}
+}
+
+// Homonuclear H2 in a balanced basis: each atom holds one electron.
+func TestMullikenH2Split(t *testing.T) {
+	mol := chem.Hydrogen2(0)
+	res := converge(t, mol, "sto-3g")
+	s := integrals.Overlap(res.Basis)
+	q, err := Mulliken(res.Basis, res.D, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range q {
+		if math.Abs(v) > 1e-8 {
+			t.Fatalf("H2 charge %g, want 0", v)
+		}
+	}
+}
+
+func TestMullikenShapeError(t *testing.T) {
+	mol := chem.Hydrogen2(0)
+	res := converge(t, mol, "sto-3g")
+	s := integrals.Overlap(res.Basis)
+	bad := s.Clone()
+	bad.Rows = 1 // deliberately inconsistent
+	if _, err := Mulliken(res.Basis, bad, s); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}

@@ -1,0 +1,161 @@
+package purify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gtfock/internal/dist"
+	"gtfock/internal/linalg"
+)
+
+func randSymmetric(rng *rand.Rand, n int) *linalg.Matrix {
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestInitialGuessProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 5, 12} {
+		h := randSymmetric(rng, n)
+		for nocc := 1; nocc < n; nocc++ {
+			rho := InitialGuess(h, nocc)
+			if math.Abs(rho.Trace()-float64(nocc)) > 1e-10 {
+				t.Fatalf("n=%d nocc=%d: trace %g", n, nocc, rho.Trace())
+			}
+			eig := linalg.EigSym(rho)
+			if eig.Values[0] < -1e-10 || eig.Values[n-1] > 1+1e-10 {
+				t.Fatalf("spectrum [%g, %g] outside [0,1]",
+					eig.Values[0], eig.Values[n-1])
+			}
+		}
+	}
+}
+
+// Purification must converge to the spectral projector onto the nocc
+// lowest eigenvectors of h.
+func TestCanonicalMatchesEigenprojector(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{4, 9, 16} {
+		h := randSymmetric(rng, n)
+		nocc := n / 2
+		rho, iters, err := Canonical(h, nocc, 1e-12, 300, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if iters <= 1 {
+			t.Fatalf("suspiciously fast: %d iterations", iters)
+		}
+		// Reference projector from the eigensolver.
+		eig := linalg.EigSym(h)
+		ref := linalg.NewMatrix(n, n)
+		for k := 0; k < nocc; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					ref.Add(i, j, eig.Vectors.At(i, k)*eig.Vectors.At(j, k))
+				}
+			}
+		}
+		if d := linalg.MaxAbsDiff(rho, ref); d > 1e-6 {
+			t.Fatalf("n=%d: |rho - projector| = %g", n, d)
+		}
+		// Idempotency and trace.
+		rho2 := linalg.MatMul(rho, rho)
+		if d := linalg.MaxAbsDiff(rho, rho2); d > 1e-6 {
+			t.Fatalf("not idempotent: %g", d)
+		}
+		if math.Abs(rho.Trace()-float64(nocc)) > 1e-8 {
+			t.Fatalf("trace drifted: %g", rho.Trace())
+		}
+	}
+}
+
+// Degenerate gap case must still converge when the gap is clean.
+func TestCanonicalDiagonal(t *testing.T) {
+	h := linalg.NewMatrix(4, 4)
+	for i, v := range []float64{-2, -1, 1, 2} {
+		h.Set(i, i, v)
+	}
+	rho, _, err := Canonical(h, 2, 1e-12, 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linalg.NewMatrix(4, 4)
+	want.Set(0, 0, 1)
+	want.Set(1, 1, 1)
+	if linalg.MaxAbsDiff(rho, want) > 1e-8 {
+		t.Fatalf("rho = %v", rho)
+	}
+}
+
+func TestCanonicalRejectsBadNocc(t *testing.T) {
+	h := linalg.NewMatrix(3, 3)
+	if _, _, err := Canonical(h, 5, 0, 0, nil); err == nil {
+		t.Fatal("expected error for nocc > n")
+	}
+}
+
+func TestSUMMAMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][3]int{{6, 6, 6}, {10, 7, 9}, {17, 17, 17}, {5, 13, 4}} {
+		a := linalg.NewMatrix(dims[0], dims[1])
+		b := linalg.NewMatrix(dims[1], dims[2])
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		want := linalg.MatMul(a, b)
+		for _, grid := range [][2]int{{1, 1}, {2, 2}, {3, 2}, {4, 4}} {
+			mul := NewSUMMAMul(grid[0], grid[1])
+			got := mul.MatMul(a, b)
+			if d := linalg.MaxAbsDiff(want, got); d > 1e-11 {
+				t.Fatalf("dims %v grid %v: diff %g", dims, grid, d)
+			}
+			if mul.Stats.CallsAvg() <= 0 {
+				t.Fatal("SUMMA recorded no communication")
+			}
+		}
+	}
+}
+
+func TestCanonicalWithSUMMA(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := randSymmetric(rng, 12)
+	serial, _, err := Canonical(h, 5, 1e-12, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul := NewSUMMAMul(2, 2)
+	distRho, iters, err := Canonical(h, 5, 1e-12, 300, mul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.MaxAbsDiff(serial, distRho); d > 1e-9 {
+		t.Fatalf("SUMMA purification differs by %g", d)
+	}
+	if mul.Products != 2*iters {
+		t.Fatalf("expected 2 products/iteration, got %d for %d iters",
+			mul.Products, iters)
+	}
+}
+
+func TestSimulatedTimeScales(t *testing.T) {
+	cfg := dist.Lonestar()
+	t1 := SimulatedTime(2250, 1, 90, cfg)
+	t9 := SimulatedTime(2250, 9, 90, cfg)
+	if t9 >= t1 {
+		t.Fatalf("no speedup: %g -> %g", t1, t9)
+	}
+	if t1 <= 0 {
+		t.Fatal("non-positive time")
+	}
+}

@@ -1,0 +1,91 @@
+package scf
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"gtfock/internal/linalg"
+)
+
+// Checkpoint is the on-disk SCF state: enough to warm-start a calculation
+// (Options.InitialFock) or postprocess a converged one.
+type Checkpoint struct {
+	Version   int
+	Formula   string
+	BasisName string
+	NumFuncs  int
+	Converged bool
+	Energy    float64
+	FData     []float64
+	DData     []float64
+}
+
+const checkpointVersion = 1
+
+// SaveCheckpoint writes the SCF state of res to path (gob encoding).
+func SaveCheckpoint(path string, res *Result, basisName string) error {
+	if res.F == nil || res.D == nil {
+		return fmt.Errorf("scf: result has no matrices to checkpoint")
+	}
+	ck := Checkpoint{
+		Version:   checkpointVersion,
+		Formula:   res.Basis.Mol.Formula(),
+		BasisName: basisName,
+		NumFuncs:  res.Basis.NumFuncs,
+		Converged: res.Converged,
+		Energy:    res.Energy,
+		FData:     res.F.Data,
+		DData:     res.D.Data,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewEncoder(f).Encode(&ck)
+}
+
+// LoadCheckpoint reads an SCF checkpoint from path.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("scf: corrupt checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("scf: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	n := ck.NumFuncs
+	if len(ck.FData) != n*n || len(ck.DData) != n*n {
+		return nil, fmt.Errorf("scf: checkpoint matrix sizes inconsistent with %d functions", n)
+	}
+	return &ck, nil
+}
+
+// Fock reconstructs the checkpointed Fock matrix.
+func (ck *Checkpoint) Fock() *linalg.Matrix {
+	m := linalg.NewMatrix(ck.NumFuncs, ck.NumFuncs)
+	copy(m.Data, ck.FData)
+	return m
+}
+
+// Density reconstructs the checkpointed density matrix.
+func (ck *Checkpoint) Density() *linalg.Matrix {
+	m := linalg.NewMatrix(ck.NumFuncs, ck.NumFuncs)
+	copy(m.Data, ck.DData)
+	return m
+}
+
+// Validate checks that the checkpoint belongs to the given system.
+func (ck *Checkpoint) Validate(formula, basisName string, numFuncs int) error {
+	if ck.Formula != formula || ck.BasisName != basisName || ck.NumFuncs != numFuncs {
+		return fmt.Errorf("scf: checkpoint is for %s/%s (%d funcs), not %s/%s (%d funcs)",
+			ck.Formula, ck.BasisName, ck.NumFuncs, formula, basisName, numFuncs)
+	}
+	return nil
+}

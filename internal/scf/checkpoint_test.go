@@ -1,0 +1,86 @@
+package scf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gtfock/internal/chem"
+	"gtfock/internal/linalg"
+)
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	mol := chem.Methane()
+	res, err := RunHF(mol, Options{BasisName: "sto-3g"})
+	if err != nil || !res.Converged {
+		t.Fatal("setup SCF failed")
+	}
+	path := filepath.Join(t.TempDir(), "ch4.ckpt")
+	if err := SaveCheckpoint(path, res, "sto-3g"); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Validate("CH4", "sto-3g", res.Basis.NumFuncs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Validate("H2", "sto-3g", res.Basis.NumFuncs); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+	if linalg.MaxAbsDiff(ck.Fock(), res.F) != 0 ||
+		linalg.MaxAbsDiff(ck.Density(), res.D) != 0 {
+		t.Fatal("matrices did not roundtrip")
+	}
+	if ck.Energy != res.Energy || !ck.Converged {
+		t.Fatal("scalars did not roundtrip")
+	}
+}
+
+// Warm-starting from a converged Fock matrix must converge immediately to
+// the same energy.
+func TestWarmStartConvergesFast(t *testing.T) {
+	mol := chem.Methane()
+	cold, err := RunHF(mol, Options{BasisName: "sto-3g"})
+	if err != nil || !cold.Converged {
+		t.Fatal("cold SCF failed")
+	}
+	warm, err := RunHF(mol, Options{BasisName: "sto-3g", InitialFock: cold.F})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Converged {
+		t.Fatal("warm SCF did not converge")
+	}
+	if math.Abs(warm.Energy-cold.Energy) > 1e-8 {
+		t.Fatalf("warm %.10f vs cold %.10f", warm.Energy, cold.Energy)
+	}
+	if len(warm.Iterations) >= len(cold.Iterations) {
+		t.Fatalf("warm start took %d iterations, cold took %d",
+			len(warm.Iterations), len(cold.Iterations))
+	}
+}
+
+func TestWarmStartShapeError(t *testing.T) {
+	mol := chem.Methane()
+	bad := linalg.NewMatrix(3, 3)
+	if _, err := RunHF(mol, Options{BasisName: "sto-3g", InitialFock: bad}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestLoadCheckpointErrors(t *testing.T) {
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+	// Corrupt file.
+	p := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(p, []byte("not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(p); err == nil {
+		t.Fatal("expected corrupt-file error")
+	}
+}

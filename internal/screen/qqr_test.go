@@ -1,0 +1,88 @@
+package screen
+
+import (
+	"math"
+	"testing"
+
+	"gtfock/internal/chem"
+	"gtfock/internal/integrals"
+)
+
+// QQR is a refinement: it must never keep a quartet plain Schwarz rejects.
+func TestQQRSubsetOfSchwarz(t *testing.T) {
+	bs := build(t, chem.Alkane(6), "sto-3g")
+	s := Compute(bs, 1e-10)
+	qr := NewQQR(s)
+	n := bs.NumShells()
+	for m := 0; m < n; m += 2 {
+		for p := 0; p < n; p += 3 {
+			for nn := 0; nn < n; nn += 2 {
+				for q := 0; q < n; q += 3 {
+					if qr.KeepQuartet(m, p, nn, q) && !s.KeepQuartet(m, p, nn, q) {
+						t.Fatal("QQR kept a Schwarz-rejected quartet")
+					}
+					if qr.Bound(m, p, nn, q) > s.PairValue(m, p)*s.PairValue(nn, q)+1e-15 {
+						t.Fatal("QQR bound above Schwarz bound")
+					}
+				}
+			}
+		}
+	}
+}
+
+// On a spatially extended chain QQR must reject strictly more quartets
+// than plain Schwarz.
+func TestQQRTightensOnAlkane(t *testing.T) {
+	bs := build(t, chem.Alkane(24), "sto-3g")
+	s := Compute(bs, 1e-10)
+	qr := NewQQR(s)
+	plain := s.UniqueQuartetCount()
+	refined := qr.UniqueQuartetCount()
+	if refined >= plain {
+		t.Fatalf("QQR count %d not below Schwarz count %d", refined, plain)
+	}
+	if float64(refined) > 0.95*float64(plain) {
+		t.Fatalf("QQR saved only %.1f%% on a 30 Angstrom chain",
+			100*(1-float64(refined)/float64(plain)))
+	}
+}
+
+// Soundness: every quartet QQR rejects (but Schwarz keeps) must truly be
+// negligible — verify against actual ERI batches.
+func TestQQRRejectionsAreNegligible(t *testing.T) {
+	bs := build(t, chem.Alkane(10), "sto-3g")
+	tau := 1e-10
+	s := Compute(bs, tau)
+	qr := NewQQR(s)
+	eng := integrals.NewEngine()
+	n := bs.NumShells()
+	checked := 0
+	for m := 0; m < n && checked < 200; m += 3 {
+		for p := 0; p <= m && checked < 200; p += 2 {
+			for nn := 0; nn < n && checked < 200; nn += 3 {
+				for q := 0; q <= nn && checked < 200; q += 2 {
+					if !s.KeepQuartet(m, p, nn, q) || qr.KeepQuartet(m, p, nn, q) {
+						continue
+					}
+					// QQR rejected a Schwarz-kept quartet: verify.
+					batch := eng.ERI(eng.Pair(&bs.Shells[m], &bs.Shells[p]),
+						eng.Pair(&bs.Shells[nn], &bs.Shells[q]))
+					var mx float64
+					for _, v := range batch {
+						if a := math.Abs(v); a > mx {
+							mx = a
+						}
+					}
+					if mx > 10*tau {
+						t.Fatalf("QQR wrongly rejected quartet (%d%d|%d%d) with max |ERI| = %g",
+							m, p, nn, q, mx)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no QQR-only rejections in sampled quartets")
+	}
+}
