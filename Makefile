@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race ci bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector run of the full suite; the chaos tests exercise the
+# fault-tolerant build's concurrency hardest.
+race:
+	$(GO) test -race ./...
+
+ci: build vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run NONE .

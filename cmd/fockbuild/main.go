@@ -10,6 +10,15 @@
 //	fockbuild -mol C24H12 -engine gtfock -grid 2x2
 //	fockbuild -mol C96H24 -engine nwchem -mode sim -cores 3888
 //	fockbuild -mol alkane:40 -reorder cell -grid 4x2
+//
+// Fault tolerance (gtfock real mode): the -fault-* flags inject seeded
+// worker crashes, stalls, and transport faults into the build, which then
+// recovers via leases, epoch fencing, and orphan re-execution. -chaos N
+// runs N seeded fault injections sweeping the rates and verifies every
+// recovered G against the serial oracle:
+//
+//	fockbuild -mol alkane:4 -basis sto-3g -fault-crash 0.3 -fault-stall 0.05
+//	fockbuild -mol alkane:2 -basis sto-3g -chaos 20
 package main
 
 import (
@@ -18,11 +27,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"gtfock/internal/basis"
 	"gtfock/internal/chem"
 	"gtfock/internal/core"
 	"gtfock/internal/dist"
+	"gtfock/internal/fault"
 	"gtfock/internal/linalg"
 	"gtfock/internal/nwchem"
 	"gtfock/internal/reorder"
@@ -41,6 +52,18 @@ func main() {
 		ord     = flag.String("reorder", "cell", "shell ordering: cell, morton, natural (gtfock only)")
 		primTol = flag.Float64("primtol", 0, "primitive prescreening tolerance (0 = off)")
 		trace   = flag.Bool("trace", false, "print an activity timeline (sim mode)")
+
+		// Fault injection / recovery (gtfock real mode).
+		faultSeed       = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
+		faultCrash      = flag.Float64("fault-crash", 0, "probability a worker crashes before its flush")
+		faultCrashAfter = flag.Float64("fault-crash-after", 0, "probability a worker crashes after its flush")
+		faultStall      = flag.Float64("fault-stall", 0, "per-task probability of a worker stall")
+		faultStallMS    = flag.Int("fault-stall-ms", 50, "stall duration in ms")
+		faultDrop       = flag.Float64("fault-drop", 0, "probability a one-sided op is dropped")
+		faultDelay      = flag.Float64("fault-delay", 0, "probability a one-sided op is delayed")
+		faultDelayMS    = flag.Int("fault-delay-ms", 1, "op delay in ms")
+		leaseMS         = flag.Int("lease-ms", 200, "worker lease TTL in ms (fault mode)")
+		chaos           = flag.Int("chaos", 0, "run N seeded chaos builds sweeping fault rates and verify each against the serial oracle")
 	)
 	flag.Parse()
 
@@ -96,9 +119,31 @@ func main() {
 		prow, pcol, err := parseGrid(*grid)
 		fatalIf(err)
 		d := guessDensity(bs)
+		if *chaos > 0 {
+			if *engine != "gtfock" {
+				fatalIf(fmt.Errorf("-chaos requires -engine gtfock"))
+			}
+			runChaos(bs, scr, d, prow, pcol, *chaos, *faultSeed, *leaseMS)
+			return
+		}
 		switch *engine {
 		case "gtfock":
-			res := core.Build(bs, scr, d, core.Options{Prow: prow, Pcol: pcol, PrimTol: *primTol})
+			copt := core.Options{Prow: prow, Pcol: pcol, PrimTol: *primTol}
+			if *faultCrash > 0 || *faultCrashAfter > 0 || *faultStall > 0 ||
+				*faultDrop > 0 || *faultDelay > 0 {
+				copt.Fault = fault.New(fault.Config{
+					Seed:             *faultSeed,
+					CrashBeforeFlush: *faultCrash,
+					CrashAfterFlush:  *faultCrashAfter,
+					StallProb:        *faultStall,
+					StallFor:         time.Duration(*faultStallMS) * time.Millisecond,
+					DropProb:         *faultDrop,
+					DelayProb:        *faultDelay,
+					DelayFor:         time.Duration(*faultDelayMS) * time.Millisecond,
+				})
+				copt.LeaseTTL = time.Duration(*leaseMS) * time.Millisecond
+			}
+			res := core.Build(bs, scr, d, copt)
 			fmt.Printf("wall time: %v,  |G|_max = %.6f\n", res.Wall, res.G.MaxAbs())
 			report(res.Stats, fmt.Sprintf("real, %dx%d grid", prow, pcol))
 		case "nwchem":
@@ -123,6 +168,64 @@ func report(st *dist.RunStats, label string) {
 	fmt.Printf("  comm volume/process: %.2f MB in %.0f calls\n", st.VolumeAvgMB(), st.CallsAvg())
 	fmt.Printf("  steals/process:      %.2f (from %.2f victims)\n", st.StealsAvg(), st.VictimsAvg())
 	fmt.Printf("  queue ops/process:   %.1f\n", st.QueueOpsAvg())
+	if r := &st.Recovery; r.Any() {
+		fmt.Printf("  recovery:            %d crashes, %d stalls, %d aborts, %d workers fenced\n",
+			r.Crashes, r.Stalls, r.Aborts, r.WorkersFenced)
+		fmt.Printf("                       %d blocks orphaned, %d reassigned (%d tasks), %d fenced flushes\n",
+			r.BlocksOrphaned, r.BlocksReassigned, r.TasksReassigned, r.FencedFlushes)
+		fmt.Printf("                       %d op drops, %d op retries, %d extra rounds\n",
+			r.OpDrops, r.OpRetries, r.Rounds)
+	}
+}
+
+// runChaos executes n seeded fault-injected builds sweeping crash, stall
+// and transport rates, checking every recovered G against the serial
+// oracle. Any mismatch or recovery failure exits nonzero.
+func runChaos(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix,
+	prow, pcol, n int, seed int64, leaseMS int) {
+	fmt.Printf("chaos: %d seeded fault-injected builds on a %dx%d grid\n", n, prow, pcol)
+	ref := core.BuildSerial(bs, scr, d)
+	failures := 0
+	var total dist.RecoveryStats
+	for i := 0; i < n; i++ {
+		// Sweep the fault mix deterministically with the run index.
+		mix := fault.Config{
+			Seed:             seed + int64(i),
+			CrashBeforeFlush: 0.2 + 0.2*float64(i%3),
+			CrashAfterFlush:  0.1 * float64(i%2),
+			StallProb:        0.02 * float64(i%3),
+			StallFor:         time.Duration(2*leaseMS) * time.Millisecond,
+			DropProb:         0.1 * float64(i%4),
+			DelayProb:        0.05,
+			DelayFor:         time.Millisecond,
+		}
+		res := core.Build(bs, scr, d, core.Options{
+			Prow: prow, Pcol: pcol,
+			Fault:    fault.New(mix),
+			LeaseTTL: time.Duration(leaseMS) * time.Millisecond,
+		})
+		diff := linalg.MaxAbsDiff(ref, res.G)
+		rec := &res.Stats.Recovery
+		status := "ok"
+		if diff > 1e-9 {
+			status = "MISMATCH"
+			failures++
+		}
+		fmt.Printf("  run %2d seed %4d: |G-serial| = %.2e  crashes=%d fenced=%d reassigned=%d rounds=%d  %s\n",
+			i, mix.Seed, diff, rec.Crashes, rec.WorkersFenced, rec.BlocksReassigned, rec.Rounds, status)
+		total.Crashes += rec.Crashes
+		total.Stalls += rec.Stalls
+		total.WorkersFenced += rec.WorkersFenced
+		total.BlocksReassigned += rec.BlocksReassigned
+		total.OpDrops += rec.OpDrops
+		total.Rounds += rec.Rounds
+	}
+	fmt.Printf("chaos summary: %d/%d runs correct; %d crashes, %d stalls, %d workers fenced, %d blocks reassigned, %d op drops, %d extra rounds\n",
+		n-failures, n, total.Crashes, total.Stalls, total.WorkersFenced,
+		total.BlocksReassigned, total.OpDrops, total.Rounds)
+	if failures > 0 {
+		fatalIf(fmt.Errorf("%d of %d chaos runs diverged from the serial oracle", failures, n))
+	}
 }
 
 func parseMolecule(spec string) (*chem.Molecule, error) {

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gtfock/internal/chem"
+	"gtfock/internal/dist"
+	"gtfock/internal/fault"
+	"gtfock/internal/linalg"
+)
+
+// buildDeadline runs Build with a hard deadline; a hang is a test
+// failure, not a stuck CI job.
+func buildDeadline(t *testing.T, timeout time.Duration, f func() Result) Result {
+	t.Helper()
+	ch := make(chan Result, 1)
+	go func() { ch <- f() }()
+	select {
+	case r := <-ch:
+		return r
+	case <-time.After(timeout):
+		t.Fatalf("build did not complete within %v", timeout)
+		panic("unreachable")
+	}
+}
+
+// TestChaosRecoveryMatchesOracle is the headline fault-tolerance check:
+// across a grid of process shapes and seeded fault mixes (worker crash
+// probability >= 0.2, stalls past the lease TTL, dropped and delayed
+// one-sided ops), every recovered build must match the serial oracle to
+// the same tolerance the fault-free builds are held to, and none may
+// hang.
+func TestChaosRecoveryMatchesOracle(t *testing.T) {
+	bs, scr, d := buildSetup(t, chem.Alkane(2), "sto-3g")
+	ref := BuildSerial(bs, scr, d)
+
+	grids := [][2]int{{2, 2}, {3, 1}, {1, 4}}
+	mixes := []fault.Config{
+		{ // crash-heavy: most workers die before their first flush
+			CrashBeforeFlush: 0.4,
+			CrashAfterFlush:  0.1,
+		},
+		{ // stall-heavy: stalls exceed the TTL, so zombies get fenced
+			CrashBeforeFlush: 0.2,
+			StallProb:        0.04,
+			StallFor:         60 * time.Millisecond,
+		},
+		{ // lossy transport: drops force retries and aborts
+			CrashBeforeFlush: 0.2,
+			DropProb:         0.3,
+			DelayProb:        0.05,
+			DelayFor:         time.Millisecond,
+		},
+		{ // everything at once
+			CrashBeforeFlush: 0.3,
+			CrashAfterFlush:  0.15,
+			StallProb:        0.03,
+			StallFor:         50 * time.Millisecond,
+			DropProb:         0.2,
+			DelayProb:        0.05,
+			DelayFor:         time.Millisecond,
+		},
+	}
+
+	runs := 0
+	var crashes, fenced, reassigned, fencedFlushes int64
+	for gi, grid := range grids {
+		for mi, mix := range mixes {
+			for seed := int64(0); seed < 2; seed++ {
+				mix.Seed = int64(1000*gi+100*mi) + seed
+				runs++
+				name := fmt.Sprintf("grid %dx%d mix %d seed %d", grid[0], grid[1], mi, mix.Seed)
+				res := buildDeadline(t, 60*time.Second, func() Result {
+					return Build(bs, scr, d, Options{
+						Prow: grid[0], Pcol: grid[1],
+						Fault:        fault.New(mix),
+						LeaseTTL:     15 * time.Millisecond,
+						MonitorEvery: 3 * time.Millisecond,
+					})
+				})
+				if err := linalg.MaxAbsDiff(ref, res.G); err > 1e-9 {
+					t.Fatalf("%s: |G - serial| = %g", name, err)
+				}
+				if res.G.SymmetryError() > 1e-11 {
+					t.Fatalf("%s: recovered G not symmetric", name)
+				}
+				rec := &res.Stats.Recovery
+				crashes += rec.Crashes
+				fenced += rec.WorkersFenced
+				reassigned += rec.BlocksReassigned
+				fencedFlushes += rec.FencedFlushes
+				if rec.BlocksOrphaned > 0 && rec.BlocksReassigned == 0 {
+					t.Fatalf("%s: %d blocks orphaned but none reassigned", name, rec.BlocksOrphaned)
+				}
+			}
+		}
+	}
+	if runs < 20 {
+		t.Fatalf("only %d chaos runs; want >= 20", runs)
+	}
+	// The sweep must actually have exercised the machinery.
+	if crashes == 0 {
+		t.Fatal("no crashes injected across the chaos sweep")
+	}
+	if fenced == 0 || reassigned == 0 {
+		t.Fatalf("recovery never engaged: fenced=%d reassigned=%d", fenced, reassigned)
+	}
+	t.Logf("chaos sweep: %d runs, %d crashes, %d workers fenced, %d blocks reassigned, %d fenced flushes",
+		runs, crashes, fenced, reassigned, fencedFlushes)
+}
+
+// A fault-free build through the fault-tolerant path (armed injector
+// with zero rates) must still match the oracle and record no recovery
+// events — the machinery itself must not perturb the result.
+func TestFaultPathZeroRatesIsClean(t *testing.T) {
+	bs, scr, d := buildSetup(t, chem.Methane(), "sto-3g")
+	ref := BuildSerial(bs, scr, d)
+	res := Build(bs, scr, d, Options{
+		Prow: 2, Pcol: 2,
+		Fault:    fault.New(fault.Config{Seed: 9}),
+		LeaseTTL: time.Second,
+	})
+	if err := linalg.MaxAbsDiff(ref, res.G); err > 1e-9 {
+		t.Fatalf("|G - serial| = %g", err)
+	}
+	if res.Stats.Recovery.Any() {
+		t.Fatalf("zero-rate run recorded recovery events: %+v", res.Stats.Recovery)
+	}
+}
+
+// Certain-death configuration: every worker crashes before its flush
+// while armed. The MaxFaultRounds disarm valve must still complete the
+// build correctly.
+func TestChaosCertainCrashStillCompletes(t *testing.T) {
+	bs, scr, d := buildSetup(t, chem.Methane(), "sto-3g")
+	ref := BuildSerial(bs, scr, d)
+	res := buildDeadline(t, 60*time.Second, func() Result {
+		return Build(bs, scr, d, Options{
+			Prow: 2, Pcol: 2,
+			Fault:          fault.New(fault.Config{Seed: 3, CrashBeforeFlush: 1}),
+			LeaseTTL:       10 * time.Millisecond,
+			MonitorEvery:   2 * time.Millisecond,
+			MaxFaultRounds: 3,
+		})
+	})
+	if err := linalg.MaxAbsDiff(ref, res.G); err > 1e-9 {
+		t.Fatalf("|G - serial| = %g", err)
+	}
+	if res.Stats.Recovery.Rounds == 0 {
+		t.Fatal("certain-crash build claims it needed no recovery rounds")
+	}
+}
+
+func TestQueueRemainingExcludesConsumedFrontRow(t *testing.T) {
+	q := NewQueue(TaskBlock{R0: 0, R1: 2, C0: 0, C1: 3})
+	want := []int{6, 5, 4, 3, 2, 1, 0}
+	if got := q.Remaining(); got != want[0] {
+		t.Fatalf("fresh queue Remaining = %d, want %d", got, want[0])
+	}
+	for i := 1; i < len(want); i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		if got := q.Remaining(); got != want[i] {
+			t.Fatalf("after %d pops Remaining = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestQueueCloseConfiscates(t *testing.T) {
+	q := NewQueue(TaskBlock{R0: 0, R1: 4, C0: 0, C1: 4})
+	q.Pop()
+	q.Close()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop succeeded on a closed queue")
+	}
+	if _, ok := q.Steal(); ok {
+		t.Fatal("Steal succeeded on a closed queue")
+	}
+	q.AddBlock(TaskBlock{R0: 0, R1: 2, C0: 0, C1: 2})
+	if q.Remaining() != 0 {
+		t.Fatal("AddBlock landed on a closed queue")
+	}
+}
+
+// Ledger unit tests: steal transfers split the victim's claim exactly,
+// fencing orphans what remains, and a fenced incarnation can neither
+// commit nor adopt.
+func TestLedgerTransferAndFence(t *testing.T) {
+	l := newLedger(2, time.Hour, dist.NewRunStats(2))
+	e0 := l.register(0)
+	e1 := l.register(1)
+
+	whole := TaskBlock{R0: 0, R1: 8, C0: 0, C1: 4}
+	if !l.claim(0, e0, whole) {
+		t.Fatal("claim failed")
+	}
+	stolen := TaskBlock{R0: 6, R1: 8, C0: 0, C1: 4}
+	if !l.transfer(0, 1, e1, stolen) {
+		t.Fatal("transfer failed")
+	}
+	// Victim keeps [0,6), thief owns [6,8).
+	if n := len(l.claimed[0]); n != 1 || l.claimed[0][0].R1 != 6 {
+		t.Fatalf("victim claims after transfer: %v", l.claimed[0])
+	}
+	// A transfer of a block nobody claims must fail.
+	if l.transfer(0, 1, e1, TaskBlock{R0: 6, R1: 8, C0: 0, C1: 4}) {
+		t.Fatal("double transfer of the same block succeeded")
+	}
+
+	// Fence rank 0: its remaining claim is orphaned, its commit refused.
+	l.mu.Lock()
+	l.fenceLocked(0)
+	l.mu.Unlock()
+	if l.beginCommit(0, e0) {
+		t.Fatal("fenced incarnation allowed to commit")
+	}
+	if !l.ValidEpoch(1, e1) || l.ValidEpoch(0, e0) {
+		t.Fatal("epoch validity wrong after fence")
+	}
+	blk, ok := l.adopt(1, e1)
+	if !ok || blk != (TaskBlock{R0: 0, R1: 6, C0: 0, C1: 4}) {
+		t.Fatalf("adopt got %v, %v", blk, ok)
+	}
+	if _, ok := l.adopt(1, e1); ok {
+		t.Fatal("orphan pool should be empty")
+	}
+	// Thief commits: everything it claims is done.
+	if !l.beginCommit(1, e1) {
+		t.Fatal("live incarnation refused commit")
+	}
+	l.endCommit(1)
+	if len(l.claimed[1]) != 0 {
+		t.Fatal("endCommit left claims behind")
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"gtfock/internal/basis"
 	"gtfock/internal/dist"
+	"gtfock/internal/fault"
 	"gtfock/internal/integrals"
 	"gtfock/internal/linalg"
 	"gtfock/internal/screen"
@@ -15,6 +17,27 @@ type Options struct {
 	Prow, Pcol int     // process grid (defaults 1x1)
 	PrimTol    float64 // primitive prescreening threshold for the ERI engine
 	UseHGP     bool    // Head-Gordon-Pople ERI algorithm instead of McMurchie-Davidson
+
+	// Fault enables the fault-tolerant runtime: the injector is consulted
+	// at worker lifecycle points and on one-sided ops, and the build runs
+	// with leases, heartbeats, epoch fencing and orphan recovery. Nil
+	// (the default) keeps the original fast path with zero overhead.
+	Fault *fault.Injector
+	// LeaseTTL is how long a worker may go without a heartbeat before the
+	// monitor declares it dead and re-enqueues its uncommitted blocks.
+	// Default 1s. It should exceed the longest single task plus any
+	// benign op delay; a too-small TTL is safe but wastes re-execution.
+	LeaseTTL time.Duration
+	// MonitorEvery is the lease-scan period (default LeaseTTL/4).
+	MonitorEvery time.Duration
+	// MaxFaultRounds bounds the number of crash-recovery respawn rounds
+	// before the injector is disarmed to force completion (default 8).
+	MaxFaultRounds int
+	// RetryAttempts/RetryBackoff configure the reliable wrappers around
+	// prefetch Gets (defaults 4 attempts, 1ms initial backoff). Flush
+	// accumulates retry without an attempt bound; see dist.AccFencedRetry.
+	RetryAttempts int
+	RetryBackoff  time.Duration
 }
 
 // Result is the outcome of a Fock build.
@@ -31,6 +54,13 @@ type Result struct {
 // processes over block-distributed global arrays, with static task
 // partitioning, D prefetch, local F accumulation, and distributed work
 // stealing. The density d must be symmetric.
+//
+// With opt.Fault set, the build additionally survives injected worker
+// crashes, stalls and transport faults: a lease monitor fences dead or
+// wedged workers, their uncommitted task blocks are re-enqueued for
+// survivors (or for respawned workers in a follow-up round), and epoch
+// fencing on the F accumulate guarantees exactly-once accumulation, so
+// the recovered G is bit-for-bit within the serial oracle's tolerance.
 func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) Result {
 	if opt.Prow <= 0 {
 		opt.Prow = 1
@@ -66,22 +96,105 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 		}
 	}
 
-	start := time.Now()
-	dist.RunProcs(nprocs, func(rank int) {
-		w := newWorker(rank, bs, scr, grid, gaD, gaF, stats, opt)
-		w.run(blocks, queues, opt)
-	})
-	wall := time.Since(start)
-
-	// Per-queue atomic-operation accounting (Sec. IV-C).
-	for pid, q := range queues {
-		stats.Per[pid].QueueOps = q.Ops
+	// Fault-tolerant runtime: lease ledger, epoch fence, transport hook.
+	var led *ledger
+	if opt.Fault != nil {
+		if opt.LeaseTTL <= 0 {
+			opt.LeaseTTL = time.Second
+		}
+		if opt.RetryAttempts <= 0 {
+			opt.RetryAttempts = 4
+		}
+		if opt.RetryBackoff <= 0 {
+			opt.RetryBackoff = time.Millisecond
+		}
+		if opt.MaxFaultRounds <= 0 {
+			opt.MaxFaultRounds = 8
+		}
+		led = newLedger(nprocs, opt.LeaseTTL, stats)
+		gaF.SetFence(led)
+		hook := func(proc int, op dist.OpKind) (time.Duration, bool) {
+			return opt.Fault.OpFault(proc, mapOpKind(op))
+		}
+		gaD.SetOpHook(hook)
+		gaF.SetOpHook(hook)
 	}
+
+	start := time.Now()
+	for round := 0; ; round++ {
+		roundBlocks := blocks
+		if round > 0 {
+			// Respawn rounds start with empty queues; all remaining work
+			// comes from the orphan pool.
+			roundBlocks = nil
+			for pid := range queues {
+				queues[pid] = NewQueue(TaskBlock{})
+			}
+		}
+		var stopMon func()
+		var epochs []int64
+		if led != nil {
+			// Register every incarnation and claim the static partition
+			// BEFORE any worker goroutine starts: a fast thief may steal
+			// from a victim's queue before the victim's goroutine runs, and
+			// the claim transfer needs the victim's claim to already exist
+			// — otherwise the same tasks end up both orphaned and claimed,
+			// breaking exactly-once.
+			epochs = make([]int64, nprocs)
+			for r := 0; r < nprocs; r++ {
+				epochs[r] = led.register(r)
+			}
+			if round == 0 {
+				for pid, b := range blocks {
+					led.claim(pid, epochs[pid], b)
+				}
+			}
+			led.beginRound(queues)
+			stopMon = startMonitor(led, opt.MonitorEvery)
+		}
+		dist.RunProcs(nprocs, func(rank int) {
+			w := newWorker(rank, bs, scr, grid, gaD, gaF, stats, opt)
+			w.led = led
+			if led != nil {
+				w.epoch = epochs[rank]
+			}
+			w.run(roundBlocks, queues, opt)
+		})
+		if stopMon != nil {
+			stopMon()
+		}
+		// Per-queue atomic-operation accounting (Sec. IV-C), accumulated
+		// across recovery rounds.
+		for pid, q := range queues {
+			stats.Per[pid].QueueOps += q.Ops
+		}
+		if led == nil || !led.sweep() {
+			break
+		}
+		atomic.AddInt64(&stats.Recovery.Rounds, 1)
+		if round+1 >= opt.MaxFaultRounds {
+			// Too many faulty rounds: finish the tail failure-free.
+			opt.Fault.Disarm()
+		}
+	}
+	wall := time.Since(start)
 
 	g2e := gaF.ToMatrix()
 	g := g2e.Clone()
 	g.AXPY(1, g2e.T()) // G = acc + acc^T completes the 8-fold symmetry
 	return Result{G: g, Stats: stats, Wall: wall}
+}
+
+// mapOpKind translates the dist op taxonomy into the injector's.
+func mapOpKind(op dist.OpKind) fault.Op {
+	switch op {
+	case dist.OpPut:
+		return fault.OpPut
+	case dist.OpAcc:
+		return fault.OpAcc
+	default:
+		return fault.OpGet
+	}
 }
 
 // funcCuts maps shell-index cuts to basis-function-index cuts.
@@ -113,6 +226,14 @@ type worker struct {
 	fp    *Footprint
 	nf    int
 	comp  time.Duration
+
+	// Fault-tolerant runtime state (nil led = plain fast path).
+	led           *ledger
+	inj           *fault.Injector
+	epoch         int64
+	victims       map[int]bool
+	retryAttempts int
+	retryBackoff  time.Duration
 }
 
 func newWorker(rank int, bs *basis.Set, scr *screen.Screening, grid *dist.Grid2D,
@@ -123,11 +244,13 @@ func newWorker(rank int, bs *basis.Set, scr *screen.Screening, grid *dist.Grid2D
 	return &worker{
 		rank: rank, bs: bs, scr: scr, grid: grid,
 		gaD: gaD, gaF: gaF, stats: stats, eng: eng,
-		pairs: map[int64]*integrals.ShellPair{},
-		dloc:  make([]float64, bs.NumFuncs*bs.NumFuncs),
-		floc:  make([]float64, bs.NumFuncs*bs.NumFuncs),
-		fp:    NewFootprint(),
-		nf:    bs.NumFuncs,
+		pairs:   map[int64]*integrals.ShellPair{},
+		dloc:    make([]float64, bs.NumFuncs*bs.NumFuncs),
+		floc:    make([]float64, bs.NumFuncs*bs.NumFuncs),
+		fp:      NewFootprint(),
+		nf:      bs.NumFuncs,
+		inj:     opt.Fault,
+		victims: map[int]bool{},
 	}
 }
 
@@ -141,9 +264,19 @@ func (w *worker) pair(a, b int) *integrals.ShellPair {
 	return p
 }
 
+// heartbeat refreshes this worker's lease.
+func (w *worker) heartbeat() {
+	if w.led != nil {
+		w.led.heartbeat(w.rank)
+	}
+}
+
 // fetchFootprint Gets the D patches of fp into dloc, one call per row
-// shell per owner column (the transfer granularity of Sec. III-D).
-func (w *worker) fetchFootprint(fp *Footprint) {
+// shell per owner column (the transfer granularity of Sec. III-D). Under
+// fault injection the Gets retry with backoff; false means an op
+// ultimately failed and the caller must abandon this incarnation.
+func (w *worker) fetchFootprint(fp *Footprint) bool {
+	retry := w.inj != nil
 	for _, m := range fp.Rows() {
 		lo, hi, _ := fp.Span(m)
 		r0 := w.bs.Offsets[m]
@@ -151,14 +284,56 @@ func (w *worker) fetchFootprint(fp *Footprint) {
 		c0 := w.bs.Offsets[lo]
 		c1 := w.bs.Offsets[hi] + w.bs.ShellFuncs(hi)
 		for _, p := range w.grid.Patches(r0, r1, c0, c1) {
-			w.gaD.Get(w.rank, p.R0, p.R1, p.C0, p.C1,
-				w.dloc[p.R0*w.nf+p.C0:], w.nf)
+			if !retry {
+				w.gaD.Get(w.rank, p.R0, p.R1, p.C0, p.C1,
+					w.dloc[p.R0*w.nf+p.C0:], w.nf)
+				continue
+			}
+			w.heartbeat()
+			if w.gaD.GetRetry(w.retryAttempts, w.retryBackoff,
+				w.rank, p.R0, p.R1, p.C0, p.C1,
+				w.dloc[p.R0*w.nf+p.C0:], w.nf) != nil {
+				return false
+			}
 		}
 	}
+	return true
+}
+
+// addWork merges block b into the worker's flush footprint after
+// prefetching the D patches b needs.
+func (w *worker) addWork(b TaskBlock) bool {
+	fpb := NewFootprint()
+	fpb.AddBlock(w.scr, b)
+	if !w.fetchFootprint(fpb) {
+		return false
+	}
+	w.fp.AddBlock(w.scr, b)
+	return true
+}
+
+// resetAccum clears the flushed local F contributions so a follow-up
+// episode (adopted orphan work) accumulates from zero.
+func (w *worker) resetAccum() {
+	for _, m := range w.fp.Rows() {
+		lo, hi, _ := w.fp.Span(m)
+		r0 := w.bs.Offsets[m]
+		r1 := r0 + w.bs.ShellFuncs(m)
+		c0 := w.bs.Offsets[lo]
+		c1 := w.bs.Offsets[hi] + w.bs.ShellFuncs(hi)
+		for r := r0; r < r1; r++ {
+			row := w.floc[r*w.nf+c0 : r*w.nf+c1]
+			for i := range row {
+				row[i] = 0
+			}
+		}
+	}
+	w.fp = NewFootprint()
 }
 
 // flush accumulates the local F contributions back to the distributed F,
-// over the merged footprint spans (Algorithm 4, line 9).
+// over the merged footprint spans (Algorithm 4, line 9). Plain fast path
+// (no fencing, no faults).
 func (w *worker) flush() {
 	for _, m := range w.fp.Rows() {
 		lo, hi, _ := w.fp.Span(m)
@@ -173,19 +348,54 @@ func (w *worker) flush() {
 	}
 }
 
-// run is Algorithm 4: prefetch, drain own queue, steal until nothing
-// remains, flush.
-func (w *worker) run(blocks []TaskBlock, queues []*Queue, opt Options) {
-	t0 := time.Now()
-	st := &w.stats.Per[w.rank]
+// commitFlush lands the local F contributions exactly once. Under the
+// ledger it is a fenced transaction: beginCommit validates this
+// incarnation's epoch (a fenced zombie's flush is discarded here) and
+// endCommit marks the claimed blocks done; the monitor never fences a
+// committing worker, so the transaction is atomic w.r.t. recovery.
+func (w *worker) commitFlush() bool {
+	if w.led == nil {
+		w.flush()
+		return true
+	}
+	if !w.led.beginCommit(w.rank, w.epoch) {
+		atomic.AddInt64(&w.stats.Recovery.FencedFlushes, 1)
+		return false
+	}
+	for _, m := range w.fp.Rows() {
+		lo, hi, _ := w.fp.Span(m)
+		r0 := w.bs.Offsets[m]
+		r1 := r0 + w.bs.ShellFuncs(m)
+		c0 := w.bs.Offsets[lo]
+		c1 := w.bs.Offsets[hi] + w.bs.ShellFuncs(hi)
+		for _, p := range w.grid.Patches(r0, r1, c0, c1) {
+			// Cannot be fenced while committing; drops retry until the
+			// patch lands, so the whole flush is all-or-nothing.
+			w.gaF.AccFencedRetry(w.retryBackoff, w.rank, w.epoch,
+				p.R0, p.R1, p.C0, p.C1, w.floc[p.R0*w.nf+p.C0:], w.nf, 1)
+		}
+	}
+	w.led.endCommit(w.rank)
+	return true
+}
 
-	w.fp.AddBlock(w.scr, blocks[w.rank])
-	w.fetchFootprint(w.fp)
+type drainResult int
 
-	my := queues[w.rank]
-	victims := map[int]bool{}
+const (
+	drainDry       drainResult = iota // no reachable work anywhere
+	drainFenced                       // this incarnation was declared dead
+	drainAbandoned                    // a prefetch op failed after retries
+)
+
+// drain is the inner loop of Algorithm 4: pop own tasks, steal, and (in
+// fault mode) adopt orphaned blocks of fenced workers, until nothing is
+// reachable.
+func (w *worker) drain(my *Queue, queues []*Queue, opt Options, st *dist.ProcStats) drainResult {
 	myRow := w.rank / opt.Pcol
 	for {
+		if w.led != nil && !w.led.valid(w.rank, w.epoch) {
+			return drainFenced
+		}
 		t, ok := my.Pop()
 		if !ok {
 			// Work stealing (Sec. III-F): scan the grid row-wise starting
@@ -198,37 +408,122 @@ func (w *worker) run(blocks []TaskBlock, queues []*Queue, opt Options) {
 					if v == w.rank {
 						continue
 					}
-					blk, ok := queues[v].Steal()
+					var blk TaskBlock
+					var ok bool
+					if w.led != nil {
+						// Atomic steal + claim transfer; see ledger.steal.
+						blk, ok = w.led.steal(v, w.rank, w.epoch, queues[v])
+					} else {
+						blk, ok = queues[v].Steal()
+					}
 					if !ok {
 						continue
 					}
 					fpSteal := NewFootprint()
 					fpSteal.AddBlock(w.scr, blk)
-					w.fetchFootprint(fpSteal)
+					if !w.fetchFootprint(fpSteal) {
+						return drainAbandoned
+					}
 					w.fp.AddBlock(w.scr, blk)
 					my.AddBlock(blk)
-					if !victims[v] {
-						victims[v] = true
+					if !w.victims[v] {
+						w.victims[v] = true
 						st.Victims++
 					}
 					st.Steals++
 					stole = true
 				}
 			}
+			if !stole && w.led != nil {
+				if blk, ok := w.led.adopt(w.rank, w.epoch); ok {
+					if !w.addWork(blk) {
+						return drainAbandoned
+					}
+					my.AddBlock(blk)
+					continue
+				}
+			}
 			if !stole {
-				break
+				return drainDry
 			}
 			continue
+		}
+		w.heartbeat()
+		if w.inj != nil {
+			if d := w.inj.Stall(w.rank); d > 0 {
+				atomic.AddInt64(&w.stats.Recovery.Stalls, 1)
+				time.Sleep(d)
+			}
 		}
 		c0 := time.Now()
 		w.doTask(t)
 		w.comp += time.Since(c0)
 		st.TasksRun++
 	}
-	w.flush()
+}
 
-	st.ComputeTime = w.comp.Seconds()
-	st.TotalTime = time.Since(t0).Seconds()
+// run is Algorithm 4 with recovery: prefetch, drain own queue, steal and
+// adopt until nothing remains, then flush as a fenced commit; repeat for
+// orphaned work that appears after the commit. A return without a commit
+// (injected crash, fencing, abandoned op) leaves this incarnation's
+// claimed blocks to the monitor/sweep for re-execution elsewhere.
+func (w *worker) run(blocks []TaskBlock, queues []*Queue, opt Options) {
+	t0 := time.Now()
+	st := &w.stats.Per[w.rank]
+	defer func() {
+		st.ComputeTime += w.comp.Seconds()
+		st.TotalTime += time.Since(t0).Seconds()
+	}()
+	w.retryAttempts = opt.RetryAttempts
+	w.retryBackoff = opt.RetryBackoff
+
+	my := queues[w.rank]
+	if blocks != nil && !blocks[w.rank].Empty() {
+		// The initial block was claimed by Build before this goroutine
+		// started (w.epoch was assigned there too); only prefetch here.
+		if !w.addWork(blocks[w.rank]) {
+			atomic.AddInt64(&w.stats.Recovery.Aborts, 1)
+			return
+		}
+	}
+
+	for {
+		switch w.drain(my, queues, opt, st) {
+		case drainAbandoned:
+			atomic.AddInt64(&w.stats.Recovery.Aborts, 1)
+			return
+		case drainFenced:
+			// Late flush of a zombie: must be (and is) discarded.
+			w.commitFlush()
+			return
+		}
+		if w.inj != nil && w.inj.Crash(w.rank, fault.PointBeforeFlush) {
+			atomic.AddInt64(&w.stats.Recovery.Crashes, 1)
+			return
+		}
+		if !w.commitFlush() {
+			return
+		}
+		if w.inj != nil && w.inj.Crash(w.rank, fault.PointAfterFlush) {
+			atomic.AddInt64(&w.stats.Recovery.Crashes, 1)
+			return
+		}
+		if w.led == nil {
+			return
+		}
+		// Recovery work: adopt one orphaned block and run another episode
+		// with a fresh local accumulator.
+		blk, ok := w.led.adopt(w.rank, w.epoch)
+		if !ok {
+			return
+		}
+		w.resetAccum()
+		if !w.addWork(blk) {
+			atomic.AddInt64(&w.stats.Recovery.Aborts, 1)
+			return
+		}
+		my.AddBlock(blk)
+	}
 }
 
 // doTask is Algorithm 3: compute the unique, screened quartets of

@@ -58,6 +58,7 @@ func (b TaskBlock) Empty() bool { return b.R0 >= b.R1 || b.C0 >= b.C1 }
 type Queue struct {
 	mu     sync.Mutex
 	blocks []TaskBlock
+	closed bool
 	// cursor walks the front block in row-major task order.
 	cur      Task
 	curSet   bool
@@ -79,6 +80,9 @@ func (q *Queue) Pop() (Task, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.Ops++
+	if q.closed {
+		return Task{}, false
+	}
 	for len(q.blocks) > 0 {
 		b := &q.blocks[0]
 		if b.Empty() {
@@ -117,7 +121,7 @@ func (q *Queue) AddBlock(b TaskBlock) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.Ops++
-	if !b.Empty() {
+	if !q.closed && !b.Empty() {
 		q.blocks = append(q.blocks, b)
 	}
 }
@@ -130,6 +134,9 @@ func (q *Queue) Steal() (TaskBlock, bool) {
 	defer q.mu.Unlock()
 	q.Ops++
 	q.StealOps++
+	if q.closed {
+		return TaskBlock{}, false
+	}
 	for i := len(q.blocks) - 1; i >= 0; i-- {
 		b := &q.blocks[i]
 		rows := b.R1 - b.R0
@@ -149,8 +156,9 @@ func (q *Queue) Steal() (TaskBlock, bool) {
 	return TaskBlock{}, false
 }
 
-// Remaining returns the number of tasks left (including the partially
-// consumed front block, counted by full rows remaining).
+// Remaining returns the number of unconsumed tasks left in the queue,
+// excluding the tasks of the partially consumed front row the owner has
+// already popped.
 func (q *Queue) Remaining() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -158,5 +166,23 @@ func (q *Queue) Remaining() int {
 	for i := range q.blocks {
 		n += q.blocks[i].Count()
 	}
+	if q.curSet && len(q.blocks) > 0 {
+		// Pop keeps blocks[0].R0 = cur.M, so rows above the cursor are
+		// already excluded; subtract the consumed columns of row cur.M.
+		n -= q.cur.N - q.blocks[0].C0
+	}
 	return n
+}
+
+// Close confiscates the queue: all remaining blocks are dropped and
+// every later Pop/Steal/AddBlock is a no-op. The recovery monitor closes
+// the queue of a fenced worker so its tasks are re-executed only through
+// the orphan pool.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.Ops++
+	q.closed = true
+	q.blocks = nil
+	q.curSet = false
 }

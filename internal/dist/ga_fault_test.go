@@ -1,0 +1,115 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gtfock/internal/linalg"
+)
+
+type fixedFence map[int]int64
+
+func (f fixedFence) ValidEpoch(proc int, epoch int64) bool { return f[proc] == epoch }
+
+func TestTryGetDropCountsAndCopiesNothing(t *testing.T) {
+	g := UniformGrid2D(2, 2, 4, 4)
+	st := NewRunStats(4)
+	ga := NewGlobalArray(g, st)
+	ga.LoadMatrix(linalg.Identity(4))
+
+	drops := 2
+	ga.SetOpHook(func(proc int, op OpKind) (time.Duration, bool) {
+		if op == OpGet && drops > 0 {
+			drops--
+			return 0, true
+		}
+		return 0, false
+	})
+	dst := make([]float64, 16)
+	if err := ga.TryGet(1, 0, 4, 0, 4, dst, 4); !errors.Is(err, ErrDropped) {
+		t.Fatalf("want ErrDropped, got %v", err)
+	}
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatal("dropped Get copied data")
+		}
+	}
+	if st.Recovery.OpDrops != 1 {
+		t.Fatalf("OpDrops = %d, want 1", st.Recovery.OpDrops)
+	}
+	// GetRetry rides out the remaining drop.
+	if err := ga.GetRetry(4, 0, 1, 0, 4, 0, 4, dst, 4); err != nil {
+		t.Fatalf("GetRetry failed: %v", err)
+	}
+	if dst[0] != 1 || dst[5] != 1 {
+		t.Fatal("GetRetry did not copy the data")
+	}
+	if st.Recovery.OpRetries != 1 {
+		t.Fatalf("OpRetries = %d, want 1", st.Recovery.OpRetries)
+	}
+}
+
+func TestGetRetryExhaustsAttempts(t *testing.T) {
+	g := UniformGrid2D(1, 1, 2, 2)
+	ga := NewGlobalArray(g, NewRunStats(1))
+	ga.SetOpHook(func(int, OpKind) (time.Duration, bool) { return 0, true })
+	dst := make([]float64, 4)
+	if err := ga.GetRetry(3, 0, 0, 0, 2, 0, 2, dst, 2); !errors.Is(err, ErrDropped) {
+		t.Fatalf("want ErrDropped after exhausting attempts, got %v", err)
+	}
+}
+
+func TestAccFencedRejectsStaleEpoch(t *testing.T) {
+	g := UniformGrid2D(1, 2, 2, 4)
+	st := NewRunStats(2)
+	ga := NewGlobalArray(g, st)
+	fence := fixedFence{0: 3, 1: 5}
+	ga.SetFence(fence)
+
+	src := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	// Stale epoch: discarded, nothing applied.
+	if err := ga.AccFenced(0, 2, 0, 2, 0, 4, src, 4, 1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("want ErrFenced, got %v", err)
+	}
+	if m := ga.ToMatrix(); m.MaxAbs() != 0 {
+		t.Fatal("fenced Acc modified the array")
+	}
+	// Live epoch: applied.
+	if err := ga.AccFenced(0, 3, 0, 2, 0, 4, src, 4, 2); err != nil {
+		t.Fatalf("valid AccFenced failed: %v", err)
+	}
+	if m := ga.ToMatrix(); m.At(1, 3) != 2 {
+		t.Fatalf("Acc not applied: got %v", m.At(1, 3))
+	}
+}
+
+func TestAccFencedRetryRidesOutDrops(t *testing.T) {
+	g := UniformGrid2D(1, 1, 2, 2)
+	st := NewRunStats(1)
+	ga := NewGlobalArray(g, st)
+	ga.SetFence(fixedFence{0: 1})
+	drops := 3
+	ga.SetOpHook(func(proc int, op OpKind) (time.Duration, bool) {
+		if drops > 0 {
+			drops--
+			return 0, true
+		}
+		return 0, false
+	})
+	src := []float64{1, 2, 3, 4}
+	if err := ga.AccFencedRetry(0, 0, 1, 0, 2, 0, 2, src, 2, 1); err != nil {
+		t.Fatalf("AccFencedRetry: %v", err)
+	}
+	if m := ga.ToMatrix(); m.At(1, 1) != 4 {
+		t.Fatal("retry did not eventually apply the Acc")
+	}
+	if st.Recovery.OpRetries != 3 {
+		t.Fatalf("OpRetries = %d, want 3", st.Recovery.OpRetries)
+	}
+	// Once the fence goes stale, retry stops with ErrFenced.
+	ga.SetFence(fixedFence{0: 99})
+	if err := ga.AccFencedRetry(0, 0, 1, 0, 2, 0, 2, src, 2, 1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("want ErrFenced, got %v", err)
+	}
+}

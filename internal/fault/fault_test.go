@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// Two injectors with the same seed must produce identical decision
+// sequences per rank, independent of the order ranks are queried in.
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:             42,
+		CrashBeforeFlush: 0.3,
+		CrashAfterFlush:  0.1,
+		StallProb:        0.2,
+		StallFor:         time.Millisecond,
+		DropProb:         0.4,
+		DelayProb:        0.2,
+		DelayFor:         time.Microsecond,
+	}
+	a, b := New(cfg), New(cfg)
+	type decision struct {
+		crash bool
+		stall time.Duration
+		delay time.Duration
+		drop  bool
+	}
+	seq := func(inj *Injector, rank int) []decision {
+		var out []decision
+		for i := 0; i < 50; i++ {
+			var d decision
+			d.crash = inj.Crash(rank, PointBeforeFlush)
+			d.stall = inj.Stall(rank)
+			d.delay, d.drop = inj.OpFault(rank, OpGet)
+			out = append(out, d)
+		}
+		return out
+	}
+	// Query b's ranks in reverse order to check per-rank independence.
+	sa0, sa1 := seq(a, 0), seq(a, 1)
+	sb1, sb0 := seq(b, 1), seq(b, 0)
+	for i := range sa0 {
+		if sa0[i] != sb0[i] || sa1[i] != sb1[i] {
+			t.Fatalf("decision %d differs between same-seed injectors", i)
+		}
+	}
+	varies := false
+	for i := range sa0 {
+		if sa0[i] != sa1[i] {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("ranks 0 and 1 drew identical sequences; per-rank seeds not decorrelated")
+	}
+}
+
+func TestInjectorDisarm(t *testing.T) {
+	inj := New(Config{
+		Seed:             1,
+		CrashBeforeFlush: 1,
+		StallProb:        1,
+		StallFor:         time.Second,
+		DropProb:         1,
+	})
+	if !inj.Crash(0, PointBeforeFlush) {
+		t.Fatal("armed injector with prob 1 must crash")
+	}
+	inj.Disarm()
+	if inj.Armed() {
+		t.Fatal("Disarm did not disarm")
+	}
+	for i := 0; i < 10; i++ {
+		if inj.Crash(0, PointBeforeFlush) || inj.Stall(0) != 0 {
+			t.Fatal("disarmed injector injected a fault")
+		}
+		if _, drop := inj.OpFault(0, OpAcc); drop {
+			t.Fatal("disarmed injector dropped an op")
+		}
+	}
+}
+
+// Even at DropProb 1 the injector must cap consecutive drops so retry
+// loops terminate.
+func TestInjectorBoundsConsecutiveDrops(t *testing.T) {
+	inj := New(Config{Seed: 7, DropProb: 1, MaxConsecutiveDrops: 3})
+	run := 0
+	for i := 0; i < 40; i++ {
+		_, drop := inj.OpFault(2, OpAcc)
+		if drop {
+			run++
+			if run > 3 {
+				t.Fatalf("%d consecutive drops, cap is 3", run)
+			}
+		} else {
+			run = 0
+		}
+	}
+}

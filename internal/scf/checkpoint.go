@@ -3,6 +3,7 @@ package scf
 import (
 	"encoding/gob"
 	"fmt"
+	"math"
 	"os"
 
 	"gtfock/internal/linalg"
@@ -61,8 +62,21 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("scf: checkpoint version %d, want %d", ck.Version, checkpointVersion)
 	}
 	n := ck.NumFuncs
-	if len(ck.FData) != n*n || len(ck.DData) != n*n {
-		return nil, fmt.Errorf("scf: checkpoint matrix sizes inconsistent with %d functions", n)
+	if n <= 0 {
+		return nil, fmt.Errorf("scf: checkpoint %s has invalid NumFuncs %d", path, n)
+	}
+	// Size the matrices in int64 so a hostile NumFuncs cannot wrap n*n.
+	nn := int64(n) * int64(n)
+	if int64(len(ck.FData)) != nn || int64(len(ck.DData)) != nn {
+		return nil, fmt.Errorf("scf: checkpoint %s matrix sizes (%d, %d) inconsistent with %d functions",
+			path, len(ck.FData), len(ck.DData), n)
+	}
+	for _, data := range [][]float64{ck.FData, ck.DData} {
+		for _, v := range data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("scf: checkpoint %s contains non-finite matrix entries", path)
+			}
+		}
 	}
 	return &ck, nil
 }

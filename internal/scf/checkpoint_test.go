@@ -1,9 +1,11 @@
 package scf
 
 import (
+	"encoding/gob"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"gtfock/internal/chem"
@@ -82,5 +84,97 @@ func TestLoadCheckpointErrors(t *testing.T) {
 	}
 	if _, err := LoadCheckpoint(p); err == nil {
 		t.Fatal("expected corrupt-file error")
+	}
+}
+
+// saveTestCheckpoint writes a small valid checkpoint and returns its path.
+func saveTestCheckpoint(t *testing.T, mutate func(*Checkpoint)) string {
+	t.Helper()
+	mol := chem.Methane()
+	res, err := RunHF(mol, Options{BasisName: "sto-3g"})
+	if err != nil || !res.Converged {
+		t.Fatal("setup SCF failed")
+	}
+	path := filepath.Join(t.TempDir(), "ck.ckpt")
+	if mutate == nil {
+		if err := SaveCheckpoint(path, res, "sto-3g"); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	ck := Checkpoint{
+		Version: checkpointVersion, Formula: "CH4", BasisName: "sto-3g",
+		NumFuncs: res.Basis.NumFuncs, Converged: true, Energy: res.Energy,
+		FData: append([]float64(nil), res.F.Data...),
+		DData: append([]float64(nil), res.D.Data...),
+	}
+	mutate(&ck)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(&ck); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCheckpointRejectsTruncated(t *testing.T) {
+	path := saveTestCheckpoint(t, nil)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("expected error loading truncated checkpoint")
+	}
+}
+
+func TestLoadCheckpointRejectsNonFinite(t *testing.T) {
+	path := saveTestCheckpoint(t, func(ck *Checkpoint) {
+		ck.FData[3] = math.NaN()
+	})
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("expected error for NaN-poisoned Fock data")
+	}
+	path = saveTestCheckpoint(t, func(ck *Checkpoint) {
+		ck.DData[0] = math.Inf(1)
+	})
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("expected error for Inf-poisoned density data")
+	}
+}
+
+func TestLoadCheckpointRejectsBadShape(t *testing.T) {
+	path := saveTestCheckpoint(t, func(ck *Checkpoint) { ck.NumFuncs = -4 })
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("expected error for negative NumFuncs")
+	}
+	path = saveTestCheckpoint(t, func(ck *Checkpoint) { ck.FData = ck.FData[:5] })
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("expected error for short FData")
+	}
+}
+
+// A NaN-poisoned warm start must fail fast with a descriptive error, not
+// run silently to MaxIter.
+func TestRunHFRejectsNaNInitialFock(t *testing.T) {
+	mol := chem.Methane()
+	cold, err := RunHF(mol, Options{BasisName: "sto-3g"})
+	if err != nil || !cold.Converged {
+		t.Fatal("cold SCF failed")
+	}
+	bad := cold.F.Clone()
+	bad.Set(2, 3, math.NaN())
+	_, err = RunHF(mol, Options{BasisName: "sto-3g", InitialFock: bad})
+	if err == nil {
+		t.Fatal("expected numerical blow-up error")
+	}
+	if !strings.Contains(err.Error(), "blow-up at iteration 1") {
+		t.Fatalf("unhelpful error: %v", err)
 	}
 }

@@ -210,6 +210,14 @@ func RunHF(mol *chem.Molecule, opt Options) (*Result, error) {
 	for it := 1; it <= opt.MaxIter; it++ {
 		iter := Iteration{}
 
+		// Numerical blow-up guard: a NaN/Inf in F (bad warm start, DIIS
+		// breakdown, diverging density) would otherwise propagate silently
+		// through eigensolver and energy until MaxIter.
+		if i, j, ok := firstNonFinite(f); ok {
+			return nil, fmt.Errorf("scf: numerical blow-up at iteration %d: Fock matrix has non-finite entry %g at (%d,%d)",
+				it, f.At(i, j), i, j)
+		}
+
 		// Density from the current Fock matrix (Alg. 1 lines 7-10).
 		t0 := time.Now()
 		fPrime := linalg.MatMul(linalg.MatMul(x.T(), f), x)
@@ -273,6 +281,9 @@ func RunHF(mol *chem.Molecule, opt Options) (*Result, error) {
 		hp.AXPY(1, f)
 		eElec := linalg.TraceMul(p, hp)
 		eTot := eElec + enuc
+		if math.IsNaN(eTot) || math.IsInf(eTot, 0) {
+			return nil, fmt.Errorf("scf: numerical blow-up at iteration %d: total energy is %g", it, eTot)
+		}
 		iter.Energy = eTot
 		iter.DeltaE = eTot - ePrev
 		if it == 1 {
@@ -298,6 +309,16 @@ func RunHF(mol *chem.Molecule, opt Options) (*Result, error) {
 	res.F, res.D = f, d
 	res.finalizeOrbitals(x, nocc)
 	return res, nil
+}
+
+// firstNonFinite returns the position of the first NaN/Inf entry of m.
+func firstNonFinite(m *linalg.Matrix) (i, j int, found bool) {
+	for k, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return k / m.Cols, k % m.Cols, true
+		}
+	}
+	return 0, 0, false
 }
 
 // finalizeOrbitals diagonalizes the final Fock matrix in the orthogonal
