@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race ci bench
+.PHONY: build test vet race ci bench microbench bench-short bench-check bench-ab
 
 build:
 	$(GO) build ./...
@@ -18,5 +18,20 @@ race:
 
 ci: build vet race
 
-bench:
+# Go-testing microbenchmarks (one iteration each; a compile-and-run smoke).
+microbench:
 	$(GO) test -bench . -benchtime 1x -run NONE .
+
+# Repeatable Fock-build benchmark series; regenerates the committed
+# BENCH_fock.json baseline (alkane series, fixed parameters).
+bench:
+	$(GO) run ./cmd/bench -out BENCH_fock.json
+
+# CI smoke: run the pinned small case and fail if its calibrated wall
+# (wall_ns / serial_ns) regressed more than 15% against the baseline.
+bench-short:
+	$(GO) run ./cmd/bench -short -check BENCH_fock.json
+
+# Interleaved A/B measurement of the observability layer's overhead.
+bench-ab:
+	$(GO) run ./cmd/bench -ab 5

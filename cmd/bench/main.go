@@ -1,0 +1,291 @@
+// Command bench is the repeatable benchmark harness for the real-mode
+// Fock build: it runs an alkane series at fixed parameters and emits a
+// machine-readable BENCH_fock.json with, per case, the best-of-reps wall
+// time, a serial-oracle calibration time, load balance, steal count,
+// communication volume, and the overhead of the armed (zero-rate) fault
+// runtime — the quantities the paper's Tables V-VIII track.
+//
+//	bench                          # full series -> BENCH_fock.json
+//	bench -short -check BENCH_fock.json   # CI smoke: pinned case vs baseline
+//	bench -ab 5                    # interleaved observability-overhead A/B
+//
+// The regression check compares walls normalized by the serial
+// calibration (wall_ns / serial_ns), so a uniformly slower CI machine
+// does not trip it; only changes to the parallel runtime's overhead do.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+	"gtfock/internal/core"
+	"gtfock/internal/dist"
+	"gtfock/internal/fault"
+	"gtfock/internal/linalg"
+	"gtfock/internal/metrics"
+	"gtfock/internal/screen"
+)
+
+type benchCase struct {
+	Mol           string  `json:"mol"`
+	NShells       int     `json:"nshells"`
+	NFuncs        int     `json:"nfuncs"`
+	Tasks         int64   `json:"tasks"`
+	SerialNS      int64   `json:"serial_ns"`      // calibration: serial oracle build
+	WallNS        int64   `json:"wall_ns"`        // best of reps, plain parallel build
+	WallFaultNS   int64   `json:"wall_fault_ns"`  // best of reps, armed zero-rate fault runtime
+	FaultOverhead float64 `json:"fault_overhead"` // WallFaultNS / WallNS
+	NormWall      float64 `json:"norm_wall"`      // WallNS / SerialNS (the checked quantity)
+	LoadBalance   float64 `json:"load_balance"`
+	StealsTotal   int64   `json:"steals_total"`
+	CommMBPerProc float64 `json:"comm_mb_per_proc"`
+	CallsPerProc  float64 `json:"calls_per_proc"`
+}
+
+type benchReport struct {
+	Basis string      `json:"basis"`
+	Grid  string      `json:"grid"`
+	Reps  int         `json:"reps"`
+	Cases []benchCase `json:"cases"`
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_fock.json", "output file for the benchmark report")
+		series = flag.String("series", "2,4,6", "comma-separated alkane chain lengths")
+		bname  = flag.String("basis", "sto-3g", "basis set for every case")
+		grid   = flag.String("grid", "2x2", "process grid RxC")
+		reps   = flag.Int("reps", 3, "repetitions per configuration; the minimum wall is reported")
+		short  = flag.Bool("short", false, "smoke mode: only the first (pinned) series case, 2 reps")
+		check  = flag.String("check", "", "compare against this baseline report instead of writing -out")
+		tol    = flag.Float64("tol", 0.15, "allowed fractional regression of norm_wall in -check mode")
+		ab     = flag.Int("ab", 0, "run N interleaved A/B pairs measuring observability overhead, then exit")
+	)
+	flag.Parse()
+
+	sizes, err := parseSeries(*series)
+	fatalIf(err)
+	prow, pcol, err := parseGrid(*grid)
+	fatalIf(err)
+	if *short {
+		sizes = sizes[:1]
+		if *reps > 2 {
+			*reps = 2
+		}
+	}
+
+	if *ab > 0 {
+		runAB(sizes[0], *bname, prow, pcol, *ab)
+		return
+	}
+
+	if *check != "" {
+		base := readReport(*check)
+		// Re-run under the baseline's own parameters so the comparison is
+		// apples to apples even if the flags drifted.
+		prow, pcol, err = parseGrid(base.Grid)
+		fatalIf(err)
+		fresh := runSeries(sizesOf(base, sizes), base.Basis, base.Grid, prow, pcol, *reps)
+		fatalIf(compareReports(base, fresh, *tol))
+		fmt.Printf("bench check passed: %d cases within %.0f%% of %s\n",
+			len(fresh.Cases), *tol*100, *check)
+		return
+	}
+
+	rep := runSeries(sizes, *bname, *grid, prow, pcol, *reps)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	fatalIf(err)
+	fatalIf(os.WriteFile(*out, append(data, '\n'), 0o644))
+	fmt.Printf("report written to %s\n", *out)
+}
+
+// sizesOf restricts the run to baseline cases, keeping at most as many as
+// the requested series (so -short checks only the pinned first case).
+func sizesOf(base benchReport, requested []int) []int {
+	var sizes []int
+	for _, c := range base.Cases {
+		n, err := strconv.Atoi(strings.TrimPrefix(c.Mol, "alkane:"))
+		fatalIf(err)
+		sizes = append(sizes, n)
+		if len(sizes) >= len(requested) {
+			break
+		}
+	}
+	return sizes
+}
+
+func runSeries(sizes []int, bname, grid string, prow, pcol, reps int) benchReport {
+	rep := benchReport{Basis: bname, Grid: grid, Reps: reps}
+	for _, n := range sizes {
+		c := runCase(n, bname, prow, pcol, reps)
+		fmt.Printf("%-10s %3d shells: serial %8.1fms  wall %8.1fms  norm %5.2f  fault x%.3f  l=%.3f  steals=%d\n",
+			c.Mol, c.NShells, float64(c.SerialNS)/1e6, float64(c.WallNS)/1e6,
+			c.NormWall, c.FaultOverhead, c.LoadBalance, c.StealsTotal)
+		rep.Cases = append(rep.Cases, c)
+	}
+	return rep
+}
+
+func runCase(n int, bname string, prow, pcol, reps int) benchCase {
+	bs, scr, d := setup(n, bname)
+	c := benchCase{
+		Mol:     fmt.Sprintf("alkane:%d", n),
+		NShells: bs.NumShells(),
+		NFuncs:  bs.NumFuncs,
+		Tasks:   int64(bs.NumShells()) * int64(bs.NumShells()),
+	}
+
+	// Calibration: the serial oracle is pure ERI work, so wall/serial
+	// cancels machine speed and isolates the parallel runtime's behavior.
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		core.BuildSerial(bs, scr, d)
+		c.SerialNS = minNZ(c.SerialNS, time.Since(t0).Nanoseconds())
+	}
+
+	var stats *dist.RunStats
+	for r := 0; r < reps; r++ {
+		res := core.Build(bs, scr, d, core.Options{Prow: prow, Pcol: pcol})
+		if w := res.Wall.Nanoseconds(); c.WallNS == 0 || w < c.WallNS {
+			c.WallNS = w
+			stats = res.Stats
+		}
+	}
+	for r := 0; r < reps; r++ {
+		// Armed injector with zero rates: the full fault runtime (ledger,
+		// leases, fenced accumulates, monitor) with no faults firing.
+		res := core.Build(bs, scr, d, core.Options{
+			Prow: prow, Pcol: pcol,
+			Fault: fault.New(fault.Config{Seed: 1}),
+		})
+		c.WallFaultNS = minNZ(c.WallFaultNS, res.Wall.Nanoseconds())
+	}
+
+	c.FaultOverhead = float64(c.WallFaultNS) / float64(c.WallNS)
+	c.NormWall = float64(c.WallNS) / float64(c.SerialNS)
+	c.LoadBalance = stats.LoadBalance()
+	for i := range stats.Per {
+		c.StealsTotal += stats.Per[i].Steals
+	}
+	c.CommMBPerProc = stats.VolumeAvgMB()
+	c.CallsPerProc = stats.CallsAvg()
+	return c
+}
+
+// runAB measures the overhead of the observability layer with n
+// interleaved A/B pairs on the pinned case: A builds with no sinks, B
+// with tracing and metrics attached. Alternating the order within each
+// pair cancels thermal and cache drift.
+func runAB(size int, bname string, prow, pcol, n int) {
+	bs, scr, d := setup(size, bname)
+	build := func(observed bool) time.Duration {
+		opt := core.Options{Prow: prow, Pcol: pcol}
+		if observed {
+			opt.Trace = &dist.Trace{}
+			opt.Metrics = metrics.NewRegistry(prow * pcol)
+		}
+		return core.Build(bs, scr, d, opt).Wall
+	}
+	build(false) // warmup
+	var a, b time.Duration
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			a += build(false)
+			b += build(true)
+		} else {
+			b += build(true)
+			a += build(false)
+		}
+	}
+	over := float64(b)/float64(a) - 1
+	fmt.Printf("A/B x%d on alkane:%d %s (%dx%d): disabled %.1fms, enabled %.1fms, overhead %+.2f%%\n",
+		n, size, bname, prow, pcol,
+		float64(a.Milliseconds())/float64(n), float64(b.Milliseconds())/float64(n), over*100)
+}
+
+func compareReports(base, fresh benchReport, tol float64) error {
+	byMol := map[string]benchCase{}
+	for _, c := range base.Cases {
+		byMol[c.Mol] = c
+	}
+	for _, f := range fresh.Cases {
+		b, ok := byMol[f.Mol]
+		if !ok {
+			continue
+		}
+		if b.NormWall <= 0 {
+			return fmt.Errorf("baseline %s has no norm_wall; regenerate the baseline", f.Mol)
+		}
+		if f.NormWall > b.NormWall*(1+tol) {
+			return fmt.Errorf("%s regressed: norm_wall %.3f vs baseline %.3f (>%.0f%%)",
+				f.Mol, f.NormWall, b.NormWall, tol*100)
+		}
+		fmt.Printf("%-10s norm_wall %.3f vs baseline %.3f: ok\n", f.Mol, f.NormWall, b.NormWall)
+	}
+	return nil
+}
+
+func setup(n int, bname string) (*basis.Set, *screen.Screening, *linalg.Matrix) {
+	bs, err := basis.Build(chem.Alkane(n), bname)
+	fatalIf(err)
+	scr := screen.Compute(bs, screen.DefaultTau)
+	d := linalg.Identity(bs.NumFuncs).Scale(0.5)
+	return bs, scr, d
+}
+
+func readReport(path string) benchReport {
+	data, err := os.ReadFile(path)
+	fatalIf(err)
+	var rep benchReport
+	fatalIf(json.Unmarshal(data, &rep))
+	return rep
+}
+
+func minNZ(cur, v int64) int64 {
+	if cur == 0 || v < cur {
+		return v
+	}
+	return cur
+}
+
+func parseSeries(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad series entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty series")
+	}
+	return out, nil
+}
+
+func parseGrid(s string) (int, int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("grid must be RxC, got %q", s)
+	}
+	r, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	c, err := strconv.Atoi(parts[1])
+	return r, c, err
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

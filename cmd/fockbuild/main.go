@@ -22,9 +22,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -35,6 +37,7 @@ import (
 	"gtfock/internal/dist"
 	"gtfock/internal/fault"
 	"gtfock/internal/linalg"
+	"gtfock/internal/metrics"
 	"gtfock/internal/nwchem"
 	"gtfock/internal/reorder"
 	"gtfock/internal/screen"
@@ -51,7 +54,12 @@ func main() {
 		tau     = flag.Float64("tau", screen.DefaultTau, "screening tolerance")
 		ord     = flag.String("reorder", "cell", "shell ordering: cell, morton, natural (gtfock only)")
 		primTol = flag.Float64("primtol", 0, "primitive prescreening tolerance (0 = off)")
-		trace   = flag.Bool("trace", false, "print an activity timeline (sim mode)")
+		trace   = flag.Bool("trace", false, "print an activity timeline (sim mode, or gtfock real mode)")
+
+		// Observability (gtfock real mode).
+		metricsOut = flag.String("metrics", "", "write per-worker metrics JSON to this file")
+		httpAddr   = flag.String("http", "", "serve /debug/vars (expvar) and /debug/pprof on this address (e.g. localhost:6060)")
+		httpWait   = flag.Bool("http-wait", false, "after the build, keep the -http endpoint serving until interrupted")
 
 		// Fault injection / recovery (gtfock real mode).
 		faultSeed       = flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
@@ -143,9 +151,35 @@ func main() {
 				})
 				copt.LeaseTTL = time.Duration(*leaseMS) * time.Millisecond
 			}
+			if *trace {
+				copt.Trace = &dist.Trace{}
+			}
+			var reg *metrics.Registry
+			if *metricsOut != "" || *httpAddr != "" {
+				reg = metrics.NewRegistry(prow * pcol)
+				copt.Metrics = reg
+			}
+			if *httpAddr != "" {
+				addr, err := metrics.StartDebugServer(*httpAddr, reg)
+				fatalIf(err)
+				fmt.Printf("debug endpoint: http://%s/debug/vars (expvar) and http://%s/debug/pprof/\n", addr, addr)
+			}
 			res := core.Build(bs, scr, d, copt)
 			fmt.Printf("wall time: %v,  |G|_max = %.6f\n", res.Wall, res.G.MaxAbs())
 			report(res.Stats, fmt.Sprintf("real, %dx%d grid", prow, pcol))
+			if copt.Trace != nil {
+				printTrace(copt.Trace)
+			}
+			if *metricsOut != "" {
+				fatalIf(writeMetrics(*metricsOut, reg))
+				fmt.Printf("metrics written to %s\n", *metricsOut)
+			}
+			if *httpAddr != "" && *httpWait {
+				fmt.Println("serving debug endpoint; interrupt (Ctrl-C) to exit")
+				ch := make(chan os.Signal, 1)
+				signal.Notify(ch, os.Interrupt)
+				<-ch
+			}
 		case "nwchem":
 			res, err := nwchem.Build(bs, scr, d, nwchem.Options{Procs: prow * pcol, PrimTol: *primTol})
 			fatalIf(err)
@@ -176,6 +210,28 @@ func report(st *dist.RunStats, label string) {
 		fmt.Printf("                       %d op drops, %d op retries, %d extra rounds\n",
 			r.OpDrops, r.OpRetries, r.Rounds)
 	}
+}
+
+// printTrace renders a real-mode trace: the timeline plus per-kind and
+// discarded-work totals.
+func printTrace(tr *dist.Trace) {
+	fmt.Print(tr.Timeline(100, 24))
+	tot := tr.KindTotals()
+	fmt.Printf("  traced time: compute %.4fs, prefetch %.4fs, flush %.4fs, steal %.4fs\n",
+		tot[byte(dist.SpanCompute)], tot[byte(dist.SpanPrefetch)],
+		tot[byte(dist.SpanFlush)], tot[byte(dist.SpanSteal)])
+	if n, secs := tr.DiscardedTotal(); n > 0 {
+		fmt.Printf("  discarded (fenced incarnations): %d spans, %.4fs re-executed elsewhere\n", n, secs)
+	}
+}
+
+// writeMetrics dumps the registry snapshot as indented JSON.
+func writeMetrics(path string, reg *metrics.Registry) error {
+	data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // runChaos executes n seeded fault-injected builds sweeping crash, stall

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"gtfock/internal/chem"
 	"gtfock/internal/correlate"
 	"gtfock/internal/integrals"
+	"gtfock/internal/metrics"
 	"gtfock/internal/props"
 	"gtfock/internal/scf"
 	"gtfock/internal/screen"
@@ -36,6 +38,11 @@ func main() {
 		ord     = flag.String("reorder", "", "shell ordering: cell, morton, or empty")
 		noDIIS  = flag.Bool("nodiis", false, "disable DIIS acceleration")
 		mp2     = flag.Bool("mp2", false, "add the MP2 correlation energy (small systems)")
+
+		// Observability (gtfock engine): metrics accumulate over every Fock
+		// build of the SCF run.
+		metricsOut = flag.String("metrics", "", "write per-worker Fock-build metrics JSON to this file")
+		httpAddr   = flag.String("http", "", "serve /debug/vars (expvar) and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -56,6 +63,17 @@ func main() {
 	}
 	opt.Prow, opt.Pcol, err = parseGrid(*grid)
 	fatalIf(err)
+
+	var reg *metrics.Registry
+	if *metricsOut != "" || *httpAddr != "" {
+		reg = metrics.NewRegistry(opt.Prow * opt.Pcol)
+		opt.FockMetrics = reg
+	}
+	if *httpAddr != "" {
+		addr, err := metrics.StartDebugServer(*httpAddr, reg)
+		fatalIf(err)
+		fmt.Printf("debug endpoint: http://%s/debug/vars (expvar) and http://%s/debug/pprof/\n", addr, addr)
+	}
 
 	fmt.Printf("RHF/%s on %s (%d electrons, %s engine)\n",
 		*bname, mol.Formula(), mol.NumElectrons(), *engine)
@@ -85,6 +103,12 @@ func main() {
 		fmt.Printf("last Fock build: %.2f MB and %.0f calls per process, l = %.4f\n",
 			res.FockStats.VolumeAvgMB(), res.FockStats.CallsAvg(),
 			res.FockStats.LoadBalance())
+	}
+	if *metricsOut != "" {
+		data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		fatalIf(err)
+		fatalIf(os.WriteFile(*metricsOut, append(data, '\n'), 0o644))
+		fmt.Printf("Fock-build metrics (all iterations) written to %s\n", *metricsOut)
 	}
 
 	if *mp2 {

@@ -153,6 +153,46 @@ func TestChaosCertainCrashStillCompletes(t *testing.T) {
 	}
 }
 
+// A column-split steal (Queue.Steal's fallback for single-row blocks)
+// transfers a column band between claims; the guillotine split leaves
+// the victim the left remnant, and interior rectangles leave all four.
+func TestLedgerTransferColumnBand(t *testing.T) {
+	l := newLedger(2, time.Hour, dist.NewRunStats(2))
+	e0 := l.register(0)
+	e1 := l.register(1)
+	if !l.claim(0, e0, TaskBlock{R0: 2, R1: 3, C0: 0, C1: 8}) {
+		t.Fatal("claim failed")
+	}
+	if !l.transfer(0, 1, e1, TaskBlock{R0: 2, R1: 3, C0: 5, C1: 8}) {
+		t.Fatal("column-band transfer failed")
+	}
+	if n := len(l.claimed[0]); n != 1 || l.claimed[0][0] != (TaskBlock{R0: 2, R1: 3, C0: 0, C1: 5}) {
+		t.Fatalf("victim claims after column transfer: %v", l.claimed[0])
+	}
+	// An interior rectangle (not produced by Queue.Steal, but the split
+	// must still conserve area): 4 remnants ring the transferred block.
+	if !l.claim(0, e0, TaskBlock{R0: 10, R1: 20, C0: 10, C1: 20}) {
+		t.Fatal("claim failed")
+	}
+	if !l.transfer(0, 1, e1, TaskBlock{R0: 13, R1: 16, C0: 14, C1: 17}) {
+		t.Fatal("interior transfer failed")
+	}
+	area := 0
+	for _, b := range l.claimed[0] {
+		area += b.Count()
+	}
+	if area != 5+100-9 {
+		t.Fatalf("victim area after splits = %d, want %d", area, 5+100-9)
+	}
+	for i, a := range l.claimed[0] {
+		for j, b := range l.claimed[0] {
+			if i != j && a.R0 < b.R1 && b.R0 < a.R1 && a.C0 < b.C1 && b.C0 < a.C1 {
+				t.Fatalf("claims overlap: %v and %v", a, b)
+			}
+		}
+	}
+}
+
 func TestQueueRemainingExcludesConsumedFrontRow(t *testing.T) {
 	q := NewQueue(TaskBlock{R0: 0, R1: 2, C0: 0, C1: 3})
 	want := []int{6, 5, 4, 3, 2, 1, 0}

@@ -139,6 +139,103 @@ func TestQueueStealHalvesAndPreservesTasks(t *testing.T) {
 	}
 }
 
+// Regression for the tail-imbalance hole: a single-row but arbitrarily
+// wide block used to be unstealable (Steal split rows only), defeating
+// work stealing exactly where it matters. The column fallback must
+// split it.
+func TestQueueStealColumnSplitFromSingleRow(t *testing.T) {
+	q := NewQueue(TaskBlock{R0: 3, R1: 4, C0: 0, C1: 9})
+	blk, ok := q.Steal()
+	if !ok {
+		t.Fatal("steal from a 1x9 block failed")
+	}
+	if blk.Count() != 4 { // half of 9 columns, rounded down
+		t.Fatalf("stole %d tasks from 1x9, want 4", blk.Count())
+	}
+	seen := map[Task]int{}
+	drain := func(q *Queue) {
+		for {
+			task, ok := q.Pop()
+			if !ok {
+				return
+			}
+			seen[task]++
+		}
+	}
+	drain(NewQueue(blk))
+	drain(q)
+	if len(seen) != 9 {
+		t.Fatalf("delivered %d distinct tasks, want 9", len(seen))
+	}
+	for task, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %v delivered %d times", task, n)
+		}
+	}
+}
+
+// A cursor-pinned two-row block: the owner sits in the first row, so a
+// row split sees only one spare row and used to give up. The fallback
+// steals that whole row, then column-splits the cursor row's tail.
+func TestQueueStealCursorPinnedBlock(t *testing.T) {
+	q := NewQueue(TaskBlock{R0: 0, R1: 2, C0: 0, C1: 8})
+	seen := map[Task]int{}
+	for i := 0; i < 3; i++ { // cursor into row 0, column 3 next
+		task, ok := q.Pop()
+		if !ok {
+			t.Fatal("pop failed")
+		}
+		seen[task]++
+	}
+	var stolen []TaskBlock
+	for {
+		blk, ok := q.Steal()
+		if !ok {
+			break
+		}
+		if blk.Empty() {
+			t.Fatalf("stole empty block %+v", blk)
+		}
+		stolen = append(stolen, blk)
+	}
+	// First steal takes the full spare row (8 tasks), later ones split
+	// the cursor row's remaining columns [3,8).
+	if len(stolen) < 2 {
+		t.Fatalf("only %d steals from a pinned 2x8 block, want >= 2", len(stolen))
+	}
+	if stolen[0].Count() != 8 {
+		t.Fatalf("first steal took %d tasks, want the 8-task spare row", stolen[0].Count())
+	}
+	for _, blk := range stolen {
+		q2 := NewQueue(blk)
+		for {
+			task, ok := q2.Pop()
+			if !ok {
+				break
+			}
+			if seen[task] > 0 {
+				t.Fatalf("stole already-delivered task %v", task)
+			}
+			seen[task]++
+		}
+	}
+	for {
+		task, ok := q.Pop()
+		if !ok {
+			break
+		}
+		seen[task]++
+	}
+	if len(seen) != 16 {
+		t.Fatalf("delivered %d distinct tasks, want 16", len(seen))
+	}
+	for task, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %v delivered %d times", task, n)
+		}
+	}
+}
+
 func TestQueueConcurrentPopSteal(t *testing.T) {
 	const rows, cols = 40, 10
 	q := NewQueue(TaskBlock{R0: 0, R1: rows, C0: 0, C1: cols})
@@ -184,6 +281,96 @@ func TestQueueConcurrentPopSteal(t *testing.T) {
 	wg.Wait()
 	if len(seen) != rows*cols {
 		t.Fatalf("executed %d distinct tasks, want %d", len(seen), rows*cols)
+	}
+	for task, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %v executed %d times", task, c)
+		}
+	}
+}
+
+// Concurrent conservation property: an owner popping, thieves stealing
+// (row splits and column fallbacks) and re-stealing from each other, and
+// a feeder adding blocks mid-flight must together deliver every task
+// exactly once. Run under -race this doubles as the data-race audit of
+// Pop's front-block shrink against concurrent Steal.
+func TestQueueConcurrentPopStealAddBlock(t *testing.T) {
+	const rows, cols = 8, 50 // wide and short: column fallback territory
+	q := NewQueue(TaskBlock{R0: 0, R1: rows, C0: 0, C1: cols})
+	extra := []TaskBlock{
+		{R0: rows, R1: rows + 1, C0: 0, C1: cols}, // single wide row
+		{R0: rows + 1, R1: rows + 3, C0: 0, C1: 7},
+		{R0: rows + 3, R1: rows + 4, C0: 0, C1: 1}, // single task
+	}
+	want := rows * cols
+	for _, b := range extra {
+		want += b.Count()
+	}
+
+	var mu sync.Mutex
+	seen := map[Task]int{}
+	record := func(task Task) {
+		mu.Lock()
+		seen[task]++
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	wg.Add(5)
+	go func() { // feeder: blocks arrive while popping and stealing run
+		defer wg.Done()
+		for _, b := range extra {
+			q.AddBlock(b)
+		}
+	}()
+	go func() { // owner
+		defer wg.Done()
+		misses := 0
+		for misses < 100 { // outlast the feeder
+			task, ok := q.Pop()
+			if !ok {
+				misses++
+				continue
+			}
+			misses = 0
+			record(task)
+		}
+	}()
+	for th := 0; th < 3; th++ {
+		go func() {
+			defer wg.Done()
+			misses := 0
+			for misses < 100 {
+				blk, ok := q.Steal()
+				if !ok {
+					misses++
+					continue
+				}
+				misses = 0
+				mine := NewQueue(blk)
+				for {
+					task, ok := mine.Pop()
+					if !ok {
+						break
+					}
+					record(task)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Steal deliberately never takes the last task of a block (the owner
+	// finishes what it started), so if the owner goroutine hit its miss
+	// limit first, single-task remnants may remain; the owner would have
+	// popped them. Drain them here and check coverage over the union.
+	for {
+		task, ok := q.Pop()
+		if !ok {
+			break
+		}
+		record(task)
+	}
+	if len(seen) != want {
+		t.Fatalf("executed %d distinct tasks, want %d", len(seen), want)
 	}
 	for task, c := range seen {
 		if c != 1 {

@@ -2,25 +2,35 @@ package core
 
 import "testing"
 
-// FuzzQueue drives a queue with an arbitrary pop/steal schedule and checks
-// task conservation: every task is delivered exactly once.
+// FuzzQueue drives a queue with an arbitrary pop/steal/add schedule and
+// checks task conservation: every task of the initial block and of every
+// later AddBlock is delivered exactly once, through either the owner's
+// Pop or a thief's drain, regardless of interleaving with the cursor and
+// with the row/column steal splits.
 func FuzzQueue(f *testing.F) {
 	f.Add(uint8(4), uint8(3), []byte{0, 1, 0, 1, 1, 0})
 	f.Add(uint8(10), uint8(10), []byte{1, 1, 1, 1, 0, 0, 0})
+	f.Add(uint8(1), uint8(17), []byte{1, 1, 0, 1, 0, 1}) // 1xK: column splits
+	f.Add(uint8(2), uint8(9), []byte{0, 1, 3, 1, 2, 1, 0, 1})
 	f.Fuzz(func(t *testing.T, rows, cols uint8, schedule []byte) {
 		r := int(rows%32) + 1
 		c := int(cols%32) + 1
 		q := NewQueue(TaskBlock{R0: 0, R1: r, C0: 0, C1: c})
+		blocks := []TaskBlock{{R0: 0, R1: r, C0: 0, C1: c}}
+		nextRow := r // added blocks use fresh row ranges, keeping tasks distinct
 		seen := map[Task]int{}
 		var stolen []*Queue
-		for _, op := range schedule {
-			switch op % 3 {
+		for si, op := range schedule {
+			switch op % 4 {
 			case 0: // owner pop
 				if task, ok := q.Pop(); ok {
 					seen[task]++
 				}
 			case 1: // steal into a new queue
 				if blk, ok := q.Steal(); ok {
+					if blk.Empty() {
+						t.Fatalf("stole empty block %+v", blk)
+					}
 					stolen = append(stolen, NewQueue(blk))
 				}
 			case 2: // drain one stolen queue
@@ -35,6 +45,13 @@ func FuzzQueue(f *testing.F) {
 						seen[task]++
 					}
 				}
+			case 3: // a stolen block arrives from elsewhere
+				ar := int(schedule[si]%3) + 1
+				ac := int(schedule[(si+1)%len(schedule)]%5) + 1
+				nb := TaskBlock{R0: nextRow, R1: nextRow + ar, C0: 0, C1: ac}
+				nextRow += ar
+				q.AddBlock(nb)
+				blocks = append(blocks, nb)
 			}
 		}
 		// Drain everything that remains.
@@ -54,15 +71,26 @@ func FuzzQueue(f *testing.F) {
 				seen[task]++
 			}
 		}
-		if len(seen) != r*c {
-			t.Fatalf("delivered %d distinct tasks, want %d", len(seen), r*c)
+		want := 0
+		for _, b := range blocks {
+			want += b.Count()
+		}
+		if len(seen) != want {
+			t.Fatalf("delivered %d distinct tasks, want %d", len(seen), want)
 		}
 		for task, n := range seen {
 			if n != 1 {
 				t.Fatalf("task %v delivered %d times", task, n)
 			}
-			if task.M < 0 || task.M >= r || task.N < 0 || task.N >= c {
-				t.Fatalf("task %v out of range", task)
+			inBlock := false
+			for _, b := range blocks {
+				if task.M >= b.R0 && task.M < b.R1 && task.N >= b.C0 && task.N < b.C1 {
+					inBlock = true
+					break
+				}
+			}
+			if !inBlock {
+				t.Fatalf("task %v outside every block", task)
 			}
 		}
 	})

@@ -16,7 +16,7 @@ import (
 //
 //  1. The claimed regions across all ranks plus the orphan pool are
 //     pairwise disjoint, and descend from the initial static partition
-//     by row splits only.
+//     by guillotine (row- or column-band) splits only.
 //  2. A worker commits (flushes floc into the global F) only between
 //     beginCommit and endCommit; beginCommit validates the incarnation
 //     epoch and the monitor never fences a committing worker, so a
@@ -39,6 +39,14 @@ type ledger struct {
 	claimed    [][]TaskBlock
 	orphans    []TaskBlock
 	queues     []*Queue // current round's queues, for confiscation
+	fenced     []fencedEpoch
+}
+
+// fencedEpoch identifies one worker incarnation declared dead; Build
+// uses the list to mark the incarnation's trace spans discarded.
+type fencedEpoch struct {
+	rank  int
+	epoch int64
 }
 
 func newLedger(n int, ttl time.Duration, stats *dist.RunStats) *ledger {
@@ -140,19 +148,26 @@ func (l *ledger) transfer(victim, thief int, thiefEpoch int64, b TaskBlock) bool
 	return l.transferLocked(victim, thief, b)
 }
 
-// transferLocked is transfer's body; caller holds l.mu.
+// transferLocked is transfer's body; caller holds l.mu. Steals take
+// either a row band or a column band of a claimed region (Queue.Steal's
+// row split and column fallback), so b is contained in exactly one
+// claim; a guillotine split around b leaves at most four remnants.
 func (l *ledger) transferLocked(victim, thief int, b TaskBlock) bool {
 	regs := l.claimed[victim]
 	for i, r := range regs {
-		if r.C0 == b.C0 && r.C1 == b.C1 && r.R0 <= b.R0 && b.R1 <= r.R1 {
-			// Steals take row ranges; splitting r around b leaves at most
-			// two remnants.
+		if r.R0 <= b.R0 && b.R1 <= r.R1 && r.C0 <= b.C0 && b.C1 <= r.C1 {
 			var repl []TaskBlock
-			if r.R0 < b.R0 {
+			if r.R0 < b.R0 { // band above b, full claim width
 				repl = append(repl, TaskBlock{R0: r.R0, R1: b.R0, C0: r.C0, C1: r.C1})
 			}
-			if b.R1 < r.R1 {
+			if b.R1 < r.R1 { // band below b, full claim width
 				repl = append(repl, TaskBlock{R0: b.R1, R1: r.R1, C0: r.C0, C1: r.C1})
+			}
+			if r.C0 < b.C0 { // left of b, within b's row band
+				repl = append(repl, TaskBlock{R0: b.R0, R1: b.R1, C0: r.C0, C1: b.C0})
+			}
+			if b.C1 < r.C1 { // right of b, within b's row band
+				repl = append(repl, TaskBlock{R0: b.R0, R1: b.R1, C0: b.C1, C1: r.C1})
 			}
 			rest := append(repl, regs[i+1:]...)
 			l.claimed[victim] = append(regs[:i:i], rest...)
@@ -234,7 +249,7 @@ func (l *ledger) sweep() bool {
 // (discarding any late flush), close its queue, and orphan its claims.
 // Caller holds l.mu.
 func (l *ledger) fenceLocked(rank int) {
-	l.epoch[rank].Add(1)
+	l.fenced = append(l.fenced, fencedEpoch{rank: rank, epoch: l.epoch[rank].Add(1) - 1})
 	if l.queues != nil && l.queues[rank] != nil {
 		l.queues[rank].Close()
 	}
@@ -242,6 +257,13 @@ func (l *ledger) fenceLocked(rank int) {
 	atomic.AddInt64(&l.stats.Recovery.BlocksOrphaned, int64(len(l.claimed[rank])))
 	l.orphans = append(l.orphans, l.claimed[rank]...)
 	l.claimed[rank] = nil
+}
+
+// fencedEpochs returns the incarnations fenced so far.
+func (l *ledger) fencedEpochs() []fencedEpoch {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]fencedEpoch(nil), l.fenced...)
 }
 
 // startMonitor launches the lease monitor; the returned function stops

@@ -9,6 +9,7 @@ import (
 	"gtfock/internal/fault"
 	"gtfock/internal/integrals"
 	"gtfock/internal/linalg"
+	"gtfock/internal/metrics"
 	"gtfock/internal/screen"
 )
 
@@ -38,6 +39,19 @@ type Options struct {
 	// accumulates retry without an attempt bound; see dist.AccFencedRetry.
 	RetryAttempts int
 	RetryBackoff  time.Duration
+
+	// Trace, when non-nil, records per-worker activity spans (prefetch,
+	// ERI compute, flush, steal, idle scans) against the build's start
+	// time, renderable with Trace.Timeline. Spans of fenced incarnations
+	// are marked discarded after the run. Nil disables span recording.
+	Trace *dist.Trace
+	// Metrics, when non-nil, collects per-worker histograms and counters
+	// (task service time, steal latency, Get/Acc traffic, retries, lease
+	// renewals). Samples follow merge-on-commit semantics: a fenced or
+	// crashed incarnation's uncommitted sample is discarded, never merged,
+	// so the registry counts each task exactly once — mirroring the epoch
+	// fence on the F accumulate. Nil disables collection.
+	Metrics *metrics.Registry
 }
 
 // Result is the outcome of a Fock build.
@@ -155,6 +169,7 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 		dist.RunProcs(nprocs, func(rank int) {
 			w := newWorker(rank, bs, scr, grid, gaD, gaF, stats, opt)
 			w.led = led
+			w.clock0 = start
 			if led != nil {
 				w.epoch = epochs[rank]
 			}
@@ -178,6 +193,14 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 		}
 	}
 	wall := time.Since(start)
+
+	// Fenced incarnations' uncommitted spans were published under their
+	// epoch; mark them discarded so duration accounting excludes them.
+	if led != nil && opt.Trace != nil {
+		for _, fe := range led.fencedEpochs() {
+			opt.Trace.Discard(fe.rank, fe.epoch)
+		}
+	}
 
 	g2e := gaF.ToMatrix()
 	g := g2e.Clone()
@@ -234,6 +257,16 @@ type worker struct {
 	victims       map[int]bool
 	retryAttempts int
 	retryBackoff  time.Duration
+
+	// Observability sinks (both nil = zero-instrumentation fast path).
+	// Spans and the metric sample buffer one commit episode and are
+	// published together with the flush: committed via commitEpisode,
+	// or via abortEpisode when the incarnation dies uncommitted.
+	trace  *dist.Trace
+	reg    *metrics.Registry
+	clock0 time.Time
+	samp   metrics.Sample
+	spans  []dist.Span
 }
 
 func newWorker(rank int, bs *basis.Set, scr *screen.Screening, grid *dist.Grid2D,
@@ -251,7 +284,67 @@ func newWorker(rank int, bs *basis.Set, scr *screen.Screening, grid *dist.Grid2D
 		nf:      bs.NumFuncs,
 		inj:     opt.Fault,
 		victims: map[int]bool{},
+		trace:   opt.Trace,
+		reg:     opt.Metrics,
 	}
+}
+
+// obsNow reads the clock only when an observability sink is attached; the
+// zero time tells observation sites downstream to skip themselves, so the
+// disabled path costs one branch per site and no clock reads.
+func (w *worker) obsNow() time.Time {
+	if w.trace == nil && w.reg == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// span buffers one activity interval [t0, now); no-op when tracing is off
+// or t0 is the disabled sentinel. The epoch is stamped at publish time.
+func (w *worker) span(kind byte, t0 time.Time) {
+	if w.trace == nil || t0.IsZero() {
+		return
+	}
+	w.spans = append(w.spans, dist.Span{
+		Proc:  w.rank,
+		Start: t0.Sub(w.clock0).Seconds(),
+		End:   time.Since(w.clock0).Seconds(),
+		Kind:  kind,
+	})
+}
+
+// commitEpisode publishes the episode's observability buffers as part of
+// the committed record. Committed spans carry epoch 0, which is never
+// fenced (live epochs start at 1), so a later fence of this worker's
+// incarnation does not retroactively discard work that already landed.
+func (w *worker) commitEpisode() {
+	if len(w.spans) > 0 {
+		for i := range w.spans {
+			w.spans[i].Epoch = 0
+		}
+		w.trace.AddSpans(w.spans)
+		w.spans = w.spans[:0]
+	}
+	if w.reg != nil {
+		w.reg.Merge(w.rank, &w.samp)
+		w.samp.Reset()
+	}
+}
+
+// abortEpisode publishes buffered spans under this incarnation's epoch —
+// Build marks them discarded once the ledger reports the fence — and
+// drops the uncommitted metric sample. No-op after a commitEpisode, so it
+// is safe to run deferred on every worker exit.
+func (w *worker) abortEpisode() {
+	if len(w.spans) > 0 {
+		for i := range w.spans {
+			w.spans[i].Epoch = w.epoch
+		}
+		w.trace.AddSpans(w.spans)
+		w.spans = w.spans[:0]
+	}
+	w.reg.Discard(&w.samp)
+	w.samp.Reset()
 }
 
 func (w *worker) pair(a, b int) *integrals.ShellPair {
@@ -268,6 +361,7 @@ func (w *worker) pair(a, b int) *integrals.ShellPair {
 func (w *worker) heartbeat() {
 	if w.led != nil {
 		w.led.heartbeat(w.rank)
+		w.samp.LeaseRenewals++
 	}
 }
 
@@ -277,6 +371,7 @@ func (w *worker) heartbeat() {
 // ultimately failed and the caller must abandon this incarnation.
 func (w *worker) fetchFootprint(fp *Footprint) bool {
 	retry := w.inj != nil
+	t0 := w.obsNow()
 	for _, m := range fp.Rows() {
 		lo, hi, _ := fp.Span(m)
 		r0 := w.bs.Offsets[m]
@@ -284,19 +379,25 @@ func (w *worker) fetchFootprint(fp *Footprint) bool {
 		c0 := w.bs.Offsets[lo]
 		c1 := w.bs.Offsets[hi] + w.bs.ShellFuncs(hi)
 		for _, p := range w.grid.Patches(r0, r1, c0, c1) {
+			w.samp.GetCalls++
+			w.samp.GetBytes += 8 * int64(p.R1-p.R0) * int64(p.C1-p.C0)
 			if !retry {
 				w.gaD.Get(w.rank, p.R0, p.R1, p.C0, p.C1,
 					w.dloc[p.R0*w.nf+p.C0:], w.nf)
 				continue
 			}
 			w.heartbeat()
-			if w.gaD.GetRetry(w.retryAttempts, w.retryBackoff,
+			retries, err := w.gaD.GetRetry(w.retryAttempts, w.retryBackoff,
 				w.rank, p.R0, p.R1, p.C0, p.C1,
-				w.dloc[p.R0*w.nf+p.C0:], w.nf) != nil {
+				w.dloc[p.R0*w.nf+p.C0:], w.nf)
+			w.samp.GetRetries += int64(retries)
+			if err != nil {
+				w.span(dist.SpanPrefetch, t0)
 				return false
 			}
 		}
 	}
+	w.span(dist.SpanPrefetch, t0)
 	return true
 }
 
@@ -342,6 +443,8 @@ func (w *worker) flush() {
 		c0 := w.bs.Offsets[lo]
 		c1 := w.bs.Offsets[hi] + w.bs.ShellFuncs(hi)
 		for _, p := range w.grid.Patches(r0, r1, c0, c1) {
+			w.samp.AccCalls++
+			w.samp.AccBytes += 8 * int64(p.R1-p.R0) * int64(p.C1-p.C0)
 			w.gaF.Acc(w.rank, p.R0, p.R1, p.C0, p.C1,
 				w.floc[p.R0*w.nf+p.C0:], w.nf, 1)
 		}
@@ -354,8 +457,10 @@ func (w *worker) flush() {
 // endCommit marks the claimed blocks done; the monitor never fences a
 // committing worker, so the transaction is atomic w.r.t. recovery.
 func (w *worker) commitFlush() bool {
+	t0 := w.obsNow()
 	if w.led == nil {
 		w.flush()
+		w.finishFlush(t0)
 		return true
 	}
 	if !w.led.beginCommit(w.rank, w.epoch) {
@@ -369,14 +474,28 @@ func (w *worker) commitFlush() bool {
 		c0 := w.bs.Offsets[lo]
 		c1 := w.bs.Offsets[hi] + w.bs.ShellFuncs(hi)
 		for _, p := range w.grid.Patches(r0, r1, c0, c1) {
+			w.samp.AccCalls++
+			w.samp.AccBytes += 8 * int64(p.R1-p.R0) * int64(p.C1-p.C0)
 			// Cannot be fenced while committing; drops retry until the
 			// patch lands, so the whole flush is all-or-nothing.
-			w.gaF.AccFencedRetry(w.retryBackoff, w.rank, w.epoch,
+			retries, _ := w.gaF.AccFencedRetry(w.retryBackoff, w.rank, w.epoch,
 				p.R0, p.R1, p.C0, p.C1, w.floc[p.R0*w.nf+p.C0:], w.nf, 1)
+			w.samp.AccRetries += int64(retries)
 		}
 	}
 	w.led.endCommit(w.rank)
+	w.finishFlush(t0)
 	return true
+}
+
+// finishFlush observes the flush that just landed and publishes the
+// episode's buffers as committed.
+func (w *worker) finishFlush(t0 time.Time) {
+	if !t0.IsZero() {
+		w.samp.Flushes.Observe(time.Since(t0).Nanoseconds())
+		w.span(dist.SpanFlush, t0)
+	}
+	w.commitEpisode()
 }
 
 type drainResult int
@@ -400,6 +519,7 @@ func (w *worker) drain(my *Queue, queues []*Queue, opt Options, st *dist.ProcSta
 		if !ok {
 			// Work stealing (Sec. III-F): scan the grid row-wise starting
 			// from our own row.
+			s0 := w.obsNow()
 			stole := false
 			for r := 0; r < opt.Prow && !stole; r++ {
 				row := (myRow + r) % opt.Prow
@@ -419,6 +539,10 @@ func (w *worker) drain(my *Queue, queues []*Queue, opt Options, st *dist.ProcSta
 					if !ok {
 						continue
 					}
+					if !s0.IsZero() {
+						w.samp.Steals.Observe(time.Since(s0).Nanoseconds())
+						w.span(dist.SpanSteal, s0)
+					}
 					fpSteal := NewFootprint()
 					fpSteal.AddBlock(w.scr, blk)
 					if !w.fetchFootprint(fpSteal) {
@@ -433,6 +557,11 @@ func (w *worker) drain(my *Queue, queues []*Queue, opt Options, st *dist.ProcSta
 					st.Steals++
 					stole = true
 				}
+			}
+			if !stole {
+				// A scan that found nothing anywhere is idle time.
+				w.samp.StealFails++
+				w.span(dist.SpanIdle, s0)
 			}
 			if !stole && w.led != nil {
 				if blk, ok := w.led.adopt(w.rank, w.epoch); ok {
@@ -457,7 +586,12 @@ func (w *worker) drain(my *Queue, queues []*Queue, opt Options, st *dist.ProcSta
 		}
 		c0 := time.Now()
 		w.doTask(t)
-		w.comp += time.Since(c0)
+		dt := time.Since(c0)
+		w.comp += dt
+		if w.reg != nil {
+			w.samp.Tasks.Observe(dt.Nanoseconds())
+		}
+		w.span(dist.SpanCompute, c0)
 		st.TasksRun++
 	}
 }
@@ -474,6 +608,9 @@ func (w *worker) run(blocks []TaskBlock, queues []*Queue, opt Options) {
 		st.ComputeTime += w.comp.Seconds()
 		st.TotalTime += time.Since(t0).Seconds()
 	}()
+	// Any episode still buffered at exit never committed (commitEpisode
+	// empties the buffers); publish it as discardable.
+	defer w.abortEpisode()
 	w.retryAttempts = opt.RetryAttempts
 	w.retryBackoff = opt.RetryBackoff
 

@@ -194,9 +194,10 @@ func (g *GlobalArray) AccFenced(proc int, epoch int64, r0, r1, c0, c1 int, src [
 }
 
 // GetRetry retries TryGet with exponential backoff for up to attempts
-// tries, counting retries in the recovery stats. It returns the last
-// error when every attempt drops.
-func (g *GlobalArray) GetRetry(attempts int, backoff time.Duration, proc, r0, r1, c0, c1 int, dst []float64, ld int) error {
+// tries, counting retries in the recovery stats. It returns the number
+// of retries it issued (0 on a clean first attempt, for the caller's
+// per-worker accounting) and the last error when every attempt drops.
+func (g *GlobalArray) GetRetry(attempts int, backoff time.Duration, proc, r0, r1, c0, c1 int, dst []float64, ld int) (int, error) {
 	if attempts <= 0 {
 		attempts = 1
 	}
@@ -207,22 +208,23 @@ func (g *GlobalArray) GetRetry(attempts int, backoff time.Duration, proc, r0, r1
 			time.Sleep(backoff << (a - 1))
 		}
 		if err = g.TryGet(proc, r0, r1, c0, c1, dst, ld); err == nil {
-			return nil
+			return a, nil
 		}
 	}
-	return err
+	return attempts - 1, err
 }
 
 // AccFencedRetry retries AccFenced until it applies or is fenced. Drops
 // are retried indefinitely — liveness holds because the injector bounds
 // consecutive drops — so a commit in progress either lands every patch
-// exactly once or (stale epoch) lands none of the remaining ones.
-func (g *GlobalArray) AccFencedRetry(backoff time.Duration, proc int, epoch int64, r0, r1, c0, c1 int, src []float64, ld int, alpha float64) error {
+// exactly once or (stale epoch) lands none of the remaining ones. The
+// retry count feeds the caller's per-worker accounting.
+func (g *GlobalArray) AccFencedRetry(backoff time.Duration, proc int, epoch int64, r0, r1, c0, c1 int, src []float64, ld int, alpha float64) (int, error) {
 	wait := backoff
-	for {
+	for retries := 0; ; retries++ {
 		err := g.AccFenced(proc, epoch, r0, r1, c0, c1, src, ld, alpha)
 		if err == nil || errors.Is(err, ErrFenced) {
-			return err
+			return retries, err
 		}
 		atomic.AddInt64(&g.stats.Recovery.OpRetries, 1)
 		if wait > 0 {

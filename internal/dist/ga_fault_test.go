@@ -39,8 +39,12 @@ func TestTryGetDropCountsAndCopiesNothing(t *testing.T) {
 		t.Fatalf("OpDrops = %d, want 1", st.Recovery.OpDrops)
 	}
 	// GetRetry rides out the remaining drop.
-	if err := ga.GetRetry(4, 0, 1, 0, 4, 0, 4, dst, 4); err != nil {
+	retries, err := ga.GetRetry(4, 0, 1, 0, 4, 0, 4, dst, 4)
+	if err != nil {
 		t.Fatalf("GetRetry failed: %v", err)
+	}
+	if retries != 1 {
+		t.Fatalf("GetRetry reported %d retries, want 1", retries)
 	}
 	if dst[0] != 1 || dst[5] != 1 {
 		t.Fatal("GetRetry did not copy the data")
@@ -55,7 +59,7 @@ func TestGetRetryExhaustsAttempts(t *testing.T) {
 	ga := NewGlobalArray(g, NewRunStats(1))
 	ga.SetOpHook(func(int, OpKind) (time.Duration, bool) { return 0, true })
 	dst := make([]float64, 4)
-	if err := ga.GetRetry(3, 0, 0, 0, 2, 0, 2, dst, 2); !errors.Is(err, ErrDropped) {
+	if _, err := ga.GetRetry(3, 0, 0, 0, 2, 0, 2, dst, 2); !errors.Is(err, ErrDropped) {
 		t.Fatalf("want ErrDropped after exhausting attempts, got %v", err)
 	}
 }
@@ -98,18 +102,19 @@ func TestAccFencedRetryRidesOutDrops(t *testing.T) {
 		return 0, false
 	})
 	src := []float64{1, 2, 3, 4}
-	if err := ga.AccFencedRetry(0, 0, 1, 0, 2, 0, 2, src, 2, 1); err != nil {
+	retries, err := ga.AccFencedRetry(0, 0, 1, 0, 2, 0, 2, src, 2, 1)
+	if err != nil {
 		t.Fatalf("AccFencedRetry: %v", err)
 	}
 	if m := ga.ToMatrix(); m.At(1, 1) != 4 {
 		t.Fatal("retry did not eventually apply the Acc")
 	}
-	if st.Recovery.OpRetries != 3 {
-		t.Fatalf("OpRetries = %d, want 3", st.Recovery.OpRetries)
+	if st.Recovery.OpRetries != 3 || retries != 3 {
+		t.Fatalf("OpRetries = %d (reported %d), want 3", st.Recovery.OpRetries, retries)
 	}
 	// Once the fence goes stale, retry stops with ErrFenced.
 	ga.SetFence(fixedFence{0: 99})
-	if err := ga.AccFencedRetry(0, 0, 1, 0, 2, 0, 2, src, 2, 1); !errors.Is(err, ErrFenced) {
+	if _, err := ga.AccFencedRetry(0, 0, 1, 0, 2, 0, 2, src, 2, 1); !errors.Is(err, ErrFenced) {
 		t.Fatalf("want ErrFenced, got %v", err)
 	}
 }

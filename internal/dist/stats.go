@@ -69,14 +69,23 @@ func NewRunStats(p int) *RunStats { return &RunStats{Per: make([]ProcStats, p)} 
 // P returns the number of processes.
 func (r *RunStats) P() int { return len(r.Per) }
 
+// perAvg averages one ProcStats field over the processes; 0 for an
+// empty (0-process) run rather than 0/0 = NaN.
+func (r *RunStats) perAvg(f func(*ProcStats) float64) float64 {
+	if len(r.Per) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range r.Per {
+		s += f(&r.Per[i])
+	}
+	return s / float64(len(r.Per))
+}
+
 // TFockAvg returns the average per-process total time (the paper's
 // T_fock).
 func (r *RunStats) TFockAvg() float64 {
-	var s float64
-	for i := range r.Per {
-		s += r.Per[i].TotalTime
-	}
-	return s / float64(len(r.Per))
+	return r.perAvg(func(p *ProcStats) float64 { return p.TotalTime })
 }
 
 // TFockMax returns the makespan (slowest process).
@@ -92,17 +101,15 @@ func (r *RunStats) TFockMax() float64 {
 
 // TCompAvg returns the average per-process computation-only time.
 func (r *RunStats) TCompAvg() float64 {
-	var s float64
-	for i := range r.Per {
-		s += r.Per[i].ComputeTime
-	}
-	return s / float64(len(r.Per))
+	return r.perAvg(func(p *ProcStats) float64 { return p.ComputeTime })
 }
 
 // TOverheadAvg returns the paper's T_ov = T_fock - T_comp (Fig. 2).
 func (r *RunStats) TOverheadAvg() float64 { return r.TFockAvg() - r.TCompAvg() }
 
-// LoadBalance returns l = T_fock,max / T_fock,avg (Table VIII).
+// LoadBalance returns l = T_max/T_avg (Table VIII). A run with no
+// recorded time — zero processes, or a 0-task grid whose workers never
+// ticked the clock — is perfectly balanced by definition: 1, never NaN.
 func (r *RunStats) LoadBalance() float64 {
 	avg := r.TFockAvg()
 	if avg == 0 {
@@ -114,50 +121,30 @@ func (r *RunStats) LoadBalance() float64 {
 // VolumeAvgMB returns the average per-process communication volume in MB
 // (Table VI; MB = 1e6 bytes).
 func (r *RunStats) VolumeAvgMB() float64 {
-	var b int64
-	for i := range r.Per {
-		b += r.Per[i].Bytes
-	}
-	return float64(b) / float64(len(r.Per)) / 1e6
+	return r.perAvg(func(p *ProcStats) float64 { return float64(p.Bytes) }) / 1e6
 }
 
 // CallsAvg returns the average per-process number of one-sided calls
 // (Table VII).
 func (r *RunStats) CallsAvg() float64 {
-	var c int64
-	for i := range r.Per {
-		c += r.Per[i].Calls
-	}
-	return float64(c) / float64(len(r.Per))
+	return r.perAvg(func(p *ProcStats) float64 { return float64(p.Calls) })
 }
 
 // StealsAvg returns the average number of successful steals per process.
 func (r *RunStats) StealsAvg() float64 {
-	var c int64
-	for i := range r.Per {
-		c += r.Per[i].Steals
-	}
-	return float64(c) / float64(len(r.Per))
+	return r.perAvg(func(p *ProcStats) float64 { return float64(p.Steals) })
 }
 
 // VictimsAvg returns s, the average number of distinct victims per process
 // (Sec. III-G; measured 3.8 for C96H24 at 3888 cores in the paper).
 func (r *RunStats) VictimsAvg() float64 {
-	var c int64
-	for i := range r.Per {
-		c += r.Per[i].Victims
-	}
-	return float64(c) / float64(len(r.Per))
+	return r.perAvg(func(p *ProcStats) float64 { return float64(p.Victims) })
 }
 
 // QueueOpsAvg returns the average number of atomic queue operations per
 // process queue (Sec. IV-C scheduler-overhead discussion).
 func (r *RunStats) QueueOpsAvg() float64 {
-	var c int64
-	for i := range r.Per {
-		c += r.Per[i].QueueOps
-	}
-	return float64(c) / float64(len(r.Per))
+	return r.perAvg(func(p *ProcStats) float64 { return float64(p.QueueOps) })
 }
 
 // QueueOpsTotal returns the total number of atomic queue operations (for

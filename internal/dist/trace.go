@@ -7,41 +7,93 @@ import (
 	"sync"
 )
 
-// Span kinds recorded by simulation traces.
+// Span kinds recorded by simulation and real-mode traces.
 const (
-	SpanCompute = 'c'
-	SpanComm    = 'm'
-	SpanSteal   = 's'
-	SpanIdle    = '.'
+	SpanCompute  = 'c' // ERI computation
+	SpanComm     = 'm' // communication (sim-mode aggregate)
+	SpanSteal    = 's' // steal scan + stolen-block transfer
+	SpanIdle     = '.' // waiting with no work reachable
+	SpanPrefetch = 'p' // D-block prefetch (real mode)
+	SpanFlush    = 'f' // F accumulate flush (real mode)
 )
 
-// Span is one activity interval of a simulated process.
+// Span is one activity interval of a process. Real-mode spans carry the
+// epoch of the worker incarnation that recorded them; spans of fenced
+// incarnations are marked Discarded after the run — their work never
+// reached the global F, so duration accounting must not count them.
 type Span struct {
 	Proc       int
+	Epoch      int64
 	Start, End float64
 	Kind       byte
+	Discarded  bool
 }
 
-// Trace collects activity spans from a simulation run for post-hoc
-// inspection (an observability aid; rendering is approximate where the
-// fluid work model revises earlier intervals).
+// Trace collects activity spans from a run for post-hoc inspection (an
+// observability aid; sim-mode rendering is approximate where the fluid
+// work model revises earlier intervals, and real-mode span boundaries
+// cost one clock read each).
 type Trace struct {
 	mu    sync.Mutex
 	spans []Span
 }
 
-// Add records a span; zero-length and reversed spans are ignored.
+// Add records a span under epoch 0; zero-length and reversed spans are
+// ignored.
 func (t *Trace) Add(proc int, start, end float64, kind byte) {
+	t.AddEpoch(proc, 0, start, end, kind)
+}
+
+// AddEpoch records a span tagged with the recording incarnation's epoch;
+// zero-length and reversed spans are ignored.
+func (t *Trace) AddEpoch(proc int, epoch int64, start, end float64, kind byte) {
 	if t == nil || end <= start {
 		return
 	}
 	t.mu.Lock()
-	t.spans = append(t.spans, Span{Proc: proc, Start: start, End: end, Kind: kind})
+	t.spans = append(t.spans, Span{Proc: proc, Epoch: epoch, Start: start, End: end, Kind: kind})
 	t.mu.Unlock()
+}
+
+// AddSpans bulk-appends pre-built spans (a worker episode's buffer) under
+// one lock acquisition; zero-length and reversed spans are dropped.
+func (t *Trace) AddSpans(spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, s := range spans {
+		if s.End > s.Start {
+			t.spans = append(t.spans, s)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Discard marks every span recorded by (proc, epoch) as discarded — the
+// incarnation was fenced and its contributions never landed — and
+// returns how many spans it marked.
+func (t *Trace) Discard(proc int, epoch int64) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.spans {
+		if t.spans[i].Proc == proc && t.spans[i].Epoch == epoch && !t.spans[i].Discarded {
+			t.spans[i].Discarded = true
+			n++
+		}
+	}
+	return n
 }
 
 // Spans returns the recorded spans sorted by (proc, start).
 func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
 	t.mu.Lock()
 	out := append([]Span(nil), t.spans...)
 	t.mu.Unlock()
@@ -54,8 +106,12 @@ func (t *Trace) Spans() []Span {
 	return out
 }
 
-// Makespan returns the largest span end time.
+// Makespan returns the largest span end time; 0 for an empty (or nil)
+// trace.
 func (t *Trace) Makespan() float64 {
+	if t == nil {
+		return 0
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var m float64
@@ -69,8 +125,10 @@ func (t *Trace) Makespan() float64 {
 
 // Timeline renders an ASCII Gantt chart: one row per process (at most
 // maxRows, sampled evenly), width time buckets, with the latest-recorded
-// span kind shown per bucket ('c' compute, 'm' communication, 's' steal
-// transfer, '.' idle).
+// span kind shown per bucket ('c' compute, 'm' communication, 'p'
+// prefetch, 'f' flush, 's' steal, '.' idle; discarded spans render as
+// 'x'). Empty or degenerate traces render a placeholder instead of
+// dividing by zero.
 func (t *Trace) Timeline(width, maxRows int) string {
 	spans := t.Spans()
 	if len(spans) == 0 || width <= 0 {
@@ -99,17 +157,21 @@ func (t *Trace) Timeline(width, maxRows int) string {
 	}
 	for _, s := range spans {
 		r := rowOf(s.Proc)
+		k := s.Kind
+		if s.Discarded {
+			k = 'x'
+		}
 		b0 := int(s.Start / makespan * float64(width))
 		b1 := int(s.End / makespan * float64(width))
 		if b1 >= width {
 			b1 = width - 1
 		}
 		for b := b0; b <= b1; b++ {
-			grid[r][b] = s.Kind
+			grid[r][b] = k
 		}
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "timeline: %d procs x %.4fs  (c=compute m=comm s=steal .=idle)\n",
+	fmt.Fprintf(&sb, "timeline: %d procs x %.4fs  (c=compute m=comm p=prefetch f=flush s=steal .=idle x=discarded)\n",
 		nproc, makespan)
 	for r := range grid {
 		fmt.Fprintf(&sb, "%4d |%s|\n", r*nproc/rows, grid[r])
@@ -117,11 +179,28 @@ func (t *Trace) Timeline(width, maxRows int) string {
 	return sb.String()
 }
 
-// KindTotals sums span durations by kind.
+// KindTotals sums span durations by kind, excluding discarded spans (a
+// fenced incarnation's activity must not inflate the accounting; see
+// DiscardedTotal for what was thrown away).
 func (t *Trace) KindTotals() map[byte]float64 {
 	totals := map[byte]float64{}
 	for _, s := range t.Spans() {
+		if s.Discarded {
+			continue
+		}
 		totals[s.Kind] += s.End - s.Start
 	}
 	return totals
+}
+
+// DiscardedTotal returns the number of discarded spans and their summed
+// duration — work executed by fenced incarnations and re-done elsewhere.
+func (t *Trace) DiscardedTotal() (spans int, seconds float64) {
+	for _, s := range t.Spans() {
+		if s.Discarded {
+			spans++
+			seconds += s.End - s.Start
+		}
+	}
+	return spans, seconds
 }

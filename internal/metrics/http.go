@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	publishOnce sync.Once
+	currentReg  atomic.Pointer[Registry]
+)
+
+// Publish exposes reg as the expvar "fock_metrics" (on /debug/vars).
+// Safe to call repeatedly — later calls swap which registry the variable
+// reads, since expvar names can be published only once per process.
+func Publish(reg *Registry) {
+	currentReg.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("fock_metrics", expvar.Func(func() any {
+			return currentReg.Load().Snapshot()
+		}))
+	})
+}
+
+// StartDebugServer publishes reg and serves the process-wide debug mux —
+// /debug/vars (expvar, including fock_metrics) and /debug/pprof/ — on
+// addr in a background goroutine. It returns the bound address (useful
+// with ":0") and never stops serving; the endpoint is an inspection aid
+// for the lifetime of a run, not a managed service.
+func StartDebugServer(addr string, reg *Registry) (string, error) {
+	Publish(reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

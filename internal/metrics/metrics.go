@@ -1,0 +1,309 @@
+// Package metrics is the low-overhead measurement layer of the real-mode
+// Fock build: per-worker histograms and counters for the quantities the
+// paper's evaluation is built on (task service time, steal latency,
+// one-sided transfer volume, retries, lease renewals; Sec. IV, Tables
+// V-VIII).
+//
+// The collection protocol keeps the counts exactly-once under fault
+// recovery: a worker accumulates into a private Sample (single-writer,
+// no synchronization) and merges it into the shared Registry only when
+// the corresponding work commits to the global F. A fenced or crashed
+// incarnation's sample is dropped — counted in DiscardedSamples but
+// never merged — so a task re-executed after recovery appears exactly
+// once in the merged histograms, mirroring the epoch fence on the
+// accumulate path.
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+)
+
+// nbuckets spans int64: bucket b counts observations in [2^(b-1), 2^b).
+const nbuckets = 64
+
+// Hist is a power-of-two-bucket histogram of positive int64 observations
+// (nanoseconds or bytes). The zero value is ready to use. It is a plain,
+// single-writer value inside a Sample; the Registry holds the atomic
+// mirror (histAtomic).
+type Hist struct {
+	Counts [nbuckets]int64
+	N      int64
+	Sum    int64
+	Max    int64
+}
+
+// Observe records v; non-positive observations count into bucket 0.
+func (h *Hist) Observe(v int64) {
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.Counts[b%nbuckets]++
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// histAtomic is the concurrently-readable accumulation of merged Hists.
+type histAtomic struct {
+	counts [nbuckets]atomic.Int64
+	n      atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+func (h *histAtomic) merge(s *Hist) {
+	for i, c := range s.Counts {
+		if c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.n.Add(s.N)
+	h.sum.Add(s.Sum)
+	for {
+		old := h.max.Load()
+		if s.Max <= old || h.max.CompareAndSwap(old, s.Max) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is the JSON-facing view of a histogram.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	// Buckets maps the upper bound 2^b to its count, zero buckets elided.
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+func (h *histAtomic) snapshot() HistSnapshot {
+	var counts [nbuckets]int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return snapshotCounts(counts, h.n.Load(), h.sum.Load(), h.max.Load())
+}
+
+func snapshotCounts(counts [nbuckets]int64, n, sum, max int64) HistSnapshot {
+	s := HistSnapshot{Count: n, Sum: sum, Max: max}
+	if n == 0 {
+		return s
+	}
+	s.Mean = float64(sum) / float64(n)
+	s.P50 = quantile(counts, n, 0.50)
+	s.P95 = quantile(counts, n, 0.95)
+	s.P99 = quantile(counts, n, 0.99)
+	s.Buckets = map[string]int64{}
+	for b, c := range counts {
+		if c != 0 {
+			s.Buckets[bucketLabel(b)] = c
+		}
+	}
+	return s
+}
+
+func bucketLabel(b int) string {
+	// Upper bound of bucket b is 2^b (bucket 0 holds v <= 1).
+	if b >= 63 {
+		return "inf"
+	}
+	return strconv.FormatInt(int64(1)<<b, 10)
+}
+
+// quantile returns the geometric midpoint of the bucket holding the
+// q-quantile observation — a factor-sqrt(2) approximation, plenty for
+// imbalance histograms.
+func quantile(counts [nbuckets]int64, n int64, q float64) int64 {
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, c := range counts {
+		cum += c
+		if cum >= rank {
+			if b == 0 {
+				return 0
+			}
+			lo := int64(1) << (b - 1)
+			return int64(float64(lo) * math.Sqrt2)
+		}
+	}
+	return 0
+}
+
+// Sample is one worker incarnation's private measurement buffer. It is
+// written by exactly one goroutine and carries no synchronization; merge
+// it into the Registry at commit time, or drop it if the incarnation is
+// fenced.
+type Sample struct {
+	Tasks         Hist // task service time, ns
+	Steals        Hist // successful steal latency (scan start to block landed), ns
+	Flushes       Hist // commit/flush duration, ns
+	GetCalls      int64
+	GetBytes      int64
+	AccCalls      int64
+	AccBytes      int64
+	GetRetries    int64
+	AccRetries    int64
+	LeaseRenewals int64
+	StealFails    int64 // steal scans that came up dry
+}
+
+// empty reports whether the sample holds no observations at all.
+func (s *Sample) empty() bool {
+	return s.Tasks.N == 0 && s.Steals.N == 0 && s.Flushes.N == 0 &&
+		s.GetCalls == 0 && s.AccCalls == 0 && s.GetRetries == 0 &&
+		s.AccRetries == 0 && s.LeaseRenewals == 0 && s.StealFails == 0
+}
+
+// Reset clears the sample for the next commit episode.
+func (s *Sample) Reset() { *s = Sample{} }
+
+// worker is the Registry's committed per-rank accumulation.
+type worker struct {
+	tasks, steals, flushes histAtomic
+	getCalls, getBytes     atomic.Int64
+	accCalls, accBytes     atomic.Int64
+	getRetries, accRetries atomic.Int64
+	leaseRenewals          atomic.Int64
+	stealFails             atomic.Int64
+	merges                 atomic.Int64
+}
+
+// Registry aggregates committed samples per worker rank. All methods are
+// safe for concurrent use; Snapshot may run while a build is in flight
+// (the expvar endpoint does exactly that) and sees a consistent-enough
+// view for monitoring.
+type Registry struct {
+	workers   []worker
+	discarded atomic.Int64
+	dropped   atomic.Int64 // observations inside discarded samples
+}
+
+// NewRegistry creates a registry for n worker ranks.
+func NewRegistry(n int) *Registry { return &Registry{workers: make([]worker, n)} }
+
+// P returns the number of worker ranks.
+func (r *Registry) P() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.workers)
+}
+
+// Merge folds a committed sample into rank's totals. Nil-receiver safe so
+// the disabled path costs one branch.
+func (r *Registry) Merge(rank int, s *Sample) {
+	if r == nil || rank < 0 || rank >= len(r.workers) {
+		return
+	}
+	w := &r.workers[rank]
+	w.tasks.merge(&s.Tasks)
+	w.steals.merge(&s.Steals)
+	w.flushes.merge(&s.Flushes)
+	w.getCalls.Add(s.GetCalls)
+	w.getBytes.Add(s.GetBytes)
+	w.accCalls.Add(s.AccCalls)
+	w.accBytes.Add(s.AccBytes)
+	w.getRetries.Add(s.GetRetries)
+	w.accRetries.Add(s.AccRetries)
+	w.leaseRenewals.Add(s.LeaseRenewals)
+	w.stealFails.Add(s.StealFails)
+	w.merges.Add(1)
+}
+
+// Discard records that a sample was dropped uncommitted (fenced or
+// crashed incarnation); its observations are counted as dropped but
+// never merged.
+func (r *Registry) Discard(s *Sample) {
+	if r == nil || s.empty() {
+		return
+	}
+	r.discarded.Add(1)
+	r.dropped.Add(s.Tasks.N + s.Steals.N + s.Flushes.N)
+}
+
+// WorkerSnapshot is the JSON-facing per-rank view.
+type WorkerSnapshot struct {
+	Rank          int          `json:"rank"`
+	TaskNS        HistSnapshot `json:"task_ns"`
+	StealNS       HistSnapshot `json:"steal_ns"`
+	FlushNS       HistSnapshot `json:"flush_ns"`
+	GetCalls      int64        `json:"get_calls"`
+	GetBytes      int64        `json:"get_bytes"`
+	AccCalls      int64        `json:"acc_calls"`
+	AccBytes      int64        `json:"acc_bytes"`
+	GetRetries    int64        `json:"get_retries,omitempty"`
+	AccRetries    int64        `json:"acc_retries,omitempty"`
+	LeaseRenewals int64        `json:"lease_renewals,omitempty"`
+	StealFails    int64        `json:"steal_fails,omitempty"`
+	Commits       int64        `json:"commits"`
+}
+
+// Snapshot is the JSON-facing registry view.
+type Snapshot struct {
+	Workers          []WorkerSnapshot `json:"workers"`
+	TasksTotal       int64            `json:"tasks_total"`
+	StealsTotal      int64            `json:"steals_total"`
+	BytesTotal       int64            `json:"bytes_total"`
+	DiscardedSamples int64            `json:"discarded_samples"`
+	DroppedObs       int64            `json:"dropped_observations"`
+}
+
+// Snapshot captures the current committed totals.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	out := Snapshot{
+		Workers:          make([]WorkerSnapshot, len(r.workers)),
+		DiscardedSamples: r.discarded.Load(),
+		DroppedObs:       r.dropped.Load(),
+	}
+	for i := range r.workers {
+		w := &r.workers[i]
+		ws := WorkerSnapshot{
+			Rank:          i,
+			TaskNS:        w.tasks.snapshot(),
+			StealNS:       w.steals.snapshot(),
+			FlushNS:       w.flushes.snapshot(),
+			GetCalls:      w.getCalls.Load(),
+			GetBytes:      w.getBytes.Load(),
+			AccCalls:      w.accCalls.Load(),
+			AccBytes:      w.accBytes.Load(),
+			GetRetries:    w.getRetries.Load(),
+			AccRetries:    w.accRetries.Load(),
+			LeaseRenewals: w.leaseRenewals.Load(),
+			StealFails:    w.stealFails.Load(),
+			Commits:       w.merges.Load(),
+		}
+		out.Workers[i] = ws
+		out.TasksTotal += ws.TaskNS.Count
+		out.StealsTotal += ws.StealNS.Count
+		out.BytesTotal += ws.GetBytes + ws.AccBytes
+	}
+	return out
+}
+
+// MarshalJSON serializes the current snapshot, so a *Registry can be
+// handed directly to json.Marshal or published via expvar.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// ExpvarFunc adapts the registry to expvar.Publish(expvar.Func(...)).
+func (r *Registry) ExpvarFunc() func() any {
+	return func() any { return r.Snapshot() }
+}

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestHistBucketsAndQuantiles(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 2, 3, 5, 8, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.N != 8 {
+		t.Fatalf("N = %d, want 8", h.N)
+	}
+	if h.Sum != 1119 {
+		t.Fatalf("Sum = %d, want 1119", h.Sum)
+	}
+	if h.Max != 1000 {
+		t.Fatalf("Max = %d, want 1000", h.Max)
+	}
+	// 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 5 -> 3; 8 -> 4;
+	// 100 -> 7; 1000 -> 10.
+	want := map[int]int64{0: 1, 1: 1, 2: 2, 3: 1, 4: 1, 7: 1, 10: 1}
+	for b, c := range h.Counts {
+		if c != want[b] {
+			t.Fatalf("bucket %d = %d, want %d", b, c, want[b])
+		}
+	}
+	s := snapshotCounts(h.Counts, h.N, h.Sum, h.Max)
+	// 4th of 8 observations sits in bucket 2 ([2,4)): p50 ~ 2*sqrt2/... =
+	// geometric midpoint of [2,4) ~ 2.83 -> 2.
+	if s.P50 != 2 {
+		t.Fatalf("P50 = %d, want 2", s.P50)
+	}
+	if s.P99 < 512 || s.P99 > 1024 {
+		t.Fatalf("P99 = %d, want within bucket [512,1024)", s.P99)
+	}
+	if s.Mean != 1119.0/8 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+}
+
+func TestHistEmptySnapshotIsDefined(t *testing.T) {
+	var h histAtomic
+	s := h.snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+func TestRegistryMergeAndDiscard(t *testing.T) {
+	r := NewRegistry(2)
+	var s Sample
+	s.Tasks.Observe(100)
+	s.Tasks.Observe(200)
+	s.Steals.Observe(5000)
+	s.GetCalls, s.GetBytes = 3, 4096
+	s.AccCalls, s.AccBytes = 2, 2048
+	s.GetRetries, s.AccRetries = 1, 2
+	s.LeaseRenewals = 7
+	r.Merge(0, &s)
+
+	var dropped Sample
+	dropped.Tasks.Observe(999) // fenced incarnation's work
+	r.Discard(&dropped)
+
+	snap := r.Snapshot()
+	if snap.TasksTotal != 2 {
+		t.Fatalf("TasksTotal = %d, want 2 (discarded sample leaked in?)", snap.TasksTotal)
+	}
+	if snap.StealsTotal != 1 {
+		t.Fatalf("StealsTotal = %d, want 1", snap.StealsTotal)
+	}
+	if snap.BytesTotal != 4096+2048 {
+		t.Fatalf("BytesTotal = %d", snap.BytesTotal)
+	}
+	if snap.DiscardedSamples != 1 || snap.DroppedObs != 1 {
+		t.Fatalf("discard accounting = %d samples, %d obs; want 1, 1",
+			snap.DiscardedSamples, snap.DroppedObs)
+	}
+	w := snap.Workers[0]
+	if w.TaskNS.Sum != 300 || w.GetRetries != 1 || w.AccRetries != 2 ||
+		w.LeaseRenewals != 7 || w.Commits != 1 {
+		t.Fatalf("worker 0 snapshot wrong: %+v", w)
+	}
+	if snap.Workers[1].Commits != 0 {
+		t.Fatal("worker 1 should be untouched")
+	}
+
+	// An empty sample discard is a no-op.
+	r.Discard(&Sample{})
+	if got := r.Snapshot().DiscardedSamples; got != 1 {
+		t.Fatalf("empty-sample discard counted: %d", got)
+	}
+}
+
+func TestRegistryNilIsSafe(t *testing.T) {
+	var r *Registry
+	var s Sample
+	s.Tasks.Observe(1)
+	r.Merge(0, &s) // must not panic
+	r.Discard(&s)
+	if r.P() != 0 {
+		t.Fatal("nil registry P != 0")
+	}
+	if snap := r.Snapshot(); len(snap.Workers) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestSampleReset(t *testing.T) {
+	var s Sample
+	s.Tasks.Observe(1)
+	s.GetCalls = 5
+	if s.empty() {
+		t.Fatal("sample with observations reported empty")
+	}
+	s.Reset()
+	if !s.empty() {
+		t.Fatal("Reset did not empty the sample")
+	}
+}
+
+// Concurrent merges from many "workers" with snapshots racing them — the
+// live-expvar read path. Run under -race in CI.
+func TestRegistryConcurrentMergeSnapshot(t *testing.T) {
+	const workers, episodes = 8, 50
+	r := NewRegistry(workers)
+	var wg sync.WaitGroup
+	for rank := 0; rank < workers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for e := 0; e < episodes; e++ {
+				var s Sample
+				s.Tasks.Observe(int64(rank*1000 + e))
+				s.GetBytes = 8
+				r.Merge(rank, &s)
+			}
+		}(rank)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	snap := r.Snapshot()
+	if snap.TasksTotal != workers*episodes {
+		t.Fatalf("TasksTotal = %d, want %d", snap.TasksTotal, workers*episodes)
+	}
+	if snap.BytesTotal != workers*episodes*8 {
+		t.Fatalf("BytesTotal = %d", snap.BytesTotal)
+	}
+}
+
+func TestRegistryJSONRoundTrip(t *testing.T) {
+	r := NewRegistry(1)
+	var s Sample
+	s.Tasks.Observe(1500)
+	r.Merge(0, &s)
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.TasksTotal != 1 || back.Workers[0].TaskNS.Max != 1500 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if _, ok := back.Workers[0].TaskNS.Buckets["2048"]; !ok {
+		t.Fatalf("1500 should land in bucket 2048: %v", back.Workers[0].TaskNS.Buckets)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"gtfock/internal/dist"
 	"gtfock/internal/integrals"
 	"gtfock/internal/linalg"
+	"gtfock/internal/metrics"
 	"gtfock/internal/nwchem"
 	"gtfock/internal/purify"
 	"gtfock/internal/reorder"
@@ -75,6 +76,12 @@ type Options struct {
 	// InitialFock warm-starts the SCF from a previous Fock matrix (e.g. a
 	// Checkpoint) instead of the core-Hamiltonian guess.
 	InitialFock *linalg.Matrix
+
+	// FockTrace and FockMetrics attach the real-mode observability sinks
+	// to every GTFock Fock build of the run (see core.Options). The trace
+	// and registry accumulate across SCF iterations; nil disables them.
+	FockTrace   *dist.Trace
+	FockMetrics *metrics.Registry
 }
 
 // Iteration records one SCF cycle.
@@ -361,6 +368,7 @@ func buildG(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options)
 	case EngineGTFock:
 		r := core.Build(bs, scr, d, core.Options{
 			Prow: opt.Prow, Pcol: opt.Pcol, PrimTol: opt.PrimTol, UseHGP: opt.UseHGP,
+			Trace: opt.FockTrace, Metrics: opt.FockMetrics,
 		})
 		return r.G, r.Stats, nil
 	case EngineNWChem:
