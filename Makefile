@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race ci bench microbench bench-short bench-check bench-ab
+.PHONY: build test vet race net-test net-smoke ci bench microbench bench-short bench-check bench-ab
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,18 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: build vet race
+# Transport-focused gate: race-detector run of the network and
+# global-array packages.
+net-test:
+	$(GO) test -race ./internal/net/... ./internal/dist/...
+
+# Fixed-seed loopback chaos smoke: the Fock build over TCP shard
+# servers under injected resets/dups/partitions must match the serial
+# oracle with exactly-once accumulation.
+net-smoke:
+	$(GO) test -count=1 -run 'TestLoopback(Chaos)?BuildMatchesSerial' ./internal/net/
+
+ci: build vet race net-smoke
 
 # Go-testing microbenchmarks (one iteration each; a compile-and-run smoke).
 microbench:

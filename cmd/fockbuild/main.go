@@ -38,6 +38,7 @@ import (
 	"gtfock/internal/fault"
 	"gtfock/internal/linalg"
 	"gtfock/internal/metrics"
+	netga "gtfock/internal/net"
 	"gtfock/internal/nwchem"
 	"gtfock/internal/reorder"
 	"gtfock/internal/screen"
@@ -72,6 +73,21 @@ func main() {
 		faultDelayMS    = flag.Int("fault-delay-ms", 1, "op delay in ms")
 		leaseMS         = flag.Int("lease-ms", 200, "worker lease TTL in ms (fault mode)")
 		chaos           = flag.Int("chaos", 0, "run N seeded chaos builds sweeping fault rates and verify each against the serial oracle")
+
+		// Network backend (gtfock real mode): the global arrays live in
+		// fockd shard servers and every one-sided op is a framed TCP RPC.
+		backend    = flag.String("backend", "local", "global-array transport: local (in-process) or net (fockd shard servers)")
+		netServers = flag.String("net-servers", "", "comma-separated fockd addresses (backend=net); must match the fockd cluster order")
+		netSession = flag.Uint64("net-session", 0, "session id for the net backend (0 = derive from wall clock); a fresh id resets the servers")
+		netVerify  = flag.Bool("net-verify", false, "verify the net-backed G against the serial oracle (small molecules)")
+
+		// Network fault injection (backend=net): applied at the conn layer.
+		netReset       = flag.Float64("fault-net-reset", 0, "probability an RPC's connection is reset mid-flight")
+		netDup         = flag.Float64("fault-net-dup", 0, "probability an RPC frame is delivered twice")
+		netDelay       = flag.Float64("fault-net-delay", 0, "probability an RPC is held on a slow link")
+		netDelayMS     = flag.Int("fault-net-delay-ms", 1, "slow-link delay in ms")
+		netPartition   = flag.Float64("fault-net-partition", 0, "probability a rank opens a partition window")
+		netPartitionMS = flag.Int("fault-net-partition-ms", 100, "partition window duration in ms")
 	)
 	flag.Parse()
 
@@ -138,7 +154,8 @@ func main() {
 		case "gtfock":
 			copt := core.Options{Prow: prow, Pcol: pcol, PrimTol: *primTol}
 			if *faultCrash > 0 || *faultCrashAfter > 0 || *faultStall > 0 ||
-				*faultDrop > 0 || *faultDelay > 0 {
+				*faultDrop > 0 || *faultDelay > 0 ||
+				*netReset > 0 || *netDup > 0 || *netDelay > 0 || *netPartition > 0 {
 				copt.Fault = fault.New(fault.Config{
 					Seed:             *faultSeed,
 					CrashBeforeFlush: *faultCrash,
@@ -148,8 +165,31 @@ func main() {
 					DropProb:         *faultDrop,
 					DelayProb:        *faultDelay,
 					DelayFor:         time.Duration(*faultDelayMS) * time.Millisecond,
+					NetResetProb:     *netReset,
+					NetDupProb:       *netDup,
+					NetDelayProb:     *netDelay,
+					NetDelayFor:      time.Duration(*netDelayMS) * time.Millisecond,
+					NetPartitionProb: *netPartition,
+					NetPartitionFor:  time.Duration(*netPartitionMS) * time.Millisecond,
 				})
 				copt.LeaseTTL = time.Duration(*leaseMS) * time.Millisecond
+			}
+			var rpc *metrics.RPC
+			if *backend == "net" {
+				if *netServers == "" {
+					fatalIf(fmt.Errorf("-backend net requires -net-servers"))
+				}
+				addrs := strings.Split(*netServers, ",")
+				session := *netSession
+				if session == 0 {
+					session = uint64(time.Now().UnixNano())
+				}
+				rpc = &metrics.RPC{}
+				copt.Backend = netFactory(addrs, session, copt.Fault, rpc)
+				copt.LeaseTTL = time.Duration(*leaseMS) * time.Millisecond
+				fmt.Printf("net backend: %d shard servers, session %d\n", len(addrs), session)
+			} else if *backend != "local" {
+				fatalIf(fmt.Errorf("unknown backend %q", *backend))
 			}
 			if *trace {
 				copt.Trace = &dist.Trace{}
@@ -165,8 +205,24 @@ func main() {
 				fmt.Printf("debug endpoint: http://%s/debug/vars (expvar) and http://%s/debug/pprof/\n", addr, addr)
 			}
 			res := core.Build(bs, scr, d, copt)
+			fatalIf(res.Err)
 			fmt.Printf("wall time: %v,  |G|_max = %.6f\n", res.Wall, res.G.MaxAbs())
-			report(res.Stats, fmt.Sprintf("real, %dx%d grid", prow, pcol))
+			report(res.Stats, fmt.Sprintf("real, %dx%d grid, %s backend", prow, pcol, *backend))
+			if rpc != nil {
+				reportRPC(rpc)
+			}
+			if *netVerify {
+				ref := core.BuildSerial(bs, scr, d)
+				diff := linalg.MaxAbsDiff(ref, res.G)
+				status := "ok"
+				if diff > 1e-9 {
+					status = "MISMATCH"
+				}
+				fmt.Printf("serial oracle check: |G - serial| = %.2e  %s\n", diff, status)
+				if diff > 1e-9 {
+					fatalIf(fmt.Errorf("net-backed G diverged from the serial oracle"))
+				}
+			}
 			if copt.Trace != nil {
 				printTrace(copt.Trace)
 			}
@@ -281,6 +337,52 @@ func runChaos(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix,
 		total.BlocksReassigned, total.OpDrops, total.Rounds)
 	if failures > 0 {
 		fatalIf(fmt.Errorf("%d of %d chaos runs diverged from the serial oracle", failures, n))
+	}
+}
+
+// netFactory returns a core.Options.Backend factory that dials the
+// user-supplied fockd shard servers for the D and F arrays. The fockd
+// cluster must have been started with the same molecule, basis, grid
+// and ordering so both sides derive the identical block layout.
+func netFactory(addrs []string, session uint64, inj *fault.Injector, rpc *metrics.RPC) func(
+	grid *dist.Grid2D, stats *dist.RunStats) (dist.Backend, dist.Backend, func(), error) {
+	return func(grid *dist.Grid2D, stats *dist.RunStats) (dist.Backend, dist.Backend, func(), error) {
+		assign, _ := netga.SplitProcs(grid.NumProcs(), len(addrs))
+		gaD, err := netga.Dial(grid, stats, addrs, assign, netga.Config{
+			Array: 0, Session: session, RPC: rpc, Fault: inj,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		gaF, err := netga.Dial(grid, stats, addrs, assign, netga.Config{
+			Array: 1, Session: session, RPC: rpc, Fault: inj,
+		})
+		if err != nil {
+			gaD.Close()
+			return nil, nil, nil, err
+		}
+		cleanup := func() {
+			gaD.Close()
+			gaF.Close()
+		}
+		return gaD, gaF, cleanup, nil
+	}
+}
+
+// reportRPC prints the transport-level counters of a net-backed build.
+func reportRPC(rpc *metrics.RPC) {
+	s := rpc.Snapshot()
+	fmt.Printf("RPC transport statistics:\n")
+	fmt.Printf("  calls:               %d (%d retries, %d failures)\n", s.Calls, s.Retries, s.Failures)
+	fmt.Printf("  connections:         %d dials, %d reconnects\n", s.Dials, s.Reconnects)
+	if s.Resets > 0 || s.DupSends > 0 || s.Partitioned > 0 {
+		fmt.Printf("  injected faults:     %d resets, %d dup sends, %d partitioned\n",
+			s.Resets, s.DupSends, s.Partitioned)
+	}
+	if s.LatencyNS.Count > 0 {
+		fmt.Printf("  latency:             mean %.1fus, p95 %.1fus, max %.1fus\n",
+			s.LatencyNS.Mean/1e3, float64(s.LatencyNS.P95)/1e3,
+			float64(s.LatencyNS.Max)/1e3)
 	}
 }
 

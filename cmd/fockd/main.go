@@ -1,0 +1,124 @@
+// Command fockd is one shard server of the network-backed Global Arrays
+// transport: it hosts the D and F blocks of a subset of the process grid
+// and serves framed one-sided Get/Put/Acc RPCs over TCP, with
+// idempotency-token dedup so retrying clients accumulate exactly once.
+//
+// Every fockd of a cluster — and the fockbuild driver — must be started
+// with the same molecule, basis, grid shape, shell ordering and server
+// count, so all of them derive the identical block layout:
+//
+//	fockd -mol alkane:2 -basis sto-3g -grid 2x2 -servers 2 -index 0 -listen 127.0.0.1:7101
+//	fockd -mol alkane:2 -basis sto-3g -grid 2x2 -servers 2 -index 1 -listen 127.0.0.1:7102
+//	fockbuild -mol alkane:2 -basis sto-3g -grid 2x2 -backend net -net-servers 127.0.0.1:7101,127.0.0.1:7102
+//
+// The server runs until interrupted and prints its request counters on
+// exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+	"gtfock/internal/core"
+	netga "gtfock/internal/net"
+	"gtfock/internal/reorder"
+)
+
+func main() {
+	var (
+		molSpec  = flag.String("mol", "alkane:2", "molecule: a paper formula, alkane:N, or flake:K")
+		bname    = flag.String("basis", "sto-3g", "basis set: sto-3g, 6-31g, cc-pvdz, or cc-pvtz")
+		gridSpec = flag.String("grid", "2x2", "process grid RxC (must match the driver)")
+		ord      = flag.String("reorder", "cell", "shell ordering: cell, morton, natural (must match the driver)")
+		servers  = flag.Int("servers", 1, "total number of shard servers in the cluster")
+		index    = flag.Int("index", 0, "this server's index in [0, servers)")
+		listen   = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+	)
+	flag.Parse()
+
+	if *index < 0 || *index >= *servers {
+		fatalIf(fmt.Errorf("-index %d outside [0, %d)", *index, *servers))
+	}
+	mol, err := parseMolecule(*molSpec)
+	fatalIf(err)
+	bs, err := basis.Build(mol, *bname)
+	fatalIf(err)
+	var order []int
+	switch *ord {
+	case "cell":
+		order = reorder.Cell(bs, 0)
+	case "morton":
+		order = reorder.Morton(bs, 0)
+	case "natural":
+		order = reorder.Identity(bs.NumShells())
+	default:
+		fatalIf(fmt.Errorf("unknown ordering %q", *ord))
+	}
+	bs = bs.Permute(order)
+	prow, pcol, err := parseGrid(*gridSpec)
+	fatalIf(err)
+
+	grid := core.Grid(bs, prow, pcol)
+	_, hosted := netga.SplitProcs(grid.NumProcs(), *servers)
+	srv := netga.NewServer(grid, hosted[*index])
+	addr, err := srv.Start(*listen)
+	fatalIf(err)
+	fmt.Printf("fockd %d/%d: serving procs %v of a %dx%d grid (%d funcs) on %s\n",
+		*index, *servers, hosted[*index], prow, pcol, bs.NumFuncs, addr)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	st := srv.Stats()
+	srv.Close()
+	fmt.Printf("fockd %d: %d requests, %d accs applied, %d dedup hits, %d sessions, %d rejects\n",
+		*index, st.Requests, st.AccApplied, st.AccDups, st.Sessions, st.Rejects)
+}
+
+func parseMolecule(spec string) (*chem.Molecule, error) {
+	switch {
+	case strings.HasPrefix(spec, "alkane:"):
+		n, err := strconv.Atoi(spec[len("alkane:"):])
+		if err != nil {
+			return nil, err
+		}
+		return chem.Alkane(n), nil
+	case strings.HasPrefix(spec, "flake:"):
+		k, err := strconv.Atoi(spec[len("flake:"):])
+		if err != nil {
+			return nil, err
+		}
+		return chem.GrapheneFlake(k), nil
+	default:
+		return chem.PaperMolecule(spec)
+	}
+}
+
+func parseGrid(s string) (int, int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("grid must be RxC, got %q", s)
+	}
+	r, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	c, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, c, nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fockd:", err)
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,13 @@ func main() {
 		ord     = flag.String("reorder", "", "shell ordering: cell, morton, or empty")
 		noDIIS  = flag.Bool("nodiis", false, "disable DIIS acceleration")
 		mp2     = flag.Bool("mp2", false, "add the MP2 correlation energy (small systems)")
+
+		// Checkpoint / resume: -checkpoint saves the SCF state after every
+		// iteration (atomic rename, always a complete iteration on disk);
+		// -resume warm-starts from it and retries once from the last valid
+		// iteration if the run blows up numerically.
+		ckptPath = flag.String("checkpoint", "", "save an SCF checkpoint to this file after every iteration")
+		resume   = flag.Bool("resume", false, "warm-start from -checkpoint if it exists; reload it after a numerical blow-up")
 
 		// Observability (gtfock engine): metrics accumulate over every Fock
 		// build of the SCF run.
@@ -75,9 +83,37 @@ func main() {
 		fmt.Printf("debug endpoint: http://%s/debug/vars (expvar) and http://%s/debug/pprof/\n", addr, addr)
 	}
 
+	opt.CheckpointPath = *ckptPath
+	if *resume && *ckptPath == "" {
+		fatalIf(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *resume {
+		if ck, err := loadResumeState(*ckptPath, mol.Formula(), *bname, *ord); err != nil {
+			fatalIf(err)
+		} else if ck != nil {
+			fmt.Printf("resuming from checkpoint: iteration %d (E = %.10f Ha)\n", ck.Iter, ck.Energy)
+			opt.InitialFock = ck.Fock()
+			opt.StartIter = ck.Iter
+		}
+	}
+
 	fmt.Printf("RHF/%s on %s (%d electrons, %s engine)\n",
 		*bname, mol.Formula(), mol.NumElectrons(), *engine)
 	res, err := scf.RunHF(mol, opt)
+	if err != nil && *resume && errors.Is(err, scf.ErrNumericalBlowUp) {
+		// The checkpoint on disk is the last complete iteration before the
+		// blow-up; reload it and continue once with a fresh DIIS subspace.
+		ck, lerr := loadResumeState(*ckptPath, mol.Formula(), *bname, *ord)
+		fatalIf(lerr)
+		if ck == nil {
+			fatalIf(err)
+		}
+		fmt.Printf("%v\n", err)
+		fmt.Printf("resuming from checkpoint: iteration %d (E = %.10f Ha)\n", ck.Iter, ck.Energy)
+		opt.InitialFock = ck.Fock()
+		opt.StartIter = ck.Iter
+		res, err = scf.RunHF(mol, opt)
+	}
 	fatalIf(err)
 
 	fmt.Printf("%4s %18s %14s %12s %10s %10s\n",
@@ -129,6 +165,27 @@ func main() {
 			fmt.Printf("  %-2s%-3d %+8.4f\n", chem.Symbol(mol.Atoms[a].Z), a, v)
 		}
 	}
+}
+
+// loadResumeState loads and validates the checkpoint at path for the
+// given system. A missing file is not an error — it returns (nil, nil)
+// so a first run with -resume simply starts cold.
+func loadResumeState(path, formula, basisName, ord string) (*scf.Checkpoint, error) {
+	ck, err := scf.LoadCheckpoint(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ck.Formula != formula || ck.BasisName != basisName {
+		return nil, fmt.Errorf("checkpoint is for %s/%s, not %s/%s",
+			ck.Formula, ck.BasisName, formula, basisName)
+	}
+	if ck.Reorder != ord {
+		return nil, fmt.Errorf("checkpoint uses -reorder %q, this run uses %q", ck.Reorder, ord)
+	}
+	return ck, nil
 }
 
 func parseMolecule(spec string) (*chem.Molecule, error) {

@@ -207,6 +207,17 @@ func (l *ledger) beginCommit(rank int, epoch int64) bool {
 	return true
 }
 
+// abortCommit reopens rank's lease after a flush that could not start:
+// the commit deadline expired before the first patch landed, so nothing
+// of the flush reached the global F. Claims are kept — the monitor or
+// final sweep will orphan them for exactly-once re-execution — and only
+// the fence protection of the commit window is released.
+func (l *ledger) abortCommit(rank int) {
+	l.mu.Lock()
+	l.committing[rank] = false
+	l.mu.Unlock()
+}
+
 // endCommit closes the flush transaction: the committed claims are done.
 func (l *ledger) endCommit(rank int) {
 	l.mu.Lock()
@@ -257,6 +268,13 @@ func (l *ledger) fenceLocked(rank int) {
 	atomic.AddInt64(&l.stats.Recovery.BlocksOrphaned, int64(len(l.claimed[rank])))
 	l.orphans = append(l.orphans, l.claimed[rank]...)
 	l.claimed[rank] = nil
+}
+
+// orphanCount reports how many blocks sit unadopted in the orphan pool.
+func (l *ledger) orphanCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.orphans)
 }
 
 // fencedEpochs returns the incarnations fenced so far.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +41,23 @@ type Options struct {
 	// accumulates retry without an attempt bound; see dist.AccFencedRetry.
 	RetryAttempts int
 	RetryBackoff  time.Duration
+	// RetryWallCap bounds the total wall time one retried operation may
+	// consume (context deadline over the whole retry loop, default 10s).
+	// A prefetch Get hitting the cap abandons the incarnation cleanly; a
+	// flush Acc consults it only before the commit's point of no return
+	// (the first landed patch) — after that, retries are unbounded,
+	// because abandoning a half-landed flush would break exactly-once.
+	RetryWallCap time.Duration
+
+	// Backend, when non-nil, supplies the global arrays for D and F —
+	// e.g. the TCP Global Arrays transport in internal/net — in place of
+	// the in-process dist.GlobalArray. Build calls it once with the
+	// block layout and the run's stats; cleanup (may be nil) runs when
+	// the build finishes. A build over an external backend always runs
+	// the lease/fencing runtime, so a worker that loses its transport
+	// past the retry budget degrades gracefully: it aborts, the monitor
+	// fences it, and its blocks are re-executed exactly once elsewhere.
+	Backend func(grid *dist.Grid2D, stats *dist.RunStats) (gaD, gaF dist.Backend, cleanup func(), err error)
 
 	// Trace, when non-nil, records per-worker activity spans (prefetch,
 	// ERI compute, flush, steal, idle scans) against the build's start
@@ -62,6 +81,12 @@ type Result struct {
 	Stats *dist.RunStats
 	// Wall is the wall-clock duration of the parallel section.
 	Wall time.Duration
+	// Err is non-nil when the build could not produce a correct G: the
+	// external backend failed to initialize, or recovery exhausted its
+	// rounds against a transport that never healed. In-process builds
+	// (Options.Backend nil) never set it — the injector disarm valve
+	// guarantees completion.
+	Err error
 }
 
 // Build runs the paper's Algorithm 4 for real: prow x pcol goroutine
@@ -88,13 +113,26 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 	// Shell-level block cuts and the matching function-level grid.
 	rowShellCuts := dist.UniformCuts(ns, opt.Prow)
 	colShellCuts := dist.UniformCuts(ns, opt.Pcol)
-	grid := dist.NewGrid2D(opt.Prow, opt.Pcol,
-		funcCuts(bs, rowShellCuts), funcCuts(bs, colShellCuts))
+	grid := Grid(bs, opt.Prow, opt.Pcol)
 
 	stats := dist.NewRunStats(nprocs)
-	gaD := dist.NewGlobalArray(grid, dist.NewRunStats(nprocs)) // load not accounted
-	gaD.LoadMatrix(d)
-	gaF := dist.NewGlobalArray(grid, stats)
+	var gaD, gaF dist.Backend
+	if opt.Backend != nil {
+		var cleanup func()
+		var err error
+		gaD, gaF, cleanup, err = opt.Backend(grid, stats)
+		if err != nil {
+			return Result{Stats: stats, Err: fmt.Errorf("core: backend init: %w", err)}
+		}
+		if cleanup != nil {
+			defer cleanup()
+		}
+		gaD.LoadMatrix(d)
+	} else {
+		gd := dist.NewGlobalArray(grid, dist.NewRunStats(nprocs)) // load not accounted
+		gd.LoadMatrix(d)
+		gaD, gaF = gd, dist.NewGlobalArray(grid, stats)
+	}
 
 	// Per-process task queues holding the static partition (Sec. III-C).
 	queues := make([]*Queue, nprocs)
@@ -111,8 +149,11 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 	}
 
 	// Fault-tolerant runtime: lease ledger, epoch fence, transport hook.
+	// An external backend always runs leased — its transport can fail
+	// even without an injector, and the lease machinery is what turns a
+	// lost peer into re-enqueued work instead of a wrong answer.
 	var led *ledger
-	if opt.Fault != nil {
+	if opt.Fault != nil || opt.Backend != nil {
 		if opt.LeaseTTL <= 0 {
 			opt.LeaseTTL = time.Second
 		}
@@ -122,18 +163,31 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 		if opt.RetryBackoff <= 0 {
 			opt.RetryBackoff = time.Millisecond
 		}
+		if opt.RetryWallCap <= 0 {
+			opt.RetryWallCap = 10 * time.Second
+		}
 		if opt.MaxFaultRounds <= 0 {
 			opt.MaxFaultRounds = 8
 		}
 		led = newLedger(nprocs, opt.LeaseTTL, stats)
 		gaF.SetFence(led)
+	}
+	if opt.Fault != nil {
+		// The in-process arrays consult the injector through the op hook;
+		// the net backend injects at its conn layer instead (and an
+		// injector handed to it via netga.Config, not here).
 		hook := func(proc int, op dist.OpKind) (time.Duration, bool) {
 			return opt.Fault.OpFault(proc, mapOpKind(op))
 		}
-		gaD.SetOpHook(hook)
-		gaF.SetOpHook(hook)
+		if g, ok := gaD.(*dist.GlobalArray); ok {
+			g.SetOpHook(hook)
+		}
+		if g, ok := gaF.(*dist.GlobalArray); ok {
+			g.SetOpHook(hook)
+		}
 	}
 
+	var buildErr error
 	start := time.Now()
 	for round := 0; ; round++ {
 		roundBlocks := blocks
@@ -188,8 +242,17 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 		}
 		atomic.AddInt64(&stats.Recovery.Rounds, 1)
 		if round+1 >= opt.MaxFaultRounds {
-			// Too many faulty rounds: finish the tail failure-free.
-			opt.Fault.Disarm()
+			if opt.Fault != nil && opt.Fault.Armed() {
+				// Too many faulty rounds: finish the tail failure-free.
+				opt.Fault.Disarm()
+			} else if round+1 >= 2*opt.MaxFaultRounds {
+				// Real (non-injected) transport faults cannot be disarmed.
+				// Give up rather than respawn forever against a peer that
+				// never heals; the caller sees the failure, not a wrong G.
+				buildErr = fmt.Errorf("core: %d blocks unrecovered after %d recovery rounds: transport never healed",
+					led.orphanCount(), round+1)
+				break
+			}
 		}
 	}
 	wall := time.Since(start)
@@ -205,7 +268,7 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 	g2e := gaF.ToMatrix()
 	g := g2e.Clone()
 	g.AXPY(1, g2e.T()) // G = acc + acc^T completes the 8-fold symmetry
-	return Result{G: g, Stats: stats, Wall: wall}
+	return Result{G: g, Stats: stats, Wall: wall, Err: buildErr}
 }
 
 // mapOpKind translates the dist op taxonomy into the injector's.
@@ -218,6 +281,18 @@ func mapOpKind(op dist.OpKind) fault.Op {
 	default:
 		return fault.OpGet
 	}
+}
+
+// Grid returns the function-level block distribution a prow x pcol Build
+// over bs uses (shell-uniform cuts mapped to basis-function offsets).
+// Shard servers of the network backend must be constructed over exactly
+// this grid — and over the same shell ordering — or patch ownership
+// validation rejects the build's requests.
+func Grid(bs *basis.Set, prow, pcol int) *dist.Grid2D {
+	ns := bs.NumShells()
+	return dist.NewGrid2D(prow, pcol,
+		funcCuts(bs, dist.UniformCuts(ns, prow)),
+		funcCuts(bs, dist.UniformCuts(ns, pcol)))
 }
 
 // funcCuts maps shell-index cuts to basis-function-index cuts.
@@ -239,8 +314,8 @@ type worker struct {
 	bs    *basis.Set
 	scr   *screen.Screening
 	grid  *dist.Grid2D
-	gaD   *dist.GlobalArray
-	gaF   *dist.GlobalArray
+	gaD   dist.Backend
+	gaF   dist.Backend
 	stats *dist.RunStats
 	eng   *integrals.Engine
 	pairs map[int64]*integrals.ShellPair
@@ -255,8 +330,10 @@ type worker struct {
 	inj           *fault.Injector
 	epoch         int64
 	victims       map[int]bool
+	fallible      bool // backend ops can fail: use the retrying wrappers
 	retryAttempts int
 	retryBackoff  time.Duration
+	retryWallCap  time.Duration
 
 	// Observability sinks (both nil = zero-instrumentation fast path).
 	// Spans and the metric sample buffer one commit episode and are
@@ -270,23 +347,33 @@ type worker struct {
 }
 
 func newWorker(rank int, bs *basis.Set, scr *screen.Screening, grid *dist.Grid2D,
-	gaD, gaF *dist.GlobalArray, stats *dist.RunStats, opt Options) *worker {
+	gaD, gaF dist.Backend, stats *dist.RunStats, opt Options) *worker {
 	eng := integrals.NewEngine()
 	eng.PrimTol = opt.PrimTol
 	eng.UseHGP = opt.UseHGP
 	return &worker{
 		rank: rank, bs: bs, scr: scr, grid: grid,
 		gaD: gaD, gaF: gaF, stats: stats, eng: eng,
-		pairs:   map[int64]*integrals.ShellPair{},
-		dloc:    make([]float64, bs.NumFuncs*bs.NumFuncs),
-		floc:    make([]float64, bs.NumFuncs*bs.NumFuncs),
-		fp:      NewFootprint(),
-		nf:      bs.NumFuncs,
-		inj:     opt.Fault,
-		victims: map[int]bool{},
-		trace:   opt.Trace,
-		reg:     opt.Metrics,
+		pairs:    map[int64]*integrals.ShellPair{},
+		dloc:     make([]float64, bs.NumFuncs*bs.NumFuncs),
+		floc:     make([]float64, bs.NumFuncs*bs.NumFuncs),
+		fp:       NewFootprint(),
+		nf:       bs.NumFuncs,
+		inj:      opt.Fault,
+		fallible: gaD.Fallible() || gaF.Fallible(),
+		victims:  map[int]bool{},
+		trace:    opt.Trace,
+		reg:      opt.Metrics,
 	}
+}
+
+// opCtx returns the deadline context bounding one retried operation's
+// total wall time (Options.RetryWallCap); without a cap it is free.
+func (w *worker) opCtx() (context.Context, context.CancelFunc) {
+	if w.retryWallCap <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), w.retryWallCap)
 }
 
 // obsNow reads the clock only when an observability sink is attached; the
@@ -370,7 +457,7 @@ func (w *worker) heartbeat() {
 // fault injection the Gets retry with backoff; false means an op
 // ultimately failed and the caller must abandon this incarnation.
 func (w *worker) fetchFootprint(fp *Footprint) bool {
-	retry := w.inj != nil
+	retry := w.fallible
 	t0 := w.obsNow()
 	for _, m := range fp.Rows() {
 		lo, hi, _ := fp.Span(m)
@@ -387,9 +474,11 @@ func (w *worker) fetchFootprint(fp *Footprint) bool {
 				continue
 			}
 			w.heartbeat()
-			retries, err := w.gaD.GetRetry(w.retryAttempts, w.retryBackoff,
+			ctx, cancel := w.opCtx()
+			retries, err := w.gaD.GetRetry(ctx, w.retryAttempts, w.retryBackoff,
 				w.rank, p.R0, p.R1, p.C0, p.C1,
 				w.dloc[p.R0*w.nf+p.C0:], w.nf)
+			cancel()
 			w.samp.GetRetries += int64(retries)
 			if err != nil {
 				w.span(dist.SpanPrefetch, t0)
@@ -467,6 +556,12 @@ func (w *worker) commitFlush() bool {
 		atomic.AddInt64(&w.stats.Recovery.FencedFlushes, 1)
 		return false
 	}
+	// The first patch is the commit's point of no return: until it lands,
+	// a retry deadline abandons the flush cleanly (abortCommit keeps the
+	// claims for exactly-once re-execution elsewhere); once anything has
+	// landed, retries are unbounded — the monitor cannot fence a
+	// committing worker, so the only exit is landing every patch.
+	landed := false
 	for _, m := range w.fp.Rows() {
 		lo, hi, _ := w.fp.Span(m)
 		r0 := w.bs.Offsets[m]
@@ -476,11 +571,24 @@ func (w *worker) commitFlush() bool {
 		for _, p := range w.grid.Patches(r0, r1, c0, c1) {
 			w.samp.AccCalls++
 			w.samp.AccBytes += 8 * int64(p.R1-p.R0) * int64(p.C1-p.C0)
-			// Cannot be fenced while committing; drops retry until the
-			// patch lands, so the whole flush is all-or-nothing.
-			retries, _ := w.gaF.AccFencedRetry(w.retryBackoff, w.rank, w.epoch,
+			ctx := context.Background()
+			cancel := func() {}
+			if !landed {
+				ctx, cancel = w.opCtx()
+			}
+			retries, err := w.gaF.AccFencedRetry(ctx, w.retryBackoff, w.rank, w.epoch,
 				p.R0, p.R1, p.C0, p.C1, w.floc[p.R0*w.nf+p.C0:], w.nf, 1)
+			cancel()
 			w.samp.AccRetries += int64(retries)
+			if err != nil {
+				// Only reachable before the first landed patch (deadline),
+				// or as a defensive catch for an impossible mid-commit
+				// fence: nothing of this flush is in the global F.
+				w.led.abortCommit(w.rank)
+				atomic.AddInt64(&w.stats.Recovery.Aborts, 1)
+				return false
+			}
+			landed = true
 		}
 	}
 	w.led.endCommit(w.rank)
@@ -613,6 +721,7 @@ func (w *worker) run(blocks []TaskBlock, queues []*Queue, opt Options) {
 	defer w.abortEpisode()
 	w.retryAttempts = opt.RetryAttempts
 	w.retryBackoff = opt.RetryBackoff
+	w.retryWallCap = opt.RetryWallCap
 
 	my := queues[w.rank]
 	if blocks != nil && !blocks[w.rank].Empty() {

@@ -1,7 +1,9 @@
 package dist
 
 import (
+	"context"
 	"errors"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -193,11 +195,58 @@ func (g *GlobalArray) AccFenced(proc int, epoch int64, r0, r1, c0, c1 int, src [
 	return nil
 }
 
-// GetRetry retries TryGet with exponential backoff for up to attempts
-// tries, counting retries in the recovery stats. It returns the number
-// of retries it issued (0 on a clean first attempt, for the caller's
-// per-worker accounting) and the last error when every attempt drops.
-func (g *GlobalArray) GetRetry(attempts int, backoff time.Duration, proc, r0, r1, c0, c1 int, dst []float64, ld int) (int, error) {
+// maxRetryBackoff caps the exponential backoff of the retry wrappers so
+// a long retry run polls steadily instead of sleeping unboundedly.
+const maxRetryBackoff = time.Second
+
+// Jitter spreads a backoff interval uniformly over [d/2, 3d/2) so
+// concurrent retriers desynchronize instead of hammering the transport
+// in lockstep (retry-storm avoidance). Exported for the net backend.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// SleepBackoff sleeps a jittered backoff of nominally d (capped at 1s),
+// returning early with ctx.Err() when the context expires first. A nil
+// ctx means no deadline. Shared by every retry loop in this repository
+// so backoff behavior (cap, jitter, deadline) is uniform across
+// transports.
+func SleepBackoff(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	d = Jitter(d)
+	if d <= 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// GetRetry retries TryGet with capped, jittered exponential backoff for
+// up to attempts tries, counting retries in the recovery stats, and
+// abandons early when ctx's deadline expires (bounding the total retry
+// wall time). It returns the number of retries it issued (0 on a clean
+// first attempt, for the caller's per-worker accounting) and the last
+// error when every attempt drops or the deadline passes.
+func (g *GlobalArray) GetRetry(ctx context.Context, attempts int, backoff time.Duration, proc, r0, r1, c0, c1 int, dst []float64, ld int) (int, error) {
 	if attempts <= 0 {
 		attempts = 1
 	}
@@ -205,7 +254,9 @@ func (g *GlobalArray) GetRetry(attempts int, backoff time.Duration, proc, r0, r1
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			atomic.AddInt64(&g.stats.Recovery.OpRetries, 1)
-			time.Sleep(backoff << (a - 1))
+			if cerr := SleepBackoff(ctx, backoff<<(a-1)); cerr != nil {
+				return a - 1, cerr
+			}
 		}
 		if err = g.TryGet(proc, r0, r1, c0, c1, dst, ld); err == nil {
 			return a, nil
@@ -214,12 +265,15 @@ func (g *GlobalArray) GetRetry(attempts int, backoff time.Duration, proc, r0, r1
 	return attempts - 1, err
 }
 
-// AccFencedRetry retries AccFenced until it applies or is fenced. Drops
-// are retried indefinitely — liveness holds because the injector bounds
-// consecutive drops — so a commit in progress either lands every patch
-// exactly once or (stale epoch) lands none of the remaining ones. The
-// retry count feeds the caller's per-worker accounting.
-func (g *GlobalArray) AccFencedRetry(backoff time.Duration, proc int, epoch int64, r0, r1, c0, c1 int, src []float64, ld int, alpha float64) (int, error) {
+// AccFencedRetry retries AccFenced until it applies or is fenced, with
+// capped, jittered exponential backoff between attempts. Drops are
+// retried until ctx expires — with a deadline-free ctx, indefinitely;
+// liveness then holds because the injector bounds consecutive drops —
+// so a commit in progress either lands every patch exactly once, is
+// rejected whole by a stale epoch, or (deadline) reports ctx.Err() to a
+// caller that must still be before its point of no return. The retry
+// count feeds the caller's per-worker accounting.
+func (g *GlobalArray) AccFencedRetry(ctx context.Context, backoff time.Duration, proc int, epoch int64, r0, r1, c0, c1 int, src []float64, ld int, alpha float64) (int, error) {
 	wait := backoff
 	for retries := 0; ; retries++ {
 		err := g.AccFenced(proc, epoch, r0, r1, c0, c1, src, ld, alpha)
@@ -227,11 +281,11 @@ func (g *GlobalArray) AccFencedRetry(backoff time.Duration, proc int, epoch int6
 			return retries, err
 		}
 		atomic.AddInt64(&g.stats.Recovery.OpRetries, 1)
-		if wait > 0 {
-			time.Sleep(wait)
-			if wait < time.Second {
-				wait *= 2
-			}
+		if cerr := SleepBackoff(ctx, wait); cerr != nil {
+			return retries, cerr
+		}
+		if wait > 0 && wait < maxRetryBackoff {
+			wait *= 2
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -39,7 +40,7 @@ func TestTryGetDropCountsAndCopiesNothing(t *testing.T) {
 		t.Fatalf("OpDrops = %d, want 1", st.Recovery.OpDrops)
 	}
 	// GetRetry rides out the remaining drop.
-	retries, err := ga.GetRetry(4, 0, 1, 0, 4, 0, 4, dst, 4)
+	retries, err := ga.GetRetry(context.Background(), 4, 0, 1, 0, 4, 0, 4, dst, 4)
 	if err != nil {
 		t.Fatalf("GetRetry failed: %v", err)
 	}
@@ -59,7 +60,7 @@ func TestGetRetryExhaustsAttempts(t *testing.T) {
 	ga := NewGlobalArray(g, NewRunStats(1))
 	ga.SetOpHook(func(int, OpKind) (time.Duration, bool) { return 0, true })
 	dst := make([]float64, 4)
-	if _, err := ga.GetRetry(3, 0, 0, 0, 2, 0, 2, dst, 2); !errors.Is(err, ErrDropped) {
+	if _, err := ga.GetRetry(context.Background(), 3, 0, 0, 0, 2, 0, 2, dst, 2); !errors.Is(err, ErrDropped) {
 		t.Fatalf("want ErrDropped after exhausting attempts, got %v", err)
 	}
 }
@@ -102,7 +103,7 @@ func TestAccFencedRetryRidesOutDrops(t *testing.T) {
 		return 0, false
 	})
 	src := []float64{1, 2, 3, 4}
-	retries, err := ga.AccFencedRetry(0, 0, 1, 0, 2, 0, 2, src, 2, 1)
+	retries, err := ga.AccFencedRetry(context.Background(), 0, 0, 1, 0, 2, 0, 2, src, 2, 1)
 	if err != nil {
 		t.Fatalf("AccFencedRetry: %v", err)
 	}
@@ -114,7 +115,92 @@ func TestAccFencedRetryRidesOutDrops(t *testing.T) {
 	}
 	// Once the fence goes stale, retry stops with ErrFenced.
 	ga.SetFence(fixedFence{0: 99})
-	if _, err := ga.AccFencedRetry(0, 0, 1, 0, 2, 0, 2, src, 2, 1); !errors.Is(err, ErrFenced) {
+	if _, err := ga.AccFencedRetry(context.Background(), 0, 0, 1, 0, 2, 0, 2, src, 2, 1); !errors.Is(err, ErrFenced) {
 		t.Fatalf("want ErrFenced, got %v", err)
+	}
+}
+
+// Satellite coverage: AccFencedRetry under a hook that drops the first N
+// attempts must report exactly N retries and accumulate the contribution
+// exactly once — never zero times, never N+1.
+func TestAccFencedRetryDropFirstNExactlyOnce(t *testing.T) {
+	for _, n := range []int{1, 4, 9} {
+		g := UniformGrid2D(1, 1, 2, 2)
+		st := NewRunStats(1)
+		ga := NewGlobalArray(g, st)
+		ga.SetFence(fixedFence{0: 1})
+		drops := n
+		attempts := 0
+		ga.SetOpHook(func(proc int, op OpKind) (time.Duration, bool) {
+			attempts++
+			if drops > 0 {
+				drops--
+				return 0, true
+			}
+			return 0, false
+		})
+		src := []float64{1, 2, 3, 4}
+		retries, err := ga.AccFencedRetry(context.Background(), 0, 0, 1, 0, 2, 0, 2, src, 2, 1)
+		if err != nil {
+			t.Fatalf("N=%d: AccFencedRetry: %v", n, err)
+		}
+		if retries != n || st.Recovery.OpRetries != int64(n) {
+			t.Fatalf("N=%d: retries = %d, stats = %d; want %d", n, retries, st.Recovery.OpRetries, n)
+		}
+		if attempts != n+1 {
+			t.Fatalf("N=%d: hook saw %d attempts, want %d", n, attempts, n+1)
+		}
+		// Exactly-once: each element equals src, not a multiple of it.
+		m := ga.ToMatrix()
+		for i, want := range src {
+			if got := m.Data[i]; got != want {
+				t.Fatalf("N=%d: element %d = %v, want %v (applied other than once)", n, i, got, want)
+			}
+		}
+	}
+}
+
+// A context deadline caps the total retry wall time of both retry
+// wrappers: with a permanently dropping transport they must return the
+// context error promptly instead of sleeping out their full backoff
+// schedules (GetRetry) or spinning forever (AccFencedRetry).
+func TestRetryContextDeadlineCapsWallTime(t *testing.T) {
+	g := UniformGrid2D(1, 1, 2, 2)
+	ga := NewGlobalArray(g, NewRunStats(1))
+	ga.SetFence(fixedFence{0: 1})
+	ga.SetOpHook(func(int, OpKind) (time.Duration, bool) { return 0, true })
+	dst := make([]float64, 4)
+	src := []float64{1, 1, 1, 1}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	if _, err := ga.GetRetry(ctx, 50, 20*time.Millisecond, 0, 0, 2, 0, 2, dst, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("GetRetry: want DeadlineExceeded, got %v", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	if _, err := ga.AccFencedRetry(ctx2, 5*time.Millisecond, 0, 1, 0, 2, 0, 2, src, 2, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AccFencedRetry: want DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("deadline-capped retries took %v", elapsed)
+	}
+	if m := ga.ToMatrix(); m.MaxAbs() != 0 {
+		t.Fatal("deadline-abandoned Acc modified the array")
+	}
+}
+
+// Jitter must stay within [d/2, 3d/2) and preserve zero.
+func TestJitterBounds(t *testing.T) {
+	if Jitter(0) != 0 {
+		t.Fatal("Jitter(0) != 0")
+	}
+	d := 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		j := Jitter(d)
+		if j < d/2 || j >= d+d/2 {
+			t.Fatalf("Jitter(%v) = %v out of [d/2, 3d/2)", d, j)
+		}
 	}
 }

@@ -15,6 +15,7 @@ const (
 	SpanIdle     = '.' // waiting with no work reachable
 	SpanPrefetch = 'p' // D-block prefetch (real mode)
 	SpanFlush    = 'f' // F accumulate flush (real mode)
+	SpanRPC      = 'r' // one netga RPC, including its retries (net backend)
 )
 
 // Span is one activity interval of a process. Real-mode spans carry the
@@ -171,7 +172,7 @@ func (t *Trace) Timeline(width, maxRows int) string {
 		}
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "timeline: %d procs x %.4fs  (c=compute m=comm p=prefetch f=flush s=steal .=idle x=discarded)\n",
+	fmt.Fprintf(&sb, "timeline: %d procs x %.4fs  (c=compute m=comm p=prefetch f=flush s=steal r=rpc .=idle x=discarded)\n",
 		nproc, makespan)
 	for r := range grid {
 		fmt.Fprintf(&sb, "%4d |%s|\n", r*nproc/rows, grid[r])

@@ -71,16 +71,60 @@ type Config struct {
 	// against any single rank, so retry loops terminate even at
 	// DropProb = 1. Default 8.
 	MaxConsecutiveDrops int
+
+	// Network fault modes, injected at the conn layer of the netga TCP
+	// transport (internal/net). NetResetProb resets the connection
+	// mid-RPC (the request may or may not have been applied — exactly
+	// what idempotency tokens exist for); NetDupProb delivers the
+	// request frame twice (exercising server-side dedup); NetDelayProb
+	// holds the frame for NetDelayFor (slow link).
+	NetResetProb float64
+	NetDupProb   float64
+	NetDelayProb float64
+	NetDelayFor  time.Duration
+
+	// NetPartitionProb opens a partition window of NetPartitionFor
+	// against the rank: every RPC it issues fails fast until the window
+	// closes (the link heals by itself). A window longer than the retry
+	// budget is how a rank "loses its peer" and gets gracefully degraded
+	// out of the build.
+	NetPartitionProb float64
+	NetPartitionFor  time.Duration
+
+	// MaxConsecutiveNetFaults bounds the run of consecutive RNG-drawn
+	// resets/partition-openings per rank (default 4), so retry budgets
+	// are not exceeded forever. Active partition windows are exempt:
+	// they are already bounded by NetPartitionFor.
+	MaxConsecutiveNetFaults int
 }
+
+// NetOutcome is the conn-layer verdict for one RPC issued by a rank.
+type NetOutcome int
+
+const (
+	// NetOK delivers the RPC normally (possibly after a delay).
+	NetOK NetOutcome = iota
+	// NetReset closes the connection mid-RPC; the client cannot know
+	// whether the server applied the request and must retry with the
+	// same idempotency token.
+	NetReset
+	// NetDup delivers the request frame twice; the server must dedup.
+	NetDup
+	// NetPartitioned fails the RPC fast: the rank is inside a partition
+	// window and cannot reach the peer until the window closes.
+	NetPartitioned
+)
 
 // Injector draws deterministic fault decisions per rank.
 type Injector struct {
 	cfg   Config
 	armed atomic.Bool
 
-	mu    sync.Mutex
-	rngs  map[int]*rand.Rand
-	drops map[int]int // consecutive drops injected per rank
+	mu        sync.Mutex
+	rngs      map[int]*rand.Rand
+	drops     map[int]int       // consecutive drops injected per rank
+	netRuns   map[int]int       // consecutive net faults injected per rank
+	partUntil map[int]time.Time // open partition window per rank
 }
 
 // New creates an armed injector for cfg.
@@ -88,10 +132,15 @@ func New(cfg Config) *Injector {
 	if cfg.MaxConsecutiveDrops <= 0 {
 		cfg.MaxConsecutiveDrops = 8
 	}
+	if cfg.MaxConsecutiveNetFaults <= 0 {
+		cfg.MaxConsecutiveNetFaults = 4
+	}
 	inj := &Injector{
-		cfg:   cfg,
-		rngs:  map[int]*rand.Rand{},
-		drops: map[int]int{},
+		cfg:       cfg,
+		rngs:      map[int]*rand.Rand{},
+		drops:     map[int]int{},
+		netRuns:   map[int]int{},
+		partUntil: map[int]time.Time{},
 	}
 	inj.armed.Store(true)
 	return inj
@@ -175,4 +224,47 @@ func (inj *Injector) OpFault(rank int, op Op) (delay time.Duration, drop bool) {
 	}
 	inj.drops[rank] = 0
 	return delay, false
+}
+
+// NetFault returns the conn-layer verdict for one RPC issued by rank: an
+// artificial delay (slow link) to sleep before sending, and the delivery
+// outcome. An already-open partition window fails the RPC regardless of
+// the consecutive cap — the window is time-bounded by NetPartitionFor,
+// so liveness is preserved — while fresh RNG-drawn resets and partition
+// openings count against MaxConsecutiveNetFaults per rank, keeping runs
+// of failures within any sane retry budget. Duplicated delivery is not a
+// failure from the client's point of view and does not count.
+func (inj *Injector) NetFault(rank int) (delay time.Duration, outcome NetOutcome) {
+	if !inj.armed.Load() {
+		return 0, NetOK
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	now := time.Now()
+	if until, ok := inj.partUntil[rank]; ok {
+		if now.Before(until) {
+			return 0, NetPartitioned
+		}
+		delete(inj.partUntil, rank) // window closed: the link healed
+	}
+	r := inj.rng(rank)
+	if inj.cfg.NetDelayProb > 0 && inj.cfg.NetDelayFor > 0 && r.Float64() < inj.cfg.NetDelayProb {
+		delay = inj.cfg.NetDelayFor
+	}
+	capped := inj.netRuns[rank] >= inj.cfg.MaxConsecutiveNetFaults
+	if inj.cfg.NetPartitionProb > 0 && inj.cfg.NetPartitionFor > 0 &&
+		r.Float64() < inj.cfg.NetPartitionProb && !capped {
+		inj.netRuns[rank]++
+		inj.partUntil[rank] = now.Add(inj.cfg.NetPartitionFor)
+		return 0, NetPartitioned
+	}
+	if inj.cfg.NetResetProb > 0 && r.Float64() < inj.cfg.NetResetProb && !capped {
+		inj.netRuns[rank]++
+		return delay, NetReset
+	}
+	inj.netRuns[rank] = 0
+	if inj.cfg.NetDupProb > 0 && r.Float64() < inj.cfg.NetDupProb {
+		return delay, NetDup
+	}
+	return delay, NetOK
 }

@@ -307,3 +307,114 @@ func (r *Registry) MarshalJSON() ([]byte, error) {
 func (r *Registry) ExpvarFunc() func() any {
 	return func() any { return r.Snapshot() }
 }
+
+// RPC is the transport-level counter set of the network backend. Unlike
+// worker Samples it is not merged at commit time: an RPC happened on the
+// wire whether or not the work it carried ever commits, so the client
+// records into it directly with atomics. All methods are nil-receiver
+// safe so a client without metrics costs one branch per call.
+type RPC struct {
+	latency                  histAtomic // wall time of one RPC incl. its retries, ns
+	calls, retries, failures atomic.Int64
+	dials, reconnects        atomic.Int64
+	resets, dupSends         atomic.Int64
+	partitioned              atomic.Int64
+}
+
+// ObserveCall records one completed RPC (success or final failure) with
+// its total wall time including retries.
+func (c *RPC) ObserveCall(ns int64) {
+	if c == nil {
+		return
+	}
+	var h Hist
+	h.Observe(ns)
+	c.latency.merge(&h)
+	c.calls.Add(1)
+}
+
+// AddRetry counts one retried attempt inside an RPC.
+func (c *RPC) AddRetry() {
+	if c != nil {
+		c.retries.Add(1)
+	}
+}
+
+// AddFailure counts one RPC abandoned past its retry budget or deadline.
+func (c *RPC) AddFailure() {
+	if c != nil {
+		c.failures.Add(1)
+	}
+}
+
+// AddDial counts one fresh connection established.
+func (c *RPC) AddDial() {
+	if c != nil {
+		c.dials.Add(1)
+	}
+}
+
+// AddReconnect counts one connection re-established after an error.
+func (c *RPC) AddReconnect() {
+	if c != nil {
+		c.reconnects.Add(1)
+	}
+}
+
+// AddReset counts one connection torn down mid-RPC (peer or injected).
+func (c *RPC) AddReset() {
+	if c != nil {
+		c.resets.Add(1)
+	}
+}
+
+// AddDupSend counts one request frame deliberately delivered twice by
+// the fault injector.
+func (c *RPC) AddDupSend() {
+	if c != nil {
+		c.dupSends.Add(1)
+	}
+}
+
+// AddPartitioned counts one RPC failed fast inside a partition window.
+func (c *RPC) AddPartitioned() {
+	if c != nil {
+		c.partitioned.Add(1)
+	}
+}
+
+// RPCSnapshot is the JSON-facing view of the transport counters.
+type RPCSnapshot struct {
+	LatencyNS   HistSnapshot `json:"latency_ns"`
+	Calls       int64        `json:"calls"`
+	Retries     int64        `json:"retries,omitempty"`
+	Failures    int64        `json:"failures,omitempty"`
+	Dials       int64        `json:"dials"`
+	Reconnects  int64        `json:"reconnects,omitempty"`
+	Resets      int64        `json:"resets,omitempty"`
+	DupSends    int64        `json:"dup_sends,omitempty"`
+	Partitioned int64        `json:"partitioned,omitempty"`
+}
+
+// Snapshot captures the current transport counters.
+func (c *RPC) Snapshot() RPCSnapshot {
+	if c == nil {
+		return RPCSnapshot{}
+	}
+	return RPCSnapshot{
+		LatencyNS:   c.latency.snapshot(),
+		Calls:       c.calls.Load(),
+		Retries:     c.retries.Load(),
+		Failures:    c.failures.Load(),
+		Dials:       c.dials.Load(),
+		Reconnects:  c.reconnects.Load(),
+		Resets:      c.resets.Load(),
+		DupSends:    c.dupSends.Load(),
+		Partitioned: c.partitioned.Load(),
+	}
+}
+
+// MarshalJSON serializes the current snapshot.
+func (c *RPC) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.Snapshot())
+}

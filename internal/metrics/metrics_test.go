@@ -179,3 +179,53 @@ func TestRegistryJSONRoundTrip(t *testing.T) {
 		t.Fatalf("1500 should land in bucket 2048: %v", back.Workers[0].TaskNS.Buckets)
 	}
 }
+
+func TestRPCCounters(t *testing.T) {
+	var c RPC
+	for i := 0; i < 4; i++ {
+		c.ObserveCall(int64(1000 * (i + 1)))
+	}
+	c.AddRetry()
+	c.AddRetry()
+	c.AddFailure()
+	c.AddDial()
+	c.AddReconnect()
+	c.AddReset()
+	c.AddDupSend()
+	c.AddPartitioned()
+	snap := c.Snapshot()
+	if snap.Calls != 4 || snap.LatencyNS.Count != 4 || snap.LatencyNS.Max != 4000 {
+		t.Fatalf("calls/latency wrong: %+v", snap)
+	}
+	if snap.Retries != 2 || snap.Failures != 1 || snap.Dials != 1 ||
+		snap.Reconnects != 1 || snap.Resets != 1 || snap.DupSends != 1 || snap.Partitioned != 1 {
+		t.Fatalf("counter snapshot wrong: %+v", snap)
+	}
+	raw, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back RPCSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Calls != 4 || back.Retries != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+// Nil-receiver calls must be safe: the client runs without metrics.
+func TestRPCNilSafe(t *testing.T) {
+	var c *RPC
+	c.ObserveCall(1)
+	c.AddRetry()
+	c.AddFailure()
+	c.AddDial()
+	c.AddReconnect()
+	c.AddReset()
+	c.AddDupSend()
+	c.AddPartitioned()
+	if snap := c.Snapshot(); snap.Calls != 0 {
+		t.Fatalf("nil snapshot not zero: %+v", snap)
+	}
+}

@@ -1,0 +1,219 @@
+package netga_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+	"gtfock/internal/core"
+	"gtfock/internal/dist"
+	"gtfock/internal/fault"
+	"gtfock/internal/linalg"
+	"gtfock/internal/metrics"
+	netga "gtfock/internal/net"
+	"gtfock/internal/screen"
+)
+
+// netSetup mirrors the core test harness: a small alkane, screening, and
+// a symmetric pseudo-density.
+func netSetup(t *testing.T) (*basis.Set, *screen.Screening, *linalg.Matrix) {
+	t.Helper()
+	bs, err := basis.Build(chem.Alkane(2), "sto-3g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := screen.Compute(bs, 1e-11)
+	d := linalg.NewMatrix(bs.NumFuncs, bs.NumFuncs)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64() * math.Exp(-0.1*float64(i-j))
+			d.Set(i, j, v)
+			d.Set(j, i, v)
+		}
+	}
+	return bs, scr, d
+}
+
+// netBackend returns a core.Options.Backend factory that brings up
+// nservers loopback shard servers for the build's grid and dials the D
+// and F clients, plus an escape hatch to read the server stats after the
+// build.
+func netBackend(t *testing.T, nservers int, session uint64, inj *fault.Injector, rpc *metrics.RPC) (
+	factory func(grid *dist.Grid2D, stats *dist.RunStats) (dist.Backend, dist.Backend, func(), error),
+	serverStats func() netga.ServerStats,
+) {
+	t.Helper()
+	var servers []*netga.Server
+	factory = func(grid *dist.Grid2D, stats *dist.RunStats) (dist.Backend, dist.Backend, func(), error) {
+		assign, hosted := netga.SplitProcs(grid.NumProcs(), nservers)
+		addrs := make([]string, nservers)
+		for k := 0; k < nservers; k++ {
+			srv := netga.NewServer(grid, hosted[k])
+			addr, err := srv.Start("127.0.0.1:0")
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			servers = append(servers, srv)
+			addrs[k] = addr
+		}
+		gaD, err := netga.Dial(grid, stats, addrs, assign, netga.Config{
+			Array: 0, Session: session, RPC: rpc, Fault: inj,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		gaF, err := netga.Dial(grid, stats, addrs, assign, netga.Config{
+			Array: 1, Session: session, RPC: rpc, Fault: inj,
+		})
+		if err != nil {
+			gaD.Close()
+			return nil, nil, nil, err
+		}
+		cleanup := func() {
+			gaD.Close()
+			gaF.Close()
+			// Servers stay up so the test can read their stats; closed
+			// via t.Cleanup below.
+		}
+		return gaD, gaF, cleanup, nil
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	serverStats = func() (sum netga.ServerStats) {
+		for _, s := range servers {
+			st := s.Stats()
+			sum.Requests += st.Requests
+			sum.AccApplied += st.AccApplied
+			sum.AccDups += st.AccDups
+			sum.Sessions += st.Sessions
+			sum.Rejects += st.Rejects
+		}
+		return sum
+	}
+	return factory, serverStats
+}
+
+func buildDeadline(t *testing.T, timeout time.Duration, f func() core.Result) core.Result {
+	t.Helper()
+	ch := make(chan core.Result, 1)
+	go func() { ch <- f() }()
+	select {
+	case r := <-ch:
+		return r
+	case <-time.After(timeout):
+		t.Fatalf("build did not complete within %v", timeout)
+		panic("unreachable")
+	}
+}
+
+// TestLoopbackBuildMatchesSerial is the fault-free baseline: a 2x2 build
+// whose D and F arrays live in two loopback shard-server processes must
+// match the serial oracle exactly as the in-process build does.
+func TestLoopbackBuildMatchesSerial(t *testing.T) {
+	bs, scr, d := netSetup(t)
+	ref := core.BuildSerial(bs, scr, d)
+	rpc := &metrics.RPC{}
+	reg := metrics.NewRegistry(4)
+	factory, _ := netBackend(t, 2, 1, nil, rpc)
+	res := buildDeadline(t, 2*time.Minute, func() core.Result {
+		return core.Build(bs, scr, d, core.Options{
+			Prow: 2, Pcol: 2,
+			Backend:      factory,
+			LeaseTTL:     500 * time.Millisecond,
+			MonitorEvery: 20 * time.Millisecond,
+			Metrics:      reg,
+		})
+	})
+	if res.Err != nil {
+		t.Fatalf("build error: %v", res.Err)
+	}
+	if diff := linalg.MaxAbsDiff(ref, res.G); diff > 1e-9 {
+		t.Fatalf("|G - serial| = %g over TCP backend", diff)
+	}
+	ns := int64(bs.NumShells())
+	if got := reg.Snapshot().TasksTotal; got != ns*ns {
+		t.Fatalf("tasks_total = %d, want ns^2 = %d", got, ns*ns)
+	}
+	if rpc.Snapshot().Calls == 0 {
+		t.Fatal("no RPCs recorded: build did not go over the wire")
+	}
+}
+
+// TestLoopbackChaosBuildMatchesSerial is the headline proof of the
+// network transport: a multi-server loopback build under injected
+// connection resets, duplicated deliveries, slow links and partition
+// windows — plus worker crashes riding on top — must complete, match
+// BuildSerial to 1e-9, and count every task exactly once (tasks_total ==
+// ns^2 means zero double-applied accumulates).
+func TestLoopbackChaosBuildMatchesSerial(t *testing.T) {
+	bs, scr, d := netSetup(t)
+	ref := core.BuildSerial(bs, scr, d)
+	ns := int64(bs.NumShells())
+
+	mixes := []struct {
+		name string
+		cfg  fault.Config
+	}{
+		{"reset-dup-slowlink", fault.Config{
+			Seed:         77,
+			NetResetProb: 0.15,
+			NetDupProb:   0.2,
+			NetDelayProb: 0.1,
+			NetDelayFor:  500 * time.Microsecond,
+		}},
+		{"partition-degradation", fault.Config{
+			Seed:                    78,
+			NetResetProb:            0.05,
+			NetPartitionProb:        0.08,
+			NetPartitionFor:         120 * time.Millisecond,
+			MaxConsecutiveNetFaults: 2,
+			CrashBeforeFlush:        0.15,
+		}},
+	}
+	for i, mix := range mixes {
+		mix := mix
+		session := uint64(100 + i)
+		t.Run(mix.name, func(t *testing.T) {
+			inj := fault.New(mix.cfg)
+			rpc := &metrics.RPC{}
+			reg := metrics.NewRegistry(4)
+			factory, serverStats := netBackend(t, 2, session, inj, rpc)
+			res := buildDeadline(t, 3*time.Minute, func() core.Result {
+				return core.Build(bs, scr, d, core.Options{
+					Prow: 2, Pcol: 2,
+					Backend:       factory,
+					Fault:         inj,
+					LeaseTTL:      150 * time.Millisecond,
+					MonitorEvery:  10 * time.Millisecond,
+					RetryAttempts: 6,
+					RetryBackoff:  time.Millisecond,
+					RetryWallCap:  300 * time.Millisecond,
+					Metrics:       reg,
+				})
+			})
+			if res.Err != nil {
+				t.Fatalf("build error: %v", res.Err)
+			}
+			if diff := linalg.MaxAbsDiff(ref, res.G); diff > 1e-9 {
+				t.Fatalf("|G - serial| = %g under %s", diff, mix.name)
+			}
+			if got := reg.Snapshot().TasksTotal; got != ns*ns {
+				t.Fatalf("tasks_total = %d, want ns^2 = %d (lost or double-counted tasks)", got, ns*ns)
+			}
+			snap := rpc.Snapshot()
+			sst := serverStats()
+			if snap.Retries == 0 {
+				t.Fatalf("chaos mix %s injected no retries: %+v", mix.name, snap)
+			}
+			t.Logf("%s: rpc=%+v recovery=%+v server={applied:%d dups:%d}",
+				mix.name, snap, res.Stats.Recovery, sst.AccApplied, sst.AccDups)
+		})
+	}
+}

@@ -1,0 +1,295 @@
+package netga
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"gtfock/internal/dist"
+)
+
+// Server hosts the D and F shards of a subset of the process grid's
+// blocks and serves framed one-sided RPCs over TCP. It is deliberately
+// fence-oblivious: epoch fencing is enforced client-side in the driver
+// process, where the lease ledger lives; the server's job is idempotent
+// application (token dedup) so at-least-once delivery from retrying
+// clients becomes exactly-once accumulation.
+type Server struct {
+	grid  *dist.Grid2D
+	hosts map[int]bool
+
+	mu      sync.Mutex
+	session uint64
+	seen    map[uint64]bool // applied Acc tokens of the current session
+	arrays  [numArrays][]float64
+	locks   []sync.Mutex // per-proc patch locks
+	conns   map[net.Conn]bool
+	closed  bool
+
+	ln net.Listener
+	wg sync.WaitGroup
+
+	requests, accApplied, accDups, sessions, rejects atomic.Int64
+}
+
+// ServerStats is a point-in-time counter snapshot.
+type ServerStats struct {
+	Requests   int64 `json:"requests"`
+	AccApplied int64 `json:"acc_applied"`
+	AccDups    int64 `json:"acc_dups"` // retried/duplicated Accs absorbed by token dedup
+	Sessions   int64 `json:"sessions"`
+	Rejects    int64 `json:"rejects"` // statusErr responses sent
+}
+
+// NewServer creates a server for the blocks of the given procs. The
+// backing store covers the full matrix for indexing simplicity; only the
+// hosted patches are ever addressed (requests for other owners are
+// rejected, catching routing bugs instead of serving zeros).
+func NewServer(grid *dist.Grid2D, procs []int) *Server {
+	s := &Server{
+		grid:  grid,
+		hosts: map[int]bool{},
+		seen:  map[uint64]bool{},
+		locks: make([]sync.Mutex, grid.NumProcs()),
+		conns: map[net.Conn]bool{},
+	}
+	for _, p := range procs {
+		s.hosts[p] = true
+	}
+	for a := range s.arrays {
+		s.arrays[a] = make([]float64, grid.Rows*grid.Cols)
+	}
+	return s
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in background
+// goroutines until Close. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = true
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener, tears down every live conn, and waits for
+// the handler goroutines to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests:   s.requests.Load(),
+		AccApplied: s.accApplied.Load(),
+		AccDups:    s.accDups.Load(),
+		Sessions:   s.sessions.Load(),
+		Rejects:    s.rejects.Load(),
+	}
+}
+
+// Addr returns the bound address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var buf []byte
+	for {
+		body, err := readFrame(br)
+		if err != nil {
+			return // client closed, reset, or corrupt stream
+		}
+		var req request
+		var resp response
+		if err := decodeRequest(body, &req); err != nil {
+			resp = response{Status: statusErr, Msg: err.Error()}
+		} else {
+			resp = s.handle(&req)
+		}
+		if resp.Status == statusErr {
+			s.rejects.Add(1)
+		}
+		buf = encodeResponse(buf, &resp)
+		if err := writeFrame(bw, buf); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func errResp(reqID uint64, format string, args ...any) response {
+	return response{Status: statusErr, ReqID: reqID, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) handle(req *request) response {
+	s.requests.Add(1)
+	if req.Op == opHello {
+		return s.hello(req)
+	}
+	if req.Op == opPing {
+		return response{ReqID: req.ReqID}
+	}
+	s.mu.Lock()
+	sessionOK := s.session != 0 && req.Session == s.session
+	s.mu.Unlock()
+	if !sessionOK {
+		return errResp(req.ReqID, "netga: unknown session %d", req.Session)
+	}
+	if int(req.Array) >= numArrays {
+		return errResp(req.ReqID, "netga: bad array id %d", req.Array)
+	}
+	r0, r1, c0, c1 := int(req.R0), int(req.R1), int(req.C0), int(req.C1)
+	if r0 < 0 || r1 > s.grid.Rows || c0 < 0 || c1 > s.grid.Cols || r0 >= r1 || c0 >= c1 {
+		return errResp(req.ReqID, "netga: bad patch [%d,%d)x[%d,%d)", r0, r1, c0, c1)
+	}
+	// The client decomposes regions per owner, so a request patch must
+	// lie within exactly one block — and that block must be hosted here.
+	ps := s.grid.Patches(r0, r1, c0, c1)
+	if len(ps) != 1 {
+		return errResp(req.ReqID, "netga: patch spans %d owners, want 1", len(ps))
+	}
+	owner := ps[0].Proc
+	if !s.hosts[owner] {
+		return errResp(req.ReqID, "netga: proc %d not hosted here", owner)
+	}
+	w := c1 - c0
+	switch req.Op {
+	case opGet:
+		data := make([]float64, (r1-r0)*w)
+		s.locks[owner].Lock()
+		for r := r0; r < r1; r++ {
+			copy(data[(r-r0)*w:(r-r0)*w+w], s.arrays[req.Array][r*s.grid.Cols+c0:r*s.grid.Cols+c1])
+		}
+		s.locks[owner].Unlock()
+		return response{ReqID: req.ReqID, Data: data}
+	case opPut:
+		if len(req.Data) != (r1-r0)*w {
+			return errResp(req.ReqID, "netga: put payload %d values, want %d", len(req.Data), (r1-r0)*w)
+		}
+		s.locks[owner].Lock()
+		for r := r0; r < r1; r++ {
+			copy(s.arrays[req.Array][r*s.grid.Cols+c0:r*s.grid.Cols+c1], req.Data[(r-r0)*w:(r-r0)*w+w])
+		}
+		s.locks[owner].Unlock()
+		return response{ReqID: req.ReqID}
+	case opAcc:
+		if len(req.Data) != (r1-r0)*w {
+			return errResp(req.ReqID, "netga: acc payload %d values, want %d", len(req.Data), (r1-r0)*w)
+		}
+		if req.Token != 0 {
+			s.mu.Lock()
+			if s.seen[req.Token] {
+				s.mu.Unlock()
+				s.accDups.Add(1)
+				return response{ReqID: req.ReqID, Dup: 1}
+			}
+			s.seen[req.Token] = true
+			s.mu.Unlock()
+		}
+		s.locks[owner].Lock()
+		for r := r0; r < r1; r++ {
+			dst := s.arrays[req.Array][r*s.grid.Cols+c0 : r*s.grid.Cols+c1]
+			row := req.Data[(r-r0)*w : (r-r0)*w+w]
+			for i := range dst {
+				dst[i] += req.Alpha * row[i]
+			}
+		}
+		s.locks[owner].Unlock()
+		s.accApplied.Add(1)
+		return response{ReqID: req.ReqID}
+	}
+	return errResp(req.ReqID, "netga: unknown op %d", req.Op)
+}
+
+// hello installs or validates a session. A session id the server has not
+// seen resets the arrays and the dedup state (a new build); re-Hello
+// with the current session (a reconnecting client) validates and changes
+// nothing. Geometry travels in R0=Rows, C0=Cols.
+func (s *Server) hello(req *request) response {
+	if int(req.R0) != s.grid.Rows || int(req.C0) != s.grid.Cols {
+		return errResp(req.ReqID, "netga: geometry mismatch: client %dx%d, server %dx%d",
+			req.R0, req.C0, s.grid.Rows, s.grid.Cols)
+	}
+	if req.Session == 0 {
+		return errResp(req.ReqID, "netga: session id must be nonzero")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Session != s.session {
+		s.session = req.Session
+		s.seen = map[uint64]bool{}
+		for a := range s.arrays {
+			arr := s.arrays[a]
+			for i := range arr {
+				arr[i] = 0
+			}
+		}
+		s.sessions.Add(1)
+	}
+	return response{ReqID: req.ReqID}
+}
+
+// SplitProcs assigns nprocs grid blocks contiguously across nservers
+// shard servers: assign[p] is the server index hosting proc p, and
+// hosted[k] lists server k's procs. Clients and servers must use the
+// same assignment; this is the one canonical scheme.
+func SplitProcs(nprocs, nservers int) (assign []int, hosted [][]int) {
+	assign = make([]int, nprocs)
+	hosted = make([][]int, nservers)
+	for p := 0; p < nprocs; p++ {
+		k := p * nservers / nprocs
+		assign[p] = k
+		hosted[k] = append(hosted[k], p)
+	}
+	return assign, hosted
+}

@@ -16,6 +16,8 @@ type Checkpoint struct {
 	Formula   string
 	BasisName string
 	NumFuncs  int
+	Iter      int    // SCF iteration this state was taken at (0 if unknown)
+	Reorder   string // shell ordering the matrices are expressed in
 	Converged bool
 	Energy    float64
 	FData     []float64
@@ -24,7 +26,34 @@ type Checkpoint struct {
 
 const checkpointVersion = 1
 
-// SaveCheckpoint writes the SCF state of res to path (gob encoding).
+// Save writes the checkpoint to path atomically: the gob goes to a
+// temporary file in the same directory which is then renamed over path,
+// so a crash mid-write never leaves a torn checkpoint where a previous
+// valid one stood.
+func (ck *Checkpoint) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// SaveCheckpoint writes the SCF state of res to path (gob encoding,
+// atomic rename).
 func SaveCheckpoint(path string, res *Result, basisName string) error {
 	if res.F == nil || res.D == nil {
 		return fmt.Errorf("scf: result has no matrices to checkpoint")
@@ -34,17 +63,14 @@ func SaveCheckpoint(path string, res *Result, basisName string) error {
 		Formula:   res.Basis.Mol.Formula(),
 		BasisName: basisName,
 		NumFuncs:  res.Basis.NumFuncs,
+		Iter:      len(res.Iterations),
+		Reorder:   res.Reorder,
 		Converged: res.Converged,
 		Energy:    res.Energy,
 		FData:     res.F.Data,
 		DData:     res.D.Data,
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return gob.NewEncoder(f).Encode(&ck)
+	return ck.Save(path)
 }
 
 // LoadCheckpoint reads an SCF checkpoint from path.

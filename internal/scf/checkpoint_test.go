@@ -2,6 +2,7 @@ package scf
 
 import (
 	"encoding/gob"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -176,5 +177,109 @@ func TestRunHFRejectsNaNInitialFock(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "blow-up at iteration 1") {
 		t.Fatalf("unhelpful error: %v", err)
+	}
+	if !errors.Is(err, ErrNumericalBlowUp) {
+		t.Fatalf("error does not wrap ErrNumericalBlowUp: %v", err)
+	}
+}
+
+// CheckpointPath must leave the converged final iteration on disk, with
+// the iteration counter and matrices matching the result, and no
+// temporary-file residue from the atomic renames.
+func TestCheckpointPathSavesEachIteration(t *testing.T) {
+	mol := chem.Methane()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scf.ckpt")
+	res, err := RunHF(mol, Options{BasisName: "sto-3g", CheckpointPath: path})
+	if err != nil || !res.Converged {
+		t.Fatal("SCF failed")
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Iter != len(res.Iterations) {
+		t.Fatalf("checkpoint Iter = %d, want %d", ck.Iter, len(res.Iterations))
+	}
+	if !ck.Converged || ck.Energy != res.Energy {
+		t.Fatalf("checkpoint state {conv:%v E:%v} does not match result {conv:%v E:%v}",
+			ck.Converged, ck.Energy, res.Converged, res.Energy)
+	}
+	if linalg.MaxAbsDiff(ck.Fock(), res.F) != 0 {
+		t.Fatal("checkpointed Fock differs from the final result")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("atomic save left a .tmp file behind")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected only the checkpoint in %s, found %d entries", dir, len(entries))
+	}
+}
+
+// A run cut short by MaxIter leaves a mid-SCF checkpoint; resuming from
+// it with StartIter must converge to the cold energy and continue the
+// iteration numbering.
+func TestResumeFromMidRunCheckpoint(t *testing.T) {
+	mol := chem.Methane()
+	cold, err := RunHF(mol, Options{BasisName: "sto-3g"})
+	if err != nil || !cold.Converged {
+		t.Fatal("cold SCF failed")
+	}
+	path := filepath.Join(t.TempDir(), "mid.ckpt")
+	short, err := RunHF(mol, Options{BasisName: "sto-3g", MaxIter: 3, CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Converged {
+		t.Skip("converged within 3 iterations; nothing to resume")
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Iter != 3 || ck.Converged {
+		t.Fatalf("mid-run checkpoint {iter:%d conv:%v}, want {3 false}", ck.Iter, ck.Converged)
+	}
+	warm, err := RunHF(mol, Options{
+		BasisName: "sto-3g", CheckpointPath: path,
+		InitialFock: ck.Fock(), StartIter: ck.Iter,
+	})
+	if err != nil || !warm.Converged {
+		t.Fatal("resumed SCF did not converge")
+	}
+	if math.Abs(warm.Energy-cold.Energy) > 1e-8 {
+		t.Fatalf("resumed E = %.10f, cold E = %.10f", warm.Energy, cold.Energy)
+	}
+	final, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 + len(warm.Iterations); final.Iter != want {
+		t.Fatalf("final checkpoint Iter = %d, want continued numbering %d", final.Iter, want)
+	}
+	if !final.Converged {
+		t.Fatal("final checkpoint not marked converged")
+	}
+}
+
+// The checkpoint records the shell ordering its matrices use, so a
+// resume under a different -reorder can be rejected.
+func TestCheckpointRecordsReorder(t *testing.T) {
+	mol := chem.Methane()
+	path := filepath.Join(t.TempDir(), "ord.ckpt")
+	res, err := RunHF(mol, Options{BasisName: "sto-3g", Reorder: "cell", CheckpointPath: path})
+	if err != nil || !res.Converged {
+		t.Fatal("SCF failed")
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Reorder != "cell" {
+		t.Fatalf("checkpoint Reorder = %q, want cell", ck.Reorder)
 	}
 }

@@ -8,6 +8,7 @@
 package scf
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -46,6 +47,12 @@ const (
 // inCoreLimitBytes caps the AO tensor EngineInCore will materialize.
 const inCoreLimitBytes = 1 << 31
 
+// ErrNumericalBlowUp marks an SCF run aborted because the Fock matrix or
+// total energy became non-finite (bad warm start, DIIS breakdown,
+// diverging density). Callers holding a checkpoint can errors.Is for it
+// and restart from the last valid iteration.
+var ErrNumericalBlowUp = errors.New("scf: numerical blow-up")
+
 // Options configures an SCF run. The zero value gives cc-pVDZ, GTFock on a
 // 1x1 grid, eigensolver densities, DIIS on.
 type Options struct {
@@ -77,6 +84,16 @@ type Options struct {
 	// Checkpoint) instead of the core-Hamiltonian guess.
 	InitialFock *linalg.Matrix
 
+	// CheckpointPath, when set, saves a checkpoint of the current F, D and
+	// energy after every SCF iteration (atomic tmp+rename, so the file on
+	// disk is always the latest complete iteration). A run that blows up
+	// at iteration k leaves iteration k-1 on disk to resume from.
+	CheckpointPath string
+
+	// StartIter offsets the iteration count recorded in checkpoints, so a
+	// resumed run continues the original numbering.
+	StartIter int
+
 	// FockTrace and FockMetrics attach the real-mode observability sinks
 	// to every GTFock Fock build of the run (see core.Options). The trace
 	// and registry accumulate across SCF iterations; nil disables them.
@@ -103,6 +120,7 @@ type Result struct {
 	Iterations []Iteration
 	F, D       *linalg.Matrix // final matrices in the working basis
 	Basis      *basis.Set     // working (possibly reordered) basis
+	Reorder    string         // shell ordering of the working basis
 	Screening  *screen.Screening
 	FockStats  *dist.RunStats // accounting of the final Fock build
 
@@ -186,7 +204,7 @@ func RunHF(mol *chem.Molecule, opt Options) (*Result, error) {
 	x := linalg.InvSqrtSym(s, 0)
 	enuc := mol.NuclearRepulsion()
 
-	res := &Result{Basis: bs, Screening: scr, NuclearRep: enuc}
+	res := &Result{Basis: bs, Screening: scr, NuclearRep: enuc, Reorder: opt.Reorder}
 	var f *linalg.Matrix
 	switch opt.Guess {
 	case "", "core":
@@ -221,8 +239,8 @@ func RunHF(mol *chem.Molecule, opt Options) (*Result, error) {
 		// breakdown, diverging density) would otherwise propagate silently
 		// through eigensolver and energy until MaxIter.
 		if i, j, ok := firstNonFinite(f); ok {
-			return nil, fmt.Errorf("scf: numerical blow-up at iteration %d: Fock matrix has non-finite entry %g at (%d,%d)",
-				it, f.At(i, j), i, j)
+			return nil, fmt.Errorf("%w at iteration %d: Fock matrix has non-finite entry %g at (%d,%d)",
+				ErrNumericalBlowUp, it, f.At(i, j), i, j)
 		}
 
 		// Density from the current Fock matrix (Alg. 1 lines 7-10).
@@ -289,7 +307,7 @@ func RunHF(mol *chem.Molecule, opt Options) (*Result, error) {
 		eElec := linalg.TraceMul(p, hp)
 		eTot := eElec + enuc
 		if math.IsNaN(eTot) || math.IsInf(eTot, 0) {
-			return nil, fmt.Errorf("scf: numerical blow-up at iteration %d: total energy is %g", it, eTot)
+			return nil, fmt.Errorf("%w at iteration %d: total energy is %g", ErrNumericalBlowUp, it, eTot)
 		}
 		iter.Energy = eTot
 		iter.DeltaE = eTot - ePrev
@@ -300,7 +318,20 @@ func RunHF(mol *chem.Molecule, opt Options) (*Result, error) {
 		res.Electronic = eElec
 		res.Energy = eTot
 
-		if it > 1 && math.Abs(iter.DeltaE) < opt.ConvTol && iter.DErr < opt.DTol {
+		conv := it > 1 && math.Abs(iter.DeltaE) < opt.ConvTol && iter.DErr < opt.DTol
+		if opt.CheckpointPath != "" {
+			ck := Checkpoint{
+				Version: checkpointVersion, Formula: mol.Formula(),
+				BasisName: opt.BasisName, NumFuncs: bs.NumFuncs,
+				Iter: opt.StartIter + it, Reorder: opt.Reorder,
+				Converged: conv, Energy: eTot,
+				FData: f.Data, DData: d.Data,
+			}
+			if err := ck.Save(opt.CheckpointPath); err != nil {
+				return nil, fmt.Errorf("scf: checkpoint at iteration %d: %w", it, err)
+			}
+		}
+		if conv {
 			res.Converged = true
 			res.F, res.D = f, d
 			res.finalizeOrbitals(x, nocc)
