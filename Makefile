@@ -39,7 +39,9 @@ bench:
 	$(GO) run ./cmd/bench -out BENCH_fock.json
 
 # CI smoke: run the pinned small case and fail if its calibrated wall
-# (wall_ns / serial_ns) regressed more than 15% against the baseline.
+# (wall_ns / serial_ns) regressed more than 15% against the baseline, or
+# if an ERI kernel microbenchmark regressed more than 35% after serial
+# calibration, or if any micro allocs/op exceeds its baseline (0).
 bench-short:
 	$(GO) run ./cmd/bench -short -check BENCH_fock.json
 

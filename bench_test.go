@@ -165,6 +165,48 @@ func benchTInt(b *testing.B, primTol float64) {
 	}
 }
 
+// BenchmarkTable5TIntKernels measures the per-ERI time of the batched
+// specialized-kernel path (DESIGN.md §8) on an s/p-only sto-3g alkane,
+// where every quartet dispatches to a fast kernel — the kernel-layer
+// companion to the two Table V rows above. Steady state must not
+// allocate.
+func BenchmarkTable5TIntKernels(b *testing.B) {
+	bs, err := gtfock.BuildBasis(gtfock.Alkane(10), "sto-3g")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scr := gtfock.ComputeScreening(bs, gtfock.DefaultTau)
+	pt := scr.PairTable(0)
+	var qs []integrals.Quartet
+	ns := bs.NumShells()
+	for m := 0; m < ns && len(qs) < 512; m += 3 {
+		for _, p := range scr.Phi[m] {
+			bra := pt.ID(m, p)
+			for _, q := range scr.PhiQ[m] {
+				ket := pt.ID(m, q)
+				if pt.Q(bra)*pt.Q(ket) < scr.Tau {
+					break
+				}
+				qs = append(qs, integrals.Quartet{Bra: bra, Ket: ket})
+			}
+		}
+	}
+	eng := integrals.NewEngine()
+	visit := func(int, []float64) {}
+	eng.ERIBatch(pt, qs, visit) // warm scratch
+	eng.Stats = integrals.Stats{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ERIBatch(pt, qs, visit)
+	}
+	b.StopTimer()
+	if eng.Stats.Quartets > 0 {
+		b.ReportMetric(b.Elapsed().Seconds()/float64(eng.Stats.Integrals)*1e9, "ns/ERI")
+		b.ReportMetric(float64(eng.Stats.FastQuartets)/float64(eng.Stats.Quartets), "fast-fraction")
+	}
+}
+
 // BenchmarkTable6CommVolume reports simulated per-process communication
 // volume for both engines at 432 cores (Table VI).
 func BenchmarkTable6CommVolume(b *testing.B) {

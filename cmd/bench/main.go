@@ -3,7 +3,10 @@
 // machine-readable BENCH_fock.json with, per case, the best-of-reps wall
 // time, a serial-oracle calibration time, load balance, steal count,
 // communication volume, and the overhead of the armed (zero-rate) fault
-// runtime — the quantities the paper's Tables V-VIII track.
+// runtime — the quantities the paper's Tables V-VIII track. A micro
+// section benchmarks the ERI kernel layer itself: ns/quartet per kernel
+// class (with the general MD path as reference) and the batched path over
+// a real task's quartet list, with allocs/op gated at zero.
 //
 //	bench                          # full series -> BENCH_fock.json
 //	bench -short -check BENCH_fock.json   # CI smoke: pinned case vs baseline
@@ -21,6 +24,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
 	"gtfock/internal/basis"
@@ -28,6 +32,7 @@ import (
 	"gtfock/internal/core"
 	"gtfock/internal/dist"
 	"gtfock/internal/fault"
+	"gtfock/internal/integrals"
 	"gtfock/internal/linalg"
 	"gtfock/internal/metrics"
 	"gtfock/internal/screen"
@@ -49,11 +54,22 @@ type benchCase struct {
 	CallsPerProc  float64 `json:"calls_per_proc"`
 }
 
+// microCase is one ERI-layer microbenchmark: per-quartet time for a
+// kernel class (or the general MD path on the same class, for reference),
+// or the batched path over a real task's surviving quartet list.
+type microCase struct {
+	Name         string  `json:"name"`
+	Quartets     int     `json:"quartets"`
+	NsPerQuartet float64 `json:"ns_per_quartet"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+}
+
 type benchReport struct {
 	Basis string      `json:"basis"`
 	Grid  string      `json:"grid"`
 	Reps  int         `json:"reps"`
 	Cases []benchCase `json:"cases"`
+	Micro []microCase `json:"micro,omitempty"`
 }
 
 func main() {
@@ -66,6 +82,7 @@ func main() {
 		short  = flag.Bool("short", false, "smoke mode: only the first (pinned) series case, 2 reps")
 		check  = flag.String("check", "", "compare against this baseline report instead of writing -out")
 		tol    = flag.Float64("tol", 0.15, "allowed fractional regression of norm_wall in -check mode")
+		mtol   = flag.Float64("mtol", 0.35, "allowed fractional regression of calibrated micro ns/quartet in -check mode")
 		ab     = flag.Int("ab", 0, "run N interleaved A/B pairs measuring observability overhead, then exit")
 	)
 	flag.Parse()
@@ -93,13 +110,17 @@ func main() {
 		prow, pcol, err = parseGrid(base.Grid)
 		fatalIf(err)
 		fresh := runSeries(sizesOf(base, sizes), base.Basis, base.Grid, prow, pcol, *reps)
-		fatalIf(compareReports(base, fresh, *tol))
-		fmt.Printf("bench check passed: %d cases within %.0f%% of %s\n",
-			len(fresh.Cases), *tol*100, *check)
+		if len(base.Micro) > 0 {
+			fresh.Micro = runMicro(base.Basis)
+		}
+		fatalIf(compareReports(base, fresh, *tol, *mtol))
+		fmt.Printf("bench check passed: %d cases, %d micro within %.0f%%/%.0f%% of %s\n",
+			len(fresh.Cases), len(fresh.Micro), *tol*100, *mtol*100, *check)
 		return
 	}
 
 	rep := runSeries(sizes, *bname, *grid, prow, pcol, *reps)
+	rep.Micro = runMicro(*bname)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	fatalIf(err)
 	fatalIf(os.WriteFile(*out, append(data, '\n'), 0o644))
@@ -179,6 +200,123 @@ func runCase(n int, bname string, prow, pcol, reps int) benchCase {
 	return c
 }
 
+// runMicro benchmarks the ERI kernel layer on the pinned alkane:2 system:
+// ns/quartet for every specialized s/p kernel class, the general MD path
+// on ss|ss and pp|pp for reference, and the batched ERIBatch path over
+// the fattest real task's surviving quartet list (whose steady state must
+// not allocate). Times are machine-absolute; the -check gate calibrates
+// them by the serial-oracle ratio before comparing.
+func runMicro(bname string) []microCase {
+	bs, scr, _ := setup(2, bname)
+	pt := scr.PairTable(0)
+
+	// Two shells of each angular momentum on distinct centers, so the
+	// benchmark quartets have generic geometry.
+	shellsOfL := func(l int) (int, int) {
+		first := -1
+		for i := range bs.Shells {
+			if bs.Shells[i].L != l {
+				continue
+			}
+			if first < 0 {
+				first = i
+			} else if bs.Shells[i].Atom != bs.Shells[first].Atom {
+				return first, i
+			}
+		}
+		fatalIf(fmt.Errorf("micro: basis %s lacks two centered shells with L=%d", bname, l))
+		return 0, 0
+	}
+	s1, s2 := shellsOfL(0)
+	p1, p2 := shellsOfL(1)
+
+	one := func(name string, general bool, ba, bb, ka, kb int) microCase {
+		eng := integrals.NewEngine()
+		eng.DisableFastKernels = general
+		bra := eng.Pair(&bs.Shells[ba], &bs.Shells[bb])
+		ket := eng.Pair(&bs.Shells[ka], &bs.Shells[kb])
+		eng.ERI(bra, ket) // warm scratch
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.ERI(bra, ket)
+			}
+		})
+		return microCase{
+			Name: name, Quartets: 1,
+			NsPerQuartet: float64(r.NsPerOp()),
+			AllocsPerOp:  r.AllocsPerOp(),
+		}
+	}
+
+	// The fattest (M,N) task's surviving quartets, exactly as the workers
+	// batch them.
+	var best []integrals.Quartet
+	ns := bs.NumShells()
+	for m := 0; m < ns; m++ {
+		for n := 0; n < ns; n++ {
+			if !core.SymmetryCheck(m, n) {
+				continue
+			}
+			var qs []integrals.Quartet
+			for _, p := range scr.Phi[m] {
+				if !core.SymmetryCheck(m, p) {
+					continue
+				}
+				braID := pt.ID(m, p)
+				if braID == integrals.NoPair {
+					continue
+				}
+				for _, q := range scr.Phi[n] {
+					if !core.SymmetryCheck(n, q) || !scr.KeepQuartet(m, p, n, q) {
+						continue
+					}
+					if m == n && !core.SymmetryCheck(p, q) {
+						continue
+					}
+					qs = append(qs, integrals.Quartet{Bra: braID, Ket: pt.ID(n, q)})
+				}
+			}
+			if len(qs) > len(best) {
+				best = qs
+			}
+		}
+	}
+	batch := func() microCase {
+		eng := integrals.NewEngine()
+		sink := 0.0
+		visit := func(k int, b []float64) { sink += b[0] }
+		eng.ERIBatch(pt, best, visit) // warm scratch
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.ERIBatch(pt, best, visit)
+			}
+		})
+		_ = sink
+		return microCase{
+			Name: "batch_task", Quartets: len(best),
+			NsPerQuartet: float64(r.NsPerOp()) / float64(len(best)),
+			AllocsPerOp:  r.AllocsPerOp(),
+		}
+	}
+
+	micro := []microCase{
+		one("ss_ss", false, s1, s2, s1, s2),
+		one("ps_ss", false, p1, s1, s1, s2),
+		one("pp_ss", false, p1, p2, s1, s2),
+		one("pp_pp", false, p1, p2, p1, p2),
+		one("ss_ss_general", true, s1, s2, s1, s2),
+		one("pp_pp_general", true, p1, p2, p1, p2),
+		batch(),
+	}
+	for _, m := range micro {
+		fmt.Printf("micro %-14s %9.1f ns/quartet  %d allocs/op  (%d quartets)\n",
+			m.Name, m.NsPerQuartet, m.AllocsPerOp, m.Quartets)
+	}
+	return micro
+}
+
 // runAB measures the overhead of the observability layer with n
 // interleaved A/B pairs on the pinned case: A builds with no sinks, B
 // with tracing and metrics attached. Alternating the order within each
@@ -210,15 +348,23 @@ func runAB(size int, bname string, prow, pcol, n int) {
 		float64(a.Milliseconds())/float64(n), float64(b.Milliseconds())/float64(n), over*100)
 }
 
-func compareReports(base, fresh benchReport, tol float64) error {
+func compareReports(base, fresh benchReport, tol, mtol float64) error {
 	byMol := map[string]benchCase{}
 	for _, c := range base.Cases {
 		byMol[c.Mol] = c
 	}
+	// calib is this machine's speed relative to the baseline machine,
+	// estimated from the pure-ERI serial oracle of the first common case.
+	// Micro times (absolute ns) are compared after scaling the baseline by
+	// it, the same cancellation norm_wall does for the macro section.
+	calib := 0.0
 	for _, f := range fresh.Cases {
 		b, ok := byMol[f.Mol]
 		if !ok {
 			continue
+		}
+		if calib == 0 && b.SerialNS > 0 {
+			calib = float64(f.SerialNS) / float64(b.SerialNS)
 		}
 		if b.NormWall <= 0 {
 			return fmt.Errorf("baseline %s has no norm_wall; regenerate the baseline", f.Mol)
@@ -228,6 +374,33 @@ func compareReports(base, fresh benchReport, tol float64) error {
 				f.Mol, f.NormWall, b.NormWall, tol*100)
 		}
 		fmt.Printf("%-10s norm_wall %.3f vs baseline %.3f: ok\n", f.Mol, f.NormWall, b.NormWall)
+	}
+	if len(fresh.Micro) == 0 {
+		return nil
+	}
+	if calib == 0 {
+		return fmt.Errorf("baseline has micro cases but no serial calibration; regenerate the baseline")
+	}
+	byName := map[string]microCase{}
+	for _, m := range base.Micro {
+		byName[m.Name] = m
+	}
+	for _, f := range fresh.Micro {
+		b, ok := byName[f.Name]
+		if !ok {
+			continue
+		}
+		if f.AllocsPerOp > b.AllocsPerOp {
+			return fmt.Errorf("micro %s regressed: %d allocs/op vs baseline %d",
+				f.Name, f.AllocsPerOp, b.AllocsPerOp)
+		}
+		want := b.NsPerQuartet * calib
+		if f.NsPerQuartet > want*(1+mtol) {
+			return fmt.Errorf("micro %s regressed: %.1f ns/quartet vs calibrated baseline %.1f (>%.0f%%)",
+				f.Name, f.NsPerQuartet, want, mtol*100)
+		}
+		fmt.Printf("micro %-14s %9.1f ns/quartet vs calibrated baseline %9.1f: ok\n",
+			f.Name, f.NsPerQuartet, want)
 	}
 	return nil
 }

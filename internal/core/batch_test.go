@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"gtfock/internal/basis"
+	"gtfock/internal/chem"
+	"gtfock/internal/integrals"
+	"gtfock/internal/linalg"
+	"gtfock/internal/screen"
+)
+
+// A prebuilt pair table passed through Options must give the same G as
+// letting Build construct its own, and must be reusable across builds
+// (the SCF loop shares one table for the whole run).
+func TestBuildWithSharedPairTable(t *testing.T) {
+	bs, scr, d := buildSetup(t, chem.Alkane(2), "sto-3g")
+	ref := BuildSerial(bs, scr, d)
+	pt := scr.PairTable(0)
+	for round := 0; round < 2; round++ {
+		res := Build(bs, scr, d, Options{Prow: 2, Pcol: 2, PairTable: pt})
+		if err := linalg.MaxAbsDiff(ref, res.G); err > 1e-9 {
+			t.Fatalf("round %d: |G - serial| = %g", round, err)
+		}
+	}
+}
+
+// testDoTaskWorker builds the minimal worker doTask needs: shared pair
+// table, engine, density image, local Fock accumulator. No distributed
+// machinery.
+func testDoTaskWorker(bs *basis.Set, scr *screen.Screening, pt *integrals.PairTable, d *linalg.Matrix, dscreen bool) *worker {
+	w := &worker{
+		bs: bs, scr: scr, pt: pt, eng: integrals.NewEngine(),
+		dloc:    append([]float64(nil), d.Data...),
+		floc:    make([]float64, bs.NumFuncs*bs.NumFuncs),
+		nf:      bs.NumFuncs,
+		dscreen: dscreen,
+	}
+	w.visit = func(k int, batch []float64) {
+		pq := w.bmeta[k]
+		ApplyQuartet(w.bs, w.dloc, w.floc, w.curM, int(pq[0]), w.curN, int(pq[1]), batch)
+	}
+	return w
+}
+
+// The batched doTask walks PhiQ (Schwarz-descending) and breaks at the
+// first failing partner. That early exit must select EXACTLY the quartets
+// the reference Phi scan with KeepQuartet selects — same set, possibly
+// different order.
+func TestDoTaskSurvivorSetMatchesKeepQuartet(t *testing.T) {
+	bs, scr, d := buildSetup(t, chem.Alkane(2), "sto-3g")
+	pt := scr.PairTable(0)
+	w := testDoTaskWorker(bs, scr, pt, d, false)
+	ns := bs.NumShells()
+	total := 0
+	for m := 0; m < ns; m++ {
+		for n := 0; n < ns; n++ {
+			if !SymmetryCheck(m, n) {
+				continue
+			}
+			w.doTask(Task{M: m, N: n})
+			got := make([][2]int32, len(w.bmeta))
+			copy(got, w.bmeta)
+			var want [][2]int32
+			for _, p := range scr.Phi[m] {
+				if !SymmetryCheck(m, p) {
+					continue
+				}
+				for _, q := range scr.Phi[n] {
+					if !SymmetryCheck(n, q) || !scr.KeepQuartet(m, p, n, q) {
+						continue
+					}
+					if m == n && !SymmetryCheck(p, q) {
+						continue
+					}
+					want = append(want, [2]int32{int32(p), int32(q)})
+				}
+			}
+			less := func(s [][2]int32) func(i, j int) bool {
+				return func(i, j int) bool {
+					if s[i][0] != s[j][0] {
+						return s[i][0] < s[j][0]
+					}
+					return s[i][1] < s[j][1]
+				}
+			}
+			sort.Slice(got, less(got))
+			sort.Slice(want, less(want))
+			if len(got) != len(want) {
+				t.Fatalf("task (%d,%d): %d quartets, want %d", m, n, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("task (%d,%d): quartet %d is %v, want %v", m, n, i, got[i], want[i])
+				}
+			}
+			total += len(want)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no quartets survived anywhere")
+	}
+}
+
+// Density-weighted screening: a zero density prunes every quartet; a real
+// density build stays within screening tolerance of the oracle.
+func TestDensityScreen(t *testing.T) {
+	bs, scr, d := buildSetup(t, chem.Alkane(2), "sto-3g")
+	pt := scr.PairTable(0)
+
+	zero := linalg.NewMatrix(bs.NumFuncs, bs.NumFuncs)
+	pt.UpdateDensity(zero.Data, zero.Cols)
+	ws := testDoTaskWorker(bs, scr, pt, zero, true)
+	ns := bs.NumShells()
+	for m := 0; m < ns; m++ {
+		for n := 0; n < ns; n++ {
+			if !SymmetryCheck(m, n) {
+				continue
+			}
+			ws.doTask(Task{M: m, N: n})
+			if len(ws.batch) != 0 {
+				t.Fatalf("task (%d,%d): zero density kept %d quartets", m, n, len(ws.batch))
+			}
+		}
+	}
+
+	// Real density: pruning only drops sub-tau contributions.
+	pt.UpdateDensity(d.Data, d.Cols)
+	ref := BuildSerial(bs, scr, d)
+	res := Build(bs, scr, d, Options{Prow: 2, Pcol: 2, PairTable: pt, DensityScreen: true})
+	if err := linalg.MaxAbsDiff(ref, res.G); err > 1e-7 {
+		t.Fatalf("density-screened |G - serial| = %g", err)
+	}
+	// DensityScreen without density bounds is an exact no-op.
+	res2 := Build(bs, scr, d, Options{Prow: 1, Pcol: 1, PairTable: scr.PairTable(0), DensityScreen: true})
+	if err := linalg.MaxAbsDiff(ref, res2.G); err > 1e-9 {
+		t.Fatalf("no-bounds density screen |G - serial| = %g", err)
+	}
+}
+
+// After one warm pass, repeating a worker's entire task sweep must not
+// allocate: batch and meta slices are reused, ERIBatch scratch is warm,
+// and the stored visit closure digests in place.
+func TestDoTaskSteadyStateZeroAlloc(t *testing.T) {
+	bs, scr, d := buildSetup(t, chem.Alkane(2), "sto-3g")
+	pt := scr.PairTable(0)
+	w := testDoTaskWorker(bs, scr, pt, d, false)
+	ns := bs.NumShells()
+	sweep := func() {
+		for m := 0; m < ns; m++ {
+			for n := 0; n < ns; n++ {
+				if SymmetryCheck(m, n) {
+					w.doTask(Task{M: m, N: n})
+				}
+			}
+		}
+	}
+	sweep() // warm scratch and slices
+	if allocs := testing.AllocsPerRun(3, sweep); allocs != 0 {
+		t.Fatalf("steady-state doTask sweep allocates %.1f allocs/run", allocs)
+	}
+}

@@ -21,6 +21,20 @@ type Options struct {
 	PrimTol    float64 // primitive prescreening threshold for the ERI engine
 	UseHGP     bool    // Head-Gordon-Pople ERI algorithm instead of McMurchie-Davidson
 
+	// PairTable, when non-nil, is the precomputed shell-pair table all
+	// workers share (read-only). Pass the table across SCF iterations so
+	// pair data is built once per geometry instead of once per build; it
+	// must come from the same screening (and the same PrimTol) as scr, or
+	// the quartet set will not match. Nil makes Build construct one.
+	PairTable *integrals.PairTable
+	// DensityScreen additionally skips quartets whose Schwarz bound times
+	// the cached max-density block (PairTable.UpdateDensity) falls below
+	// tau. Off by default: it changes G by O(tau) per skipped quartet, so
+	// builds no longer match BuildSerial bit-tightly — callers that want
+	// it (the SCF loop) accept the approximation knowingly. No-op unless
+	// the shared PairTable has density bounds.
+	DensityScreen bool
+
 	// Fault enables the fault-tolerant runtime: the injector is consulted
 	// at worker lifecycle points and on one-sided ops, and the build runs
 	// with leases, heartbeats, epoch fencing and orphan recovery. Nil
@@ -114,6 +128,14 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 	rowShellCuts := dist.UniformCuts(ns, opt.Prow)
 	colShellCuts := dist.UniformCuts(ns, opt.Pcol)
 	grid := Grid(bs, opt.Prow, opt.Pcol)
+
+	// The shared pair table replaces the old per-worker lazy pair caches:
+	// built once (or passed in and reused across SCF iterations), read by
+	// every worker concurrently.
+	pt := opt.PairTable
+	if pt == nil {
+		pt = scr.PairTable(opt.PrimTol)
+	}
 
 	stats := dist.NewRunStats(nprocs)
 	var gaD, gaF dist.Backend
@@ -221,7 +243,7 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 			stopMon = startMonitor(led, opt.MonitorEvery)
 		}
 		dist.RunProcs(nprocs, func(rank int) {
-			w := newWorker(rank, bs, scr, grid, gaD, gaF, stats, opt)
+			w := newWorker(rank, bs, scr, pt, grid, gaD, gaF, stats, opt)
 			w.led = led
 			w.clock0 = start
 			if led != nil {
@@ -318,12 +340,23 @@ type worker struct {
 	gaF   dist.Backend
 	stats *dist.RunStats
 	eng   *integrals.Engine
-	pairs map[int64]*integrals.ShellPair
-	dloc  []float64 // dense n x n local D image (prefetched patches)
-	floc  []float64 // dense n x n local F accumulator
+	pt    *integrals.PairTable // shared read-only pair table
+	dloc  []float64            // dense n x n local D image (prefetched patches)
+	floc  []float64            // dense n x n local F accumulator
 	fp    *Footprint
 	nf    int
 	comp  time.Duration
+
+	// Batched ERI state: doTask collects a task's surviving quartets and
+	// submits them in one ERIBatch call; visit (built once, so the hot
+	// path allocates nothing) digests each batch straight from engine
+	// scratch into the local accumulators.
+	batch   []integrals.Quartet
+	bmeta   [][2]int32 // (p, q) shell indices parallel to batch
+	curM    int
+	curN    int
+	visit   func(k int, batch []float64)
+	dscreen bool
 
 	// Fault-tolerant runtime state (nil led = plain fast path).
 	led           *ledger
@@ -346,15 +379,16 @@ type worker struct {
 	spans  []dist.Span
 }
 
-func newWorker(rank int, bs *basis.Set, scr *screen.Screening, grid *dist.Grid2D,
-	gaD, gaF dist.Backend, stats *dist.RunStats, opt Options) *worker {
+func newWorker(rank int, bs *basis.Set, scr *screen.Screening, pt *integrals.PairTable,
+	grid *dist.Grid2D, gaD, gaF dist.Backend, stats *dist.RunStats, opt Options) *worker {
 	eng := integrals.NewEngine()
 	eng.PrimTol = opt.PrimTol
 	eng.UseHGP = opt.UseHGP
-	return &worker{
+	w := &worker{
 		rank: rank, bs: bs, scr: scr, grid: grid,
 		gaD: gaD, gaF: gaF, stats: stats, eng: eng,
-		pairs:    map[int64]*integrals.ShellPair{},
+		pt:       pt,
+		dscreen:  opt.DensityScreen,
 		dloc:     make([]float64, bs.NumFuncs*bs.NumFuncs),
 		floc:     make([]float64, bs.NumFuncs*bs.NumFuncs),
 		fp:       NewFootprint(),
@@ -365,6 +399,11 @@ func newWorker(rank int, bs *basis.Set, scr *screen.Screening, grid *dist.Grid2D
 		trace:    opt.Trace,
 		reg:      opt.Metrics,
 	}
+	w.visit = func(k int, batch []float64) {
+		pq := w.bmeta[k]
+		ApplyQuartet(w.bs, w.dloc, w.floc, w.curM, int(pq[0]), w.curN, int(pq[1]), batch)
+	}
+	return w
 }
 
 // opCtx returns the deadline context bounding one retried operation's
@@ -432,16 +471,6 @@ func (w *worker) abortEpisode() {
 	}
 	w.reg.Discard(&w.samp)
 	w.samp.Reset()
-}
-
-func (w *worker) pair(a, b int) *integrals.ShellPair {
-	key := int64(a)*int64(w.bs.NumShells()) + int64(b)
-	if p, ok := w.pairs[key]; ok {
-		return p
-	}
-	p := w.eng.Pair(&w.bs.Shells[a], &w.bs.Shells[b])
-	w.pairs[key] = p
-	return p
 }
 
 // heartbeat refreshes this worker's lease.
@@ -750,6 +779,9 @@ func (w *worker) run(blocks []TaskBlock, queues []*Queue, opt Options) {
 		if !w.commitFlush() {
 			return
 		}
+		// Between rounds the worker is idle: cap engine scratch that an
+		// unusually large quartet class may have grown (default budget).
+		w.eng.TrimScratch(0)
 		if w.inj != nil && w.inj.Crash(w.rank, fault.PointAfterFlush) {
 			atomic.AddInt64(&w.stats.Recovery.Crashes, 1)
 			return
@@ -772,20 +804,39 @@ func (w *worker) run(blocks []TaskBlock, queues []*Queue, opt Options) {
 	}
 }
 
-// doTask is Algorithm 3: compute the unique, screened quartets of
-// (M,: | N,:) and apply their Fock contributions to the local buffers.
+// doTask is Algorithm 3 in batched form: collect the unique, screened
+// quartets of (M,: | N,:) as pair-table ids, then submit the whole
+// surviving list in one ERIBatch call so the engine amortizes dispatch
+// and the Fock digestion runs straight off engine scratch with no
+// intermediate copies. Kets walk the Schwarz-descending PhiQ list, so the
+// first failing Schwarz product ends the scan (the surviving set is
+// exactly KeepQuartet's).
 func (w *worker) doTask(t Task) {
 	m, n := t.M, t.N
 	if !SymmetryCheck(m, n) {
 		return
 	}
+	tau := w.scr.Tau
+	dscr := w.dscreen && w.pt.HasDensity()
+	w.batch = w.batch[:0]
+	w.bmeta = w.bmeta[:0]
 	for _, p := range w.scr.Phi[m] {
 		if !SymmetryCheck(m, p) {
 			continue
 		}
-		bra := w.pair(m, p)
-		for _, q := range w.scr.Phi[n] {
-			if !SymmetryCheck(n, q) || !w.scr.KeepQuartet(m, p, n, q) {
+		braID := w.pt.ID(m, p)
+		if braID == integrals.NoPair {
+			continue
+		}
+		qBra := w.pt.Q(braID)
+		for _, q := range w.scr.PhiQ[n] {
+			ketID := w.pt.ID(n, q)
+			if qKet := w.pt.Q(ketID); qBra*qKet < tau {
+				break
+			} else if dscr && qBra*qKet*w.pt.MaxQuartetDensity(m, p, n, q) < tau {
+				continue
+			}
+			if !SymmetryCheck(n, q) {
 				continue
 			}
 			// Diagonal tasks (M==N) see both bra-ket orderings (MP|MQ)
@@ -794,10 +845,12 @@ func (w *worker) doTask(t Task) {
 			if m == n && !SymmetryCheck(p, q) {
 				continue
 			}
-			batch := w.eng.ERI(bra, w.pair(n, q))
-			ApplyQuartet(w.bs, w.dloc, w.floc, m, p, n, q, batch)
+			w.batch = append(w.batch, integrals.Quartet{Bra: braID, Ket: ketID})
+			w.bmeta = append(w.bmeta, [2]int32{int32(p), int32(q)})
 		}
 	}
+	w.curM, w.curN = m, n
+	w.eng.ERIBatch(w.pt, w.batch, w.visit)
 }
 
 // ApplyQuartet applies the scaled 6-block Fock update for the unique

@@ -20,33 +20,20 @@ func BuildSerial(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix) *linalg
 	ns := bs.NumShells()
 	g := linalg.NewMatrix(n, n)
 	eng := integrals.NewEngine()
-
-	// Cache shell pairs for the bra side of the current M.
-	type pairKey struct{ a, b int }
-	pairCache := map[pairKey]*integrals.ShellPair{}
-	pair := func(a, b int) *integrals.ShellPair {
-		k := pairKey{a, b}
-		if p, ok := pairCache[k]; ok {
-			return p
-		}
-		p := eng.Pair(&bs.Shells[a], &bs.Shells[b])
-		pairCache[k] = p
-		return p
-	}
+	pt := scr.PairTable(0)
 
 	for m := 0; m < ns; m++ {
 		for p := 0; p < ns; p++ {
-			if !scr.Significant(m, p) {
+			bra := pt.Lookup(m, p)
+			if bra == nil {
 				continue
 			}
-			bra := pair(m, p)
 			for nn := 0; nn < ns; nn++ {
 				for q := 0; q < ns; q++ {
 					if !scr.KeepQuartet(m, p, nn, q) {
 						continue
 					}
-					ket := pair(nn, q)
-					batch := eng.ERI(bra, ket)
+					batch := eng.ERI(bra, pt.Lookup(nn, q))
 					applyOrdered(g, d, bs, m, p, nn, q, batch)
 				}
 			}

@@ -78,6 +78,42 @@ func TestBoysMonotoneDecreasingInM(t *testing.T) {
 	}
 }
 
+// The tabulated fast path must reproduce the series reference over the
+// whole table domain, including grid midpoints (worst-case Taylor
+// truncation) and the table/asymptotic crossover at x = 36.
+func TestBoysTableAgainstSeries(t *testing.T) {
+	var got, want [maxBoysM + 1]float64
+	for i := 0; i < 4*36; i++ {
+		for _, frac := range []float64{0, 0.25, 0.5 / 16, 0.124999, 0.25 - 1e-9} {
+			x := float64(i)*0.25 + frac
+			Boys(maxBoysM, x, got[:])
+			boysSeries(maxBoysM, x, want[:])
+			for m := 0; m <= maxBoysM; m++ {
+				if math.Abs(got[m]-want[m]) > 1e-13 {
+					t.Fatalf("F_%d(%.9g): table %.16g vs series %.16g", m, x, got[m], want[m])
+				}
+			}
+		}
+	}
+	for _, x := range []float64{35.999999, 36.0, 36.000001, 44.9, 45.1} {
+		Boys(12, x, got[:])
+		boysSeries(12, x, want[:])
+		for m := 0; m <= 12; m++ {
+			if math.Abs(got[m]-want[m]) > 1e-13 {
+				t.Fatalf("crossover F_%d(%g): %.16g vs %.16g", m, x, got[m], want[m])
+			}
+		}
+	}
+}
+
+func TestBoysF0FastPath(t *testing.T) {
+	for _, x := range []float64{0, 1e-9, 0.03125, 0.7, 5, 35.97, 36.0, 120} {
+		if got, want := boysF0(x), BoysSingle(0, x); math.Abs(got-want) > 1e-14 {
+			t.Fatalf("boysF0(%g) = %.16g, want %.16g", x, got, want)
+		}
+	}
+}
+
 func TestBoysF0LargeX(t *testing.T) {
 	// F_0(x) -> sqrt(pi/x)/2 as x -> inf.
 	x := 500.0

@@ -14,6 +14,15 @@ func FuzzBoys(f *testing.F) {
 	f.Add(34.999)
 	f.Add(35.001)
 	f.Add(1e4)
+	// Seeds at the tabulation's interesting points: grid midpoints (worst
+	// Taylor truncation), the last grid point, and the table/asymptotic
+	// crossover at x = 36.
+	f.Add(1.0/32 + 1e-12)
+	f.Add(3.0 + 1.0/32)
+	f.Add(35.96875)
+	f.Add(35.999999999)
+	f.Add(36.0)
+	f.Add(36.000000001)
 	f.Fuzz(func(t *testing.T, x float64) {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
 			t.Skip()

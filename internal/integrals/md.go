@@ -2,6 +2,7 @@ package integrals
 
 import (
 	"math"
+	"unsafe"
 
 	"gtfock/internal/basis"
 	"gtfock/internal/chem"
@@ -36,11 +37,39 @@ type ShellPair struct {
 // "primitive pre-screening" that gives NWChem's integral code its edge in
 // the paper's Table V discussion.
 func NewShellPair(a, b *basis.Shell, primTol float64) *ShellPair {
-	sp := &ShellPair{A: a, B: b, LA: a.L, LB: b.L}
+	sp := &ShellPair{}
+	fillShellPair(sp, a, b, primTol,
+		func(n int) []primPair { return make([]primPair, n) },
+		func(n int) []float64 { return make([]float64, n) })
+	return sp
+}
+
+// fillShellPair builds sp in place, taking primitive-pair and E-table
+// storage from the given allocators so a PairTable can carve thousands of
+// pairs out of a handful of arena chunks. Allocators must return zeroed
+// memory of exactly the requested length.
+func fillShellPair(sp *ShellPair, a, b *basis.Shell, primTol float64,
+	palloc func(n int) []primPair, ealloc func(n int) []float64) {
+	sp.A, sp.B, sp.LA, sp.LB = a, b, a.L, b.L
 	ab := a.Center.Sub(b.Center)
 	ab2 := ab.Norm2()
 	la, lb := a.L, b.L
 	tdim := la + lb + 1
+	// Count surviving primitive pairs first: arena allocators hand out
+	// exactly-sized storage and never move it.
+	n := 0
+	for i, ea := range a.Exps {
+		for j, eb := range b.Exps {
+			mu := ea * eb / (ea + eb)
+			if primTol > 0 &&
+				math.Abs(a.Coefs[i]*b.Coefs[j])*math.Exp(-mu*ab2) < primTol {
+				continue
+			}
+			n++
+		}
+	}
+	prims := palloc(n)[:0]
+	esz := (la + 1) * (lb + 1) * tdim
 	for i, ea := range a.Exps {
 		for j, eb := range b.Exps {
 			p := ea + eb
@@ -57,16 +86,16 @@ func NewShellPair(a, b *basis.Shell, primTol float64) *ShellPair {
 			paD := [3]float64{pa.X, pa.Y, pa.Z}
 			pbD := [3]float64{pb.X, pb.Y, pb.Z}
 			for d := 0; d < 3; d++ {
-				pp.e[d] = make([]float64, (la+1)*(lb+1)*tdim)
+				pp.e[d] = ealloc(esz)
 				// The 1D E(0,0,0) carries no AB factor here; the full 3D
 				// prefactor k3 is applied once at contraction time so the
 				// per-dimension tables stay well scaled.
 				eTable(la, lb, pp.inv2p, paD[d], pbD[d], pp.e[d], lb+1, tdim)
 			}
-			sp.prims = append(sp.prims, pp)
+			prims = append(prims, pp)
 		}
 	}
-	return sp
+	sp.prims = prims
 }
 
 // eTable fills the MD expansion coefficients E_t^{ij} for one dimension:
@@ -149,6 +178,7 @@ type Stats struct {
 	Quartets     int64 // shell quartets computed
 	Integrals    int64 // basis-function ERIs produced (spherical)
 	PrimQuartets int64 // primitive quartets surviving prescreening
+	FastQuartets int64 // quartets served by a specialized low-L kernel
 }
 
 // Engine computes ERI shell-quartet batches and one-electron integrals.
@@ -162,7 +192,11 @@ type Engine struct {
 	// recurrence) algorithm instead of McMurchie-Davidson for ERI batches;
 	// results are identical to rounding.
 	UseHGP bool
-	Stats  Stats
+	// DisableFastKernels forces every quartet through the general MD path
+	// instead of the specialized low angular-momentum kernels (kernels.go).
+	// An A/B knob and escape hatch; the kernels are on by default.
+	DisableFastKernels bool
+	Stats              Stats
 
 	boys   [maxBoysM + 1]float64
 	raux   []float64
@@ -171,6 +205,14 @@ type Engine struct {
 	cart   []float64
 	sphScr [2][]float64
 	out    []float64
+
+	// Fast-kernel scratch (kernels.go): fixed-size, so specialized paths
+	// never touch the allocator.
+	krt      [125]float64
+	kraux    [625]float64
+	g10      [10][9]float64
+	braTerms lowTerms
+	ketTerms []lowTerms
 }
 
 // NewEngine returns an Engine with prescreening disabled.
@@ -188,6 +230,38 @@ func (e *Engine) ensure(buf *[]float64, n int) []float64 {
 	return (*buf)[:n]
 }
 
+// DefaultScratchBudget is the TrimScratch budget used when 0 is passed:
+// comfortably above the ~120 KiB working set of a (dd|dd) quartet, so
+// trimming is a no-op for ordinary basis sets.
+const DefaultScratchBudget = 256 << 10
+
+// ScratchBytes reports the engine's current growable scratch footprint in
+// bytes (the fixed-size kernel scratch is excluded; it is part of the
+// Engine struct itself).
+func (e *Engine) ScratchBytes() int {
+	n := cap(e.raux) + cap(e.rtab) + cap(e.gtab) + cap(e.cart) +
+		cap(e.sphScr[0]) + cap(e.sphScr[1]) + cap(e.out)
+	return n*8 + cap(e.ketTerms)*int(unsafe.Sizeof(lowTerms{}))
+}
+
+// TrimScratch releases the engine's growable scratch if it exceeds budget
+// bytes (0 means DefaultScratchBudget). ensure() deliberately never
+// shrinks, so a single huge quartet would otherwise pin peak-sized
+// buffers per worker for the rest of an SCF run; the Fock builders call
+// this at episode boundaries (never inside a batch — returned batches
+// alias the scratch).
+func (e *Engine) TrimScratch(budget int) {
+	if budget <= 0 {
+		budget = DefaultScratchBudget
+	}
+	if e.ScratchBytes() <= budget {
+		return
+	}
+	e.raux, e.rtab, e.gtab, e.cart = nil, nil, nil, nil
+	e.sphScr[0], e.sphScr[1], e.out = nil, nil, nil
+	e.ketTerms = nil
+}
+
 // ERI computes the contracted, spherical shell-quartet batch
 // (bra.A bra.B | ket.A ket.B), returned row-major with indices
 // [a][b][c][d]. The returned slice is engine-owned scratch, valid until
@@ -197,7 +271,7 @@ func (e *Engine) ERI(bra, ket *ShellPair) []float64 {
 	if e.UseHGP {
 		cart = e.eriCartHGP(bra, ket)
 	} else {
-		cart = e.eriCart(bra, ket)
+		cart = e.eriCartAuto(bra, ket)
 	}
 	sph := sphTransform4(bra.LA, bra.LB, ket.LA, ket.LB, cart, &e.sphScr)
 	n := len(sph)

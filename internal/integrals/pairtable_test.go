@@ -1,0 +1,256 @@
+package integrals
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gtfock/internal/basis"
+)
+
+// testPairTable builds a PairTable over a small random shell set with a
+// synthetic Schwarz bound (the real one comes from screen.Screening,
+// which this package cannot import).
+func testPairTable(t *testing.T, ns int, seed int64, primTol float64) (*basis.Set, *PairTable, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	bs := &basis.Set{}
+	for i := 0; i < ns; i++ {
+		s := randShell(rng, rng.Intn(2))
+		bs.Shells = append(bs.Shells, *s)
+	}
+	bs.Offsets = make([]int, ns+1)
+	for i := range bs.Shells {
+		bs.Offsets[i+1] = bs.Offsets[i] + bs.Shells[i].NumFuncs()
+	}
+	bs.NumFuncs = bs.Offsets[ns]
+	q := make([]float64, ns*ns)
+	eng := NewEngine()
+	for m := 0; m < ns; m++ {
+		for p := 0; p < ns; p++ {
+			pair := eng.Pair(&bs.Shells[m], &bs.Shells[p])
+			batch := eng.ERI(pair, pair)
+			var mx float64
+			for _, v := range batch {
+				if a := math.Abs(v); a > mx {
+					mx = a
+				}
+			}
+			q[m*ns+p] = math.Sqrt(mx)
+		}
+	}
+	cut := q[0] * 1e-3 // drop some pairs so NoPair paths are exercised
+	pt := NewPairTable(bs,
+		func(m, p int) float64 { return q[m*ns+p] },
+		func(m, p int) bool { return q[m*ns+p] >= cut },
+		primTol)
+	return bs, pt, q
+}
+
+func TestPairTableIndexAndOrder(t *testing.T) {
+	_, pt, q := testPairTable(t, 8, 1234, 0)
+	ns := 8
+	stored := 0
+	for m := 0; m < ns; m++ {
+		for p := 0; p < ns; p++ {
+			id := pt.ID(m, p)
+			if id == NoPair {
+				if pt.Lookup(m, p) != nil {
+					t.Fatalf("Lookup(%d,%d) non-nil for NoPair", m, p)
+				}
+				continue
+			}
+			stored++
+			if got := pt.Q(id); got != q[m*ns+p] {
+				t.Fatalf("Q(%d,%d) = %g, want %g", m, p, got, q[m*ns+p])
+			}
+			gm, gp := pt.Shells(id)
+			if gm != m || gp != p {
+				t.Fatalf("Shells(%v) = (%d,%d), want (%d,%d)", id, gm, gp, m, p)
+			}
+			sp := pt.Lookup(m, p)
+			if sp != pt.At(id) || sp.A != &pt.Basis.Shells[m] || sp.B != &pt.Basis.Shells[p] {
+				t.Fatalf("pair (%d,%d) wired to wrong shells", m, p)
+			}
+		}
+	}
+	if stored != pt.NumPairs() || stored == 0 || stored == ns*ns {
+		t.Fatalf("stored %d of %d pairs (table %d): cut not exercised",
+			stored, ns*ns, pt.NumPairs())
+	}
+	for id := 1; id < pt.NumPairs(); id++ {
+		if pt.Q(PairID(id)) > pt.Q(PairID(id-1)) {
+			t.Fatalf("pair table not Schwarz-sorted at %d", id)
+		}
+	}
+	if !pt.KeepQuartet(0, 0, pt.Q(0)*pt.Q(0)) ||
+		pt.KeepQuartet(PairID(pt.NumPairs()-1), PairID(pt.NumPairs()-1), math.Inf(1)) {
+		t.Fatal("KeepQuartet threshold broken")
+	}
+}
+
+// Table-built pairs must produce bit-identical batches to pairs built by
+// NewShellPair: same primitive survivors, same E tables, just arena
+// storage.
+func TestPairTableERIEquivalence(t *testing.T) {
+	for _, primTol := range []float64{0, 1e-12} {
+		bs, pt, _ := testPairTable(t, 6, 99, primTol)
+		eng := NewEngine()
+		ref := NewEngine()
+		ref.PrimTol = primTol
+		ns := bs.NumShells()
+		for m := 0; m < ns; m++ {
+			for p := 0; p < ns; p++ {
+				if pt.ID(m, p) == NoPair {
+					continue
+				}
+				bra := pt.Lookup(m, p)
+				ket := pt.Lookup(p, m)
+				if ket == nil {
+					continue
+				}
+				got := append([]float64(nil), eng.ERI(bra, ket)...)
+				want := ref.ERI(ref.Pair(&bs.Shells[m], &bs.Shells[p]),
+					ref.Pair(&bs.Shells[p], &bs.Shells[m]))
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("primTol=%g pair (%d,%d) elem %d: %g != %g",
+							primTol, m, p, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPairTableDensityBounds(t *testing.T) {
+	bs, pt, _ := testPairTable(t, 6, 7, 0)
+	if pt.HasDensity() {
+		t.Fatal("density bounds before UpdateDensity")
+	}
+	nf := bs.NumFuncs
+	rng := rand.New(rand.NewSource(8))
+	d := make([]float64, nf*nf)
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	pt.UpdateDensity(d, nf)
+	if !pt.HasDensity() {
+		t.Fatal("HasDensity false after UpdateDensity")
+	}
+	ns := bs.NumShells()
+	for m := 0; m < ns; m++ {
+		for p := 0; p < ns; p++ {
+			var want float64
+			for i := bs.Offsets[m]; i < bs.Offsets[m]+bs.ShellFuncs(m); i++ {
+				for j := bs.Offsets[p]; j < bs.Offsets[p]+bs.ShellFuncs(p); j++ {
+					if v := math.Abs(d[i*nf+j]); v > want {
+						want = v
+					}
+				}
+			}
+			if pt.DBound(m, p) != want {
+				t.Fatalf("DBound(%d,%d) = %g, want %g", m, p, pt.DBound(m, p), want)
+			}
+		}
+	}
+	// MaxQuartetDensity is the max over the six Fock blocks.
+	for trial := 0; trial < 20; trial++ {
+		m, p := rng.Intn(ns), rng.Intn(ns)
+		n, q := rng.Intn(ns), rng.Intn(ns)
+		want := 0.0
+		for _, b := range [][2]int{{n, q}, {m, p}, {p, q}, {p, n}, {m, q}, {m, n}} {
+			if v := pt.DBound(b[0], b[1]); v > want {
+				want = v
+			}
+		}
+		if got := pt.MaxQuartetDensity(m, p, n, q); got != want {
+			t.Fatalf("MaxQuartetDensity(%d,%d,%d,%d) = %g, want %g", m, p, n, q, got, want)
+		}
+	}
+}
+
+func TestERIBatchMatchesERI(t *testing.T) {
+	_, pt, _ := testPairTable(t, 6, 31, 0)
+	eng := NewEngine()
+	ref := NewEngine()
+	var qs []Quartet
+	for b := 0; b < pt.NumPairs(); b += 3 {
+		for k := 0; k < pt.NumPairs(); k += 5 {
+			qs = append(qs, Quartet{Bra: PairID(b), Ket: PairID(k)})
+		}
+	}
+	var visited int
+	eng.ERIBatch(pt, qs, func(k int, batch []float64) {
+		visited++
+		want := ref.ERI(pt.At(qs[k].Bra), pt.At(qs[k].Ket))
+		if len(batch) != len(want) {
+			t.Fatalf("quartet %d: batch length %d vs %d", k, len(batch), len(want))
+		}
+		for i := range batch {
+			if batch[i] != want[i] {
+				t.Fatalf("quartet %d elem %d: %g != %g", k, i, batch[i], want[i])
+			}
+		}
+	})
+	if visited != len(qs) {
+		t.Fatalf("visited %d of %d quartets", visited, len(qs))
+	}
+	if eng.Stats.Quartets != int64(len(qs)) {
+		t.Fatalf("batch stats: %+v", eng.Stats)
+	}
+}
+
+// The steady-state batched ERI path must not allocate: scratch is warmed
+// by the first pass and reused thereafter. This is the allocation
+// regression test the kernel layer is built around.
+func TestERIBatchZeroAlloc(t *testing.T) {
+	_, pt, _ := testPairTable(t, 8, 5, 0)
+	eng := NewEngine()
+	var qs []Quartet
+	for b := 0; b < pt.NumPairs(); b += 2 {
+		for k := 0; k < pt.NumPairs(); k += 7 {
+			qs = append(qs, Quartet{Bra: PairID(b), Ket: PairID(k)})
+		}
+	}
+	sink := 0.0
+	visit := func(k int, batch []float64) { sink += batch[0] }
+	eng.ERIBatch(pt, qs, visit) // warm scratch
+	allocs := testing.AllocsPerRun(10, func() {
+		eng.ERIBatch(pt, qs, visit)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ERIBatch allocates %.1f allocs/run", allocs)
+	}
+	_ = sink
+}
+
+func TestTrimScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	e := NewEngine()
+	d1, d2 := randShell(rng, 2), randShell(rng, 2)
+	bra, ket := e.Pair(d1, d2), e.Pair(d2, d1)
+	e.ERI(bra, ket)
+	grown := e.ScratchBytes()
+	if grown == 0 {
+		t.Fatal("no scratch after a (dd|dd) quartet")
+	}
+	e.TrimScratch(grown + 1) // under budget: keep
+	if e.ScratchBytes() != grown {
+		t.Fatal("TrimScratch shrank under-budget scratch")
+	}
+	e.TrimScratch(1) // over budget: release
+	if e.ScratchBytes() != 0 {
+		t.Fatalf("TrimScratch left %d bytes", e.ScratchBytes())
+	}
+	// The engine must keep working (and regrow) after a trim.
+	e.ERI(bra, ket)
+	if e.ScratchBytes() == 0 {
+		t.Fatal("scratch did not regrow")
+	}
+	// The default budget comfortably holds a d-quartet working set.
+	e.TrimScratch(0)
+	if e.ScratchBytes() == 0 {
+		t.Fatal("default budget trimmed an ordinary working set")
+	}
+}

@@ -64,6 +64,14 @@ type Options struct {
 	Prow, Pcol int    // process grid (GTFock) / Prow*Pcol processes (NWChem)
 	UseHGP     bool   // select the Head-Gordon-Pople ERI path
 
+	// DensityScreen enables density-weighted quartet screening in the
+	// GTFock engine: the shared pair table caches per-shell-block max|D|
+	// bounds, refreshed once per iteration, and quartets whose Schwarz
+	// bound times the relevant density bound falls below tau are skipped.
+	// Changes G by O(tau) per skipped quartet, so leave it off when
+	// comparing engines bit-tightly.
+	DensityScreen bool
+
 	MaxIter int     // default 50
 	ConvTol float64 // energy convergence, default 1e-8
 	DTol    float64 // density max-change convergence, default 1e-5
@@ -232,6 +240,16 @@ func RunHF(mol *chem.Molecule, opt Options) (*Result, error) {
 		aoTensor = integrals.AOTensor(bs)
 	}
 
+	// GTFock builds share one pair table for the whole run: pair data
+	// depends only on geometry and screening, so it is built once here
+	// rather than once per iteration. Density bounds (for the optional
+	// density-weighted screen) are refreshed each iteration before the
+	// build.
+	var pt *integrals.PairTable
+	if opt.Engine == EngineGTFock {
+		pt = scr.PairTable(opt.PrimTol)
+	}
+
 	for it := 1; it <= opt.MaxIter; it++ {
 		iter := Iteration{}
 
@@ -291,7 +309,10 @@ func RunHF(mol *chem.Molecule, opt Options) (*Result, error) {
 		if aoTensor != nil {
 			g = contractInCore(aoTensor, p)
 		} else {
-			g, stats, err = buildG(bs, scr, p, opt)
+			if pt != nil && opt.DensityScreen {
+				pt.UpdateDensity(p.Data, p.Cols)
+			}
+			g, stats, err = buildG(bs, scr, p, pt, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -393,12 +414,14 @@ func contractInCore(t []float64, p *linalg.Matrix) *linalg.Matrix {
 	return g
 }
 
-// buildG dispatches the two-electron build to the selected engine.
-func buildG(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) (*linalg.Matrix, *dist.RunStats, error) {
+// buildG dispatches the two-electron build to the selected engine. pt is
+// the run-wide shell-pair table (GTFock only; nil elsewhere).
+func buildG(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, pt *integrals.PairTable, opt Options) (*linalg.Matrix, *dist.RunStats, error) {
 	switch opt.Engine {
 	case EngineGTFock:
 		r := core.Build(bs, scr, d, core.Options{
 			Prow: opt.Prow, Pcol: opt.Pcol, PrimTol: opt.PrimTol, UseHGP: opt.UseHGP,
+			PairTable: pt, DensityScreen: opt.DensityScreen,
 			Trace: opt.FockTrace, Metrics: opt.FockMetrics,
 		})
 		return r.G, r.Stats, nil
