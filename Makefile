@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race net-test net-smoke ci bench microbench bench-short bench-check bench-ab
+.PHONY: build test vet race net-test net-smoke net-failover ci bench microbench bench-short bench-check bench-ab
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,16 @@ net-test:
 net-smoke:
 	$(GO) test -count=1 -run 'TestLoopback(Chaos)?BuildMatchesSerial' ./internal/net/
 
-ci: build vet race net-smoke
+# Process-kill chaos gate under the race detector: durable shard servers
+# SIGKILLed and restarted (snapshot + journal replay) mid-build, and a
+# primary killed with no restart so its hot standby must be promoted —
+# both must match the serial oracle with exactly-once accumulation, plus
+# the durability/failover unit layer (journal replay property, dedup
+# eviction bounds, graceful shutdown, membership lookup).
+net-failover:
+	$(GO) test -race -count=1 -run 'TestLoopbackKillRestartBuildMatchesSerial|TestLoopbackStandbyPromotionBuildMatchesSerial|TestJournal|TestSnapshotRoundTrip|TestKillRestartRecoversState|TestDedupEvictionAtCheckpointOnly|TestGracefulShutdownFlushesSnapshot|TestStandbyPromotionPreservesState|TestFailoverViaMembershipLookup|TestServerKill|TestRunServerKills' ./internal/net/ ./internal/fault/
+
+ci: build vet race net-smoke net-failover
 
 # Go-testing microbenchmarks (one iteration each; a compile-and-run smoke).
 microbench:

@@ -76,10 +76,11 @@ func main() {
 
 		// Network backend (gtfock real mode): the global arrays live in
 		// fockd shard servers and every one-sided op is a framed TCP RPC.
-		backend    = flag.String("backend", "local", "global-array transport: local (in-process) or net (fockd shard servers)")
-		netServers = flag.String("net-servers", "", "comma-separated fockd addresses (backend=net); must match the fockd cluster order")
-		netSession = flag.Uint64("net-session", 0, "session id for the net backend (0 = derive from wall clock); a fresh id resets the servers")
-		netVerify  = flag.Bool("net-verify", false, "verify the net-backed G against the serial oracle (small molecules)")
+		backend     = flag.String("backend", "local", "global-array transport: local (in-process) or net (fockd shard servers)")
+		netServers  = flag.String("net-servers", "", "comma-separated fockd addresses (backend=net); must match the fockd cluster order")
+		netStandbys = flag.String("net-standbys", "", "comma-separated standby addresses per slot (backend=net); empty entries allowed")
+		netSession  = flag.Uint64("net-session", 0, "session id for the net backend (0 = derive from wall clock); a fresh id resets the servers")
+		netVerify   = flag.Bool("net-verify", false, "verify the net-backed G against the serial oracle (small molecules)")
 
 		// Network fault injection (backend=net): applied at the conn layer.
 		netReset       = flag.Float64("fault-net-reset", 0, "probability an RPC's connection is reset mid-flight")
@@ -180,14 +181,18 @@ func main() {
 					fatalIf(fmt.Errorf("-backend net requires -net-servers"))
 				}
 				addrs := strings.Split(*netServers, ",")
+				var standbys []string
+				if *netStandbys != "" {
+					standbys = strings.Split(*netStandbys, ",")
+				}
 				session := *netSession
 				if session == 0 {
 					session = uint64(time.Now().UnixNano())
 				}
 				rpc = &metrics.RPC{}
-				copt.Backend = netFactory(addrs, session, copt.Fault, rpc)
+				copt.Backend = netFactory(addrs, standbys, session, copt.Fault, rpc)
 				copt.LeaseTTL = time.Duration(*leaseMS) * time.Millisecond
-				fmt.Printf("net backend: %d shard servers, session %d\n", len(addrs), session)
+				fmt.Printf("net backend: %d shard servers (%d standbys), session %d\n", len(addrs), len(standbys), session)
 			} else if *backend != "local" {
 				fatalIf(fmt.Errorf("unknown backend %q", *backend))
 			}
@@ -263,8 +268,8 @@ func report(st *dist.RunStats, label string) {
 			r.Crashes, r.Stalls, r.Aborts, r.WorkersFenced)
 		fmt.Printf("                       %d blocks orphaned, %d reassigned (%d tasks), %d fenced flushes\n",
 			r.BlocksOrphaned, r.BlocksReassigned, r.TasksReassigned, r.FencedFlushes)
-		fmt.Printf("                       %d op drops, %d op retries, %d extra rounds\n",
-			r.OpDrops, r.OpRetries, r.Rounds)
+		fmt.Printf("                       %d op drops, %d op retries, %d extra rounds, %d shard failovers\n",
+			r.OpDrops, r.OpRetries, r.Rounds, r.Failovers)
 	}
 }
 
@@ -344,18 +349,21 @@ func runChaos(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix,
 // user-supplied fockd shard servers for the D and F arrays. The fockd
 // cluster must have been started with the same molecule, basis, grid
 // and ordering so both sides derive the identical block layout.
-func netFactory(addrs []string, session uint64, inj *fault.Injector, rpc *metrics.RPC) func(
+func netFactory(addrs, standbys []string, session uint64, inj *fault.Injector, rpc *metrics.RPC) func(
 	grid *dist.Grid2D, stats *dist.RunStats) (dist.Backend, dist.Backend, func(), error) {
 	return func(grid *dist.Grid2D, stats *dist.RunStats) (dist.Backend, dist.Backend, func(), error) {
 		assign, _ := netga.SplitProcs(grid.NumProcs(), len(addrs))
+		// One router shared by the D and F clients: a failover observed
+		// through either array reroutes both.
+		router := netga.NewRouter(addrs, standbys, 0, rpc)
 		gaD, err := netga.Dial(grid, stats, addrs, assign, netga.Config{
-			Array: 0, Session: session, RPC: rpc, Fault: inj,
+			Array: 0, Session: session, RPC: rpc, Fault: inj, Router: router,
 		})
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		gaF, err := netga.Dial(grid, stats, addrs, assign, netga.Config{
-			Array: 1, Session: session, RPC: rpc, Fault: inj,
+			Array: 1, Session: session, RPC: rpc, Fault: inj, Router: router,
 		})
 		if err != nil {
 			gaD.Close()
@@ -378,6 +386,10 @@ func reportRPC(rpc *metrics.RPC) {
 	if s.Resets > 0 || s.DupSends > 0 || s.Partitioned > 0 {
 		fmt.Printf("  injected faults:     %d resets, %d dup sends, %d partitioned\n",
 			s.Resets, s.DupSends, s.Partitioned)
+	}
+	if s.Failovers > 0 || s.StaleRetries > 0 {
+		fmt.Printf("  failover:            %d promotions, %d stale-epoch retries\n",
+			s.Failovers, s.StaleRetries)
 	}
 	if s.LatencyNS.Count > 0 {
 		fmt.Printf("  latency:             mean %.1fus, p95 %.1fus, max %.1fus\n",

@@ -11,8 +11,16 @@
 //	fockd -mol alkane:2 -basis sto-3g -grid 2x2 -servers 2 -index 1 -listen 127.0.0.1:7102
 //	fockbuild -mol alkane:2 -basis sto-3g -grid 2x2 -backend net -net-servers 127.0.0.1:7101,127.0.0.1:7102
 //
-// The server runs until interrupted and prints its request counters on
-// exit.
+// With -journal-dir the shard is durable: mutations are write-ahead
+// journaled and periodically snapshotted, and a killed server restarted
+// on the same flags replays to its exact pre-crash state and resumes the
+// session. With -standby-of the server runs as a hot standby of the
+// given primary and serves only once a driver promotes it. -peers and
+// -standbys publish the membership map clients consult during failover.
+//
+// SIGTERM and SIGINT shut down gracefully: stop accepting, drain
+// in-flight ops, flush a final snapshot, close listeners — so rolling
+// restarts do not rely on crash recovery.
 package main
 
 import (
@@ -22,6 +30,8 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"gtfock/internal/basis"
 	"gtfock/internal/chem"
@@ -39,6 +49,13 @@ func main() {
 		servers  = flag.Int("servers", 1, "total number of shard servers in the cluster")
 		index    = flag.Int("index", 0, "this server's index in [0, servers)")
 		listen   = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+
+		journalDir    = flag.String("journal-dir", "", "directory for the write-ahead journal and snapshots (empty = volatile)")
+		snapshotEvery = flag.Int("snapshot-every", 0, "journal records between snapshots (0 = default, <0 = journal only)")
+		standbyOf     = flag.String("standby-of", "", "run as a hot standby replicating from this primary address")
+		peers         = flag.String("peers", "", "comma-separated primary addresses of all slots (membership map)")
+		standbys      = flag.String("standbys", "", "comma-separated standby addresses per slot (membership map; empty entries allowed)")
+		drainFor      = flag.Duration("drain", 5*time.Second, "max time to drain in-flight ops on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 
@@ -66,19 +83,60 @@ func main() {
 
 	grid := core.Grid(bs, prow, pcol)
 	_, hosted := netga.SplitProcs(grid.NumProcs(), *servers)
-	srv := netga.NewServer(grid, hosted[*index])
+	var opts []netga.ServerOption
+	if *journalDir != "" {
+		fatalIf(os.MkdirAll(*journalDir, 0o755))
+		opts = append(opts, netga.WithDurability(*journalDir, *snapshotEvery))
+	}
+	if *standbyOf != "" {
+		opts = append(opts, netga.WithStandby(*standbyOf))
+	}
+	if *peers != "" || *standbys != "" {
+		opts = append(opts, netga.WithMembership(netga.Membership{
+			Primaries: splitAddrs(*peers),
+			Standbys:  splitAddrs(*standbys),
+		}))
+	}
+	srv := netga.NewServer(grid, hosted[*index], opts...)
 	addr, err := srv.Start(*listen)
 	fatalIf(err)
-	fmt.Printf("fockd %d/%d: serving procs %v of a %dx%d grid (%d funcs) on %s\n",
-		*index, *servers, hosted[*index], prow, pcol, bs.NumFuncs, addr)
+	role := "primary"
+	if *standbyOf != "" {
+		role = "standby of " + *standbyOf
+	}
+	fmt.Printf("fockd %d/%d (%s): serving procs %v of a %dx%d grid (%d funcs) on %s\n",
+		*index, *servers, role, hosted[*index], prow, pcol, bs.NumFuncs, addr)
 
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
+	// Graceful shutdown: drain in-flight ops and flush a final snapshot,
+	// so the next start replays nothing.
+	srv.Shutdown(*drainFor)
 	st := srv.Stats()
-	srv.Close()
 	fmt.Printf("fockd %d: %d requests, %d accs applied, %d dedup hits, %d sessions, %d rejects\n",
 		*index, st.Requests, st.AccApplied, st.AccDups, st.Sessions, st.Rejects)
+	if st.JournalRecords+st.Replayed+st.Snapshots > 0 {
+		fmt.Printf("fockd %d: durability: %d journaled, %d replayed at start, %d snapshots, epoch %d\n",
+			*index, st.JournalRecords, st.Replayed, st.Snapshots, st.Epoch)
+	}
+	if st.ReplSent+st.ReplApplied+st.Promotions > 0 {
+		fmt.Printf("fockd %d: replication: %d forwarded, %d applied from stream, %d promotions\n",
+			*index, st.ReplSent, st.ReplApplied, st.Promotions)
+	}
+}
+
+// splitAddrs splits a comma-separated address list, keeping empty
+// entries ("" = no standby for that slot).
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 func parseMolecule(spec string) (*chem.Molecule, error) {

@@ -168,10 +168,12 @@ func main() {
 }
 
 // loadResumeState loads and validates the checkpoint at path for the
-// given system. A missing file is not an error — it returns (nil, nil)
-// so a first run with -resume simply starts cold.
+// given system, falling back to the previous generation when the latest
+// file is torn or corrupt (a crash mid-save costs one iteration, not the
+// run). A missing file is not an error — it returns (nil, nil) so a
+// first run with -resume simply starts cold.
 func loadResumeState(path, formula, basisName, ord string) (*scf.Checkpoint, error) {
-	ck, err := scf.LoadCheckpoint(path)
+	ck, err := scf.LoadCheckpointFallback(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}

@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestServerKillPlanDeterministic(t *testing.T) {
+	a := ServerKillPlan(7, 3, 9, 100, 1000, 20*time.Millisecond)
+	b := ServerKillPlan(7, 3, 9, 100, 1000, 20*time.Millisecond)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different kill schedules")
+	}
+	c := ServerKillPlan(8, 3, 9, 100, 1000, 20*time.Millisecond)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical kill schedules")
+	}
+	slotSeen := map[int]int{}
+	for i, k := range a {
+		if k.Server != i%3 {
+			t.Fatalf("kill %d targets slot %d, want round-robin %d", i, k.Server, i%3)
+		}
+		if k.AfterOps < 100 || k.AfterOps >= 1000 {
+			t.Fatalf("kill %d trigger %d outside [100,1000)", i, k.AfterOps)
+		}
+		if k.Restart != 20*time.Millisecond {
+			t.Fatalf("kill %d restart %v", i, k.Restart)
+		}
+		slotSeen[k.Server]++
+	}
+	if len(slotSeen) != 3 {
+		t.Fatalf("9 kills over 3 slots covered only %d slots", len(slotSeen))
+	}
+	if ServerKillPlan(7, 0, 4, 1, 2, 0) != nil || ServerKillPlan(7, 2, 0, 1, 2, 0) != nil {
+		t.Fatal("degenerate plans must be empty")
+	}
+}
+
+func TestRunServerKillsExecutesSchedule(t *testing.T) {
+	plan := []ServerKill{
+		{Server: 0, AfterOps: 5, Restart: time.Millisecond},
+		{Server: 1, AfterOps: 3, Restart: -1}, // never restarted
+	}
+	var ops [2]atomic.Int64
+	var mu sync.Mutex
+	var killed, restarted []int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunServerKills(plan,
+			func(slot int) int64 { return ops[slot].Load() },
+			func(slot int) { mu.Lock(); killed = append(killed, slot); mu.Unlock() },
+			func(slot int) { mu.Lock(); restarted = append(restarted, slot); mu.Unlock() },
+			nil)
+	}()
+	// Feed op counts past both triggers.
+	for i := 0; i < 10; i++ {
+		ops[0].Add(1)
+		ops[1].Add(1)
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunServerKills did not finish")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(killed, []int{0, 1}) {
+		t.Fatalf("killed %v, want [0 1]", killed)
+	}
+	if !reflect.DeepEqual(restarted, []int{0}) {
+		t.Fatalf("restarted %v, want [0] (slot 1 has no restart)", restarted)
+	}
+}

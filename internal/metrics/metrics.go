@@ -319,6 +319,7 @@ type RPC struct {
 	dials, reconnects        atomic.Int64
 	resets, dupSends         atomic.Int64
 	partitioned              atomic.Int64
+	failovers, staleRetries  atomic.Int64
 }
 
 // ObserveCall records one completed RPC (success or final failure) with
@@ -383,17 +384,35 @@ func (c *RPC) AddPartitioned() {
 	}
 }
 
+// AddFailover counts one completed shard failover (standby promoted and
+// routing swapped).
+func (c *RPC) AddFailover() {
+	if c != nil {
+		c.failovers.Add(1)
+	}
+}
+
+// AddStaleRetry counts one statusRetry answer (standby not yet promoted,
+// or a stale shard epoch) that forced an epoch resync and retry.
+func (c *RPC) AddStaleRetry() {
+	if c != nil {
+		c.staleRetries.Add(1)
+	}
+}
+
 // RPCSnapshot is the JSON-facing view of the transport counters.
 type RPCSnapshot struct {
-	LatencyNS   HistSnapshot `json:"latency_ns"`
-	Calls       int64        `json:"calls"`
-	Retries     int64        `json:"retries,omitempty"`
-	Failures    int64        `json:"failures,omitempty"`
-	Dials       int64        `json:"dials"`
-	Reconnects  int64        `json:"reconnects,omitempty"`
-	Resets      int64        `json:"resets,omitempty"`
-	DupSends    int64        `json:"dup_sends,omitempty"`
-	Partitioned int64        `json:"partitioned,omitempty"`
+	LatencyNS    HistSnapshot `json:"latency_ns"`
+	Calls        int64        `json:"calls"`
+	Retries      int64        `json:"retries,omitempty"`
+	Failures     int64        `json:"failures,omitempty"`
+	Dials        int64        `json:"dials"`
+	Reconnects   int64        `json:"reconnects,omitempty"`
+	Resets       int64        `json:"resets,omitempty"`
+	DupSends     int64        `json:"dup_sends,omitempty"`
+	Partitioned  int64        `json:"partitioned,omitempty"`
+	Failovers    int64        `json:"failovers,omitempty"`
+	StaleRetries int64        `json:"stale_retries,omitempty"`
 }
 
 // Snapshot captures the current transport counters.
@@ -402,15 +421,17 @@ func (c *RPC) Snapshot() RPCSnapshot {
 		return RPCSnapshot{}
 	}
 	return RPCSnapshot{
-		LatencyNS:   c.latency.snapshot(),
-		Calls:       c.calls.Load(),
-		Retries:     c.retries.Load(),
-		Failures:    c.failures.Load(),
-		Dials:       c.dials.Load(),
-		Reconnects:  c.reconnects.Load(),
-		Resets:      c.resets.Load(),
-		DupSends:    c.dupSends.Load(),
-		Partitioned: c.partitioned.Load(),
+		LatencyNS:    c.latency.snapshot(),
+		Calls:        c.calls.Load(),
+		Retries:      c.retries.Load(),
+		Failures:     c.failures.Load(),
+		Dials:        c.dials.Load(),
+		Reconnects:   c.reconnects.Load(),
+		Resets:       c.resets.Load(),
+		DupSends:     c.dupSends.Load(),
+		Partitioned:  c.partitioned.Load(),
+		Failovers:    c.failovers.Load(),
+		StaleRetries: c.staleRetries.Load(),
 	}
 }
 

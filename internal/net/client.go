@@ -38,6 +38,11 @@ type Config struct {
 	// delivery, slow link, partition windows) at this conn layer, keyed
 	// by the issuing rank. Driver-side ops (proc -1) are never faulted.
 	Fault *fault.Injector
+	// Router, when non-nil, is the shared failover routing state (one per
+	// driver process, shared by the D and F clients so a promotion reroutes
+	// both). Nil builds a private router with no standbys: plain routing,
+	// no failover.
+	Router *Router
 }
 
 // Client is the TCP implementation of dist.Backend: every one-sided op
@@ -51,6 +56,7 @@ type Client struct {
 	assign []int
 	pools  []*connPool
 	cfg    Config
+	router *Router
 	fence  dist.Fence
 	reqID  atomic.Uint64
 	token  atomic.Uint64
@@ -77,15 +83,23 @@ func Dial(grid *dist.Grid2D, stats *dist.RunStats, addrs []string, assign []int,
 	if cfg.OpTimeout <= 0 {
 		cfg.OpTimeout = 2 * time.Second
 	}
+	rt := cfg.Router
+	if rt == nil {
+		rt = NewRouter(addrs, nil, cfg.OpTimeout, cfg.RPC)
+	}
+	if rt.Slots() != len(addrs) {
+		return nil, fmt.Errorf("netga: router routes %d slots, %d servers given", rt.Slots(), len(addrs))
+	}
 	c := &Client{
 		grid:   grid,
 		stats:  stats,
 		assign: append([]int(nil), assign...),
 		pools:  make([]*connPool, len(addrs)),
 		cfg:    cfg,
+		router: rt,
 	}
-	for i, addr := range addrs {
-		c.pools[i] = &connPool{addr: addr, timeout: cfg.OpTimeout, rpc: cfg.RPC}
+	for i := range addrs {
+		c.pools[i] = &connPool{router: rt, slot: i, timeout: cfg.OpTimeout, rpc: cfg.RPC}
 	}
 	for _, pool := range c.pools {
 		hello := request{
@@ -94,7 +108,7 @@ func Dial(grid *dist.Grid2D, stats *dist.RunStats, addrs []string, assign []int,
 		}
 		resp, _, err := c.doRPC(-1, pool, &hello)
 		if err == nil && resp.Status != statusOK {
-			err = fmt.Errorf("netga: hello rejected by %s: %s", pool.addr, resp.Msg)
+			err = fmt.Errorf("netga: hello rejected by %s: %s", rt.addr(pool.slot), resp.Msg)
 		}
 		if err != nil {
 			c.Close()
@@ -141,21 +155,34 @@ func (c *Client) charge(proc, r0, r1, c0, c1 int) {
 	}
 }
 
-// connPool keeps idle conns to one server. Any conn that sees an error
-// is discarded, so an idle conn never has residue of a previous RPC.
+// connPool keeps idle conns to one shard slot. Any conn that sees an
+// error is discarded, so an idle conn never has residue of a previous
+// RPC. The slot's address is re-resolved through the router on every
+// checkout, so a failover drains the old primary's conns and dials the
+// promoted standby with no pool surgery.
 type connPool struct {
-	addr    string
+	router  *Router
+	slot    int
 	timeout time.Duration
 	rpc     *metrics.RPC
 
 	mu        sync.Mutex
+	curAddr   string
 	idle      []net.Conn
 	discarded int64
 	closed    bool
 }
 
 func (p *connPool) get() (net.Conn, error) {
+	addr := p.router.addr(p.slot)
 	p.mu.Lock()
+	if addr != p.curAddr {
+		for _, c := range p.idle {
+			c.Close()
+		}
+		p.idle = nil
+		p.curAddr = addr
+	}
 	if n := len(p.idle); n > 0 {
 		conn := p.idle[n-1]
 		p.idle = p.idle[:n-1]
@@ -164,7 +191,7 @@ func (p *connPool) get() (net.Conn, error) {
 	}
 	redial := p.discarded > 0
 	p.mu.Unlock()
-	conn, err := net.DialTimeout("tcp", p.addr, p.timeout)
+	conn, err := net.DialTimeout("tcp", addr, p.timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +238,9 @@ func (p *connPool) closeAll() {
 // server cannot have applied anything), while sent=true is ambiguous and
 // the caller must retry the same idempotency token to resolution.
 func (c *Client) doRPC(rank int, pool *connPool, req *request) (resp *response, sent bool, err error) {
+	// Stamp the shard fence epoch this client believes the slot is at; a
+	// server at a different epoch answers statusRetry instead of applying.
+	req.SEpoch = c.router.epoch(pool.slot)
 	sendTwice := false
 	if c.cfg.Fault != nil && rank >= 0 {
 		delay, outcome := c.cfg.Fault.NetFault(rank)
@@ -293,7 +323,39 @@ func (c *Client) doRPC(rank int, pool *connPool, req *request) (resp *response, 
 	}
 	conn.SetDeadline(time.Time{})
 	pool.put(conn)
+	c.router.observe(pool.slot, out.SEpoch)
+	if out.Status == statusRetry {
+		// Transient shard rejection (standby not promoted, or our epoch is
+		// stale — the observe above already resynced it): retryable, and
+		// provably not applied.
+		c.cfg.RPC.AddStaleRetry()
+		return nil, true, fmt.Errorf("%w: %s", errShardRetry, out.Msg)
+	}
+	c.router.success(pool.slot)
 	return &out, true, nil
+}
+
+// errShardRetry marks a statusRetry answer: the server is alive but not
+// serving this request right now. Retry, but never count it toward the
+// failover threshold.
+var errShardRetry = errors.New("netga: transient shard rejection")
+
+// noteFailure counts a transport failure against the slot and, past the
+// consecutive-failure threshold, attempts a standby promotion. Injected
+// partition fail-fasts and statusRetry resyncs are not evidence of a dead
+// server and never trigger failover.
+func (c *Client) noteFailure(pool *connPool, err error) {
+	if err == nil || errors.Is(err, ErrPartitioned) || errors.Is(err, errShardRetry) {
+		return
+	}
+	if !c.router.failure(pool.slot) {
+		return
+	}
+	if ferr := c.router.Failover(pool.slot); ferr == nil {
+		if c.stats != nil {
+			atomic.AddInt64(&c.stats.Recovery.Failovers, 1)
+		}
+	}
 }
 
 // growWait doubles a backoff up to the shared 1s cap (dist.SleepBackoff
@@ -338,6 +400,9 @@ func (c *Client) GetRetry(ctx context.Context, attempts int, backoff time.Durati
 			req.ReqID = c.reqID.Add(1)
 			var resp *response
 			resp, _, err = c.doRPC(proc, pool, &req)
+			if err != nil {
+				c.noteFailure(pool, err)
+			}
 			if err == nil && resp.Status != statusOK {
 				// A server rejection is deterministic; retrying cannot help.
 				c.cfg.RPC.AddFailure()
@@ -407,6 +472,9 @@ func (c *Client) AccFencedRetry(ctx context.Context, backoff time.Duration, proc
 			if sent {
 				committed = true
 			}
+			if err != nil {
+				c.noteFailure(pool, err)
+			}
 			if err == nil && resp.Status != statusOK {
 				c.cfg.RPC.AddFailure()
 				c.cfg.RPC.ObserveCall(time.Since(start).Nanoseconds())
@@ -472,6 +540,9 @@ func (c *Client) driverOp(pool *connPool, req *request) (*response, error) {
 		req.ReqID = c.reqID.Add(1)
 		var resp *response
 		resp, _, err = c.doRPC(-1, pool, req)
+		if err != nil {
+			c.noteFailure(pool, err)
+		}
 		if err == nil && resp.Status != statusOK {
 			return nil, fmt.Errorf("netga: %s", resp.Msg)
 		}
@@ -480,6 +551,20 @@ func (c *Client) driverOp(pool *connPool, req *request) (*response, error) {
 		}
 	}
 	return nil, err
+}
+
+// Checkpoint advances the dedup-eviction generation on every shard: the
+// driver calls it at a session checkpoint (an SCF iteration boundary),
+// when no accumulate can still be retrying, so tokens are only ever
+// evicted a full generation after their op completed.
+func (c *Client) Checkpoint() error {
+	for _, pool := range c.pools {
+		req := request{Op: opCheckpoint, Session: c.cfg.Session, Proc: -1}
+		if _, err := c.driverOp(pool, &req); err != nil {
+			return fmt.Errorf("netga: checkpoint: %w", err)
+		}
+	}
+	return nil
 }
 
 // LoadMatrix distributes a dense matrix to the shard servers, one Put

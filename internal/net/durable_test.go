@@ -1,0 +1,386 @@
+package netga
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"gtfock/internal/dist"
+	"gtfock/internal/linalg"
+)
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// restartServer brings a killed slot back on its previous address (the OS
+// may briefly hold the port after an abrupt close).
+func restartServer(t *testing.T, addr string, mk func() *Server) *Server {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < 200; i++ {
+		s := mk()
+		if _, err := s.Start(addr); err == nil {
+			t.Cleanup(s.Close)
+			return s
+		} else {
+			lastErr = err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("restart on %s: %v", addr, lastErr)
+	return nil
+}
+
+// rawAcc sends one Acc with an explicit idempotency token, retrying
+// transport errors (a restarted server leaves dead idle conns behind).
+func rawAcc(t *testing.T, c *Client, token uint64, val float64) *response {
+	t.Helper()
+	req := request{
+		Op: opAcc, Array: c.cfg.Array, Session: c.cfg.Session, Token: token,
+		Alpha: 1, R0: 0, R1: 1, C0: 0, C1: 1, Data: []float64{val},
+	}
+	var lastErr error
+	for i := 0; i < 20; i++ {
+		req.ReqID = c.reqID.Add(1)
+		resp, _, err := c.doRPC(-1, c.pools[0], &req)
+		if err == nil {
+			if resp.Status != statusOK {
+				t.Fatalf("raw acc rejected: %s", resp.Msg)
+			}
+			return resp
+		}
+		lastErr = err
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("raw acc: %v", lastErr)
+	return nil
+}
+
+func fill(rows, cols int, f func(r, c int) float64) *linalg.Matrix {
+	m := linalg.NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, f(r, c))
+		}
+	}
+	return m
+}
+
+// TestKillRestartRecoversState is the tentpole durability proof: a durable
+// shard server is SIGKILLed (abrupt Close, no snapshot) and restarted on
+// the same address; it must replay to its exact pre-crash state — arrays,
+// session, and dedup table — and resume the session instead of resetting.
+func TestKillRestartRecoversState(t *testing.T) {
+	grid := dist.UniformGrid2D(1, 1, 6, 6)
+	dir := t.TempDir()
+	mk := func() *Server {
+		return NewServer(grid, []int{0}, WithDurability(dir, 4), WithNoSync())
+	}
+	srv := mk()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(grid, nil, []string{addr}, []int{0}, Config{Array: 0, Session: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.LoadMatrix(fill(6, 6, func(r, cc int) float64 { return float64(r*6 + cc) }))
+	src := fill(6, 6, func(r, cc int) float64 { return float64(r - cc) })
+	for i := 0; i < 3; i++ {
+		c.Acc(0, 0, 6, 0, 6, src.Data, 6, 0.5)
+	}
+	if resp := rawAcc(t, c, 777, 10); resp.Dup != 0 {
+		t.Fatal("first delivery of token 777 deduplicated")
+	}
+	want := c.ToMatrix()
+
+	srv.Kill()
+	srv2 := restartServer(t, addr, mk)
+
+	st := srv2.Stats()
+	if st.Replayed == 0 {
+		t.Fatalf("restart replayed no journal records: %+v", st)
+	}
+	if got := c.ToMatrix(); !reflect.DeepEqual(got.Data, want.Data) {
+		t.Fatalf("restarted server state differs from pre-crash state (max diff %g)",
+			linalg.MaxAbsDiff(want, got))
+	}
+	// The retry of an Acc acknowledged before the crash must dedup: the
+	// token survived the restart.
+	if resp := rawAcc(t, c, 777, 10); resp.Dup != 1 {
+		t.Fatal("token 777 lost across restart: duplicate Acc would have landed")
+	}
+
+	// Rejoin handshake: a client re-Helloing the recovered session resumes
+	// it — no reset, state intact. A different session still resets.
+	c2, err := Dial(grid, nil, []string{addr}, []int{0}, Config{Array: 0, Session: 7})
+	if err != nil {
+		t.Fatalf("rejoin dial: %v", err)
+	}
+	defer c2.Close()
+	if st := srv2.Stats(); st.Sessions != 0 {
+		t.Fatalf("rejoin with the recovered session reset it (%d resets)", st.Sessions)
+	}
+	if got := c2.ToMatrix(); !reflect.DeepEqual(got.Data, want.Data) {
+		t.Fatal("state lost on session rejoin")
+	}
+	c3, err := Dial(grid, nil, []string{addr}, []int{0}, Config{Array: 0, Session: 8})
+	if err != nil {
+		t.Fatalf("new-session dial: %v", err)
+	}
+	defer c3.Close()
+	if st := srv2.Stats(); st.Sessions != 1 {
+		t.Fatalf("new session did not reset: %+v", st)
+	}
+	if got := c3.ToMatrix(); linalg.MaxAbsDiff(got, linalg.NewMatrix(6, 6)) != 0 {
+		t.Fatal("new session did not zero the arrays")
+	}
+}
+
+// TestDedupEvictionAtCheckpointOnly is the bounded-dedup-table proof:
+// tokens are never evicted mid-epoch, survive one full checkpoint
+// generation (so any retry of an op that completed before the checkpoint
+// still dedups — no duplicate Acc can land), and are dropped after two.
+func TestDedupEvictionAtCheckpointOnly(t *testing.T) {
+	grid := dist.UniformGrid2D(1, 1, 4, 4)
+	addrs, assign, servers := startCluster(t, grid, 1)
+	srv := servers[0]
+	c, err := Dial(grid, nil, addrs, assign, Config{Array: 1, Session: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if resp := rawAcc(t, c, 555, 3); resp.Dup != 0 {
+		t.Fatal("first delivery deduplicated")
+	}
+	if resp := rawAcc(t, c, 555, 3); resp.Dup != 1 {
+		t.Fatal("immediate retry not deduplicated")
+	}
+	for i := uint64(0); i < 50; i++ {
+		rawAcc(t, c, 1000+i, 1)
+	}
+	if st := srv.Stats(); st.TokensEvicted != 0 {
+		t.Fatalf("%d tokens evicted mid-epoch (must only happen at a checkpoint)", st.TokensEvicted)
+	}
+
+	// One checkpoint: 555 moves to the previous generation but is still
+	// held — the legal worst-case retry window for an op that completed
+	// just before the checkpoint.
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if resp := rawAcc(t, c, 555, 3); resp.Dup != 1 {
+		t.Fatal("duplicate Acc landed one generation after completion")
+	}
+	// The post-checkpoint retry re-marked 555 into the current generation;
+	// it takes two more rotations to age it out entirely.
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.TokensEvicted == 0 {
+		t.Fatalf("no tokens evicted after three checkpoints: %+v", st)
+	}
+	if st.Checkpoints != 3 {
+		t.Fatalf("checkpoints = %d, want 3", st.Checkpoints)
+	}
+	// Exactly-once held throughout: the cell accumulated 3 exactly once.
+	if got := c.ToMatrix().At(0, 0); got != 3+50 {
+		t.Fatalf("cell (0,0) = %g, want %g", got, 3.0+50)
+	}
+}
+
+// TestGracefulShutdownFlushesSnapshot: Shutdown drains, takes a final
+// snapshot and truncates the journal, so the next start replays nothing.
+func TestGracefulShutdownFlushesSnapshot(t *testing.T) {
+	grid := dist.UniformGrid2D(1, 1, 4, 4)
+	dir := t.TempDir()
+	mk := func() *Server {
+		return NewServer(grid, []int{0}, WithDurability(dir, -1), WithNoSync())
+	}
+	srv := mk()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(grid, nil, []string{addr}, []int{0}, Config{Array: 0, Session: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.LoadMatrix(fill(4, 4, func(r, cc int) float64 { return float64(r*4+cc) + 0.5 }))
+	want := c.ToMatrix()
+
+	srv.Shutdown(2 * time.Second)
+	if fi, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil || fi.Size() == 0 {
+		t.Fatalf("shutdown left no snapshot: %v", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, journalFile)); err != nil || fi.Size() != 0 {
+		t.Fatalf("shutdown did not truncate the journal (size %d, err %v)", fi.Size(), err)
+	}
+
+	srv2 := restartServer(t, addr, mk)
+	if st := srv2.Stats(); st.Replayed != 0 {
+		t.Fatalf("clean restart replayed %d records, want 0 (snapshot covers all)", st.Replayed)
+	}
+	if got := c.ToMatrix(); !reflect.DeepEqual(got.Data, want.Data) {
+		t.Fatal("state differs after graceful restart")
+	}
+}
+
+// TestStandbyPromotionPreservesState: a hot standby mirrors the primary
+// (semi-sync), a client that loses the primary promotes it behind the
+// epoch fence, and every acknowledged op — before and after the failover —
+// lands exactly once.
+func TestStandbyPromotionPreservesState(t *testing.T) {
+	grid := dist.UniformGrid2D(1, 1, 6, 6)
+	prim := NewServer(grid, []int{0})
+	paddr, err := prim.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(prim.Close)
+	stdby := NewServer(grid, []int{0}, WithStandby(paddr))
+	saddr, err := stdby.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stdby.Close)
+
+	rt := NewRouter([]string{paddr}, []string{saddr}, time.Second, nil)
+	c, err := Dial(grid, nil, []string{paddr}, []int{0}, Config{Array: 0, Session: 5, Router: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	base := fill(6, 6, func(r, cc int) float64 { return float64(r + cc) })
+	c.LoadMatrix(base)
+	waitFor(t, 5*time.Second, func() bool {
+		stdby.mu.Lock()
+		defer stdby.mu.Unlock()
+		return stdby.session == 5
+	}, "standby state sync")
+
+	src := fill(6, 6, func(r, cc int) float64 { return float64(r*6+cc) / 3 })
+	c.Acc(0, 0, 6, 0, 6, src.Data, 6, 2) // replicated semi-sync before the ack returns
+
+	prim.Kill()
+	c.Acc(0, 0, 6, 0, 6, src.Data, 6, 3) // exhausts retries, promotes, lands on the standby
+
+	want := fill(6, 6, func(r, cc int) float64 {
+		return base.At(r, cc) + 5*src.At(r, cc)
+	})
+	if got := c.ToMatrix(); !reflect.DeepEqual(got.Data, want.Data) {
+		t.Fatalf("post-failover state wrong (max diff %g)", linalg.MaxAbsDiff(want, got))
+	}
+	if rt.addr(0) != saddr {
+		t.Fatalf("router still routes slot 0 to %s, want standby %s", rt.addr(0), saddr)
+	}
+	st := stdby.Stats()
+	if st.Standby || st.Epoch != 2 || st.Promotions != 1 {
+		t.Fatalf("standby not promoted at epoch 2: %+v", st)
+	}
+
+	// Split-brain fence: a request stamped with the superseded epoch is
+	// rejected without being applied, and re-promoting at a stale fence
+	// fails outright.
+	fenced := stdby.handle(&request{
+		Op: opGet, Array: 0, Session: 5, SEpoch: 1, R0: 0, R1: 1, C0: 0, C1: 1,
+	})
+	if fenced.Status != statusRetry {
+		t.Fatalf("stale-epoch op got status %d, want fenced retry", fenced.Status)
+	}
+	if stale := stdby.handle(&request{Op: opPromote, SEpoch: 1}); stale.Status != statusErr {
+		t.Fatalf("stale promotion got status %d, want reject", stale.Status)
+	}
+	if stdby.Stats().FencedOps == 0 {
+		t.Fatal("epoch fence never fired")
+	}
+}
+
+// TestFailoverViaMembershipLookup: with no statically configured standby,
+// the client locates the standby through the membership map served by the
+// surviving shard servers, then promotes it.
+func TestFailoverViaMembershipLookup(t *testing.T) {
+	grid := dist.UniformGrid2D(1, 2, 6, 6)
+	assign, hosted := SplitProcs(grid.NumProcs(), 2)
+	a := NewServer(grid, hosted[0])
+	aaddr, err := a.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	b := NewServer(grid, hosted[1])
+	baddr, err := b.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	stdby := NewServer(grid, hosted[0], WithStandby(aaddr))
+	saddr, err := stdby.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stdby.Close)
+	b.SetMembership(Membership{Primaries: []string{aaddr, baddr}, Standbys: []string{saddr, ""}})
+
+	rt := NewRouter([]string{aaddr, baddr}, nil, time.Second, nil)
+	c, err := Dial(grid, nil, []string{aaddr, baddr}, assign, Config{Array: 0, Session: 11, Router: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	m := fill(6, 6, func(r, cc int) float64 { return float64(r*10 + cc) })
+	c.LoadMatrix(m)
+	waitFor(t, 5*time.Second, func() bool {
+		stdby.mu.Lock()
+		defer stdby.mu.Unlock()
+		return stdby.session == 11
+	}, "standby state sync")
+
+	a.Kill()
+	// Read proc 0's block: the failures trigger a membership lookup via
+	// server b, the learned standby is promoted, and the read succeeds.
+	var p0 dist.Patch
+	for _, p := range grid.Patches(0, 6, 0, 6) {
+		if p.Proc == 0 {
+			p0 = p
+		}
+	}
+	w := p0.C1 - p0.C0
+	dst := make([]float64, (p0.R1-p0.R0)*w)
+	c.Get(0, p0.R0, p0.R1, p0.C0, p0.C1, dst, w)
+	for r := p0.R0; r < p0.R1; r++ {
+		for cc := p0.C0; cc < p0.C1; cc++ {
+			if got := dst[(r-p0.R0)*w+(cc-p0.C0)]; got != m.At(r, cc) {
+				t.Fatalf("promoted standby serves (%d,%d)=%g, want %g", r, cc, got, m.At(r, cc))
+			}
+		}
+	}
+	if rt.addr(0) != saddr {
+		t.Fatalf("slot 0 routed to %s after membership failover, want %s", rt.addr(0), saddr)
+	}
+	if st := stdby.Stats(); st.Standby || st.Promotions != 1 {
+		t.Fatalf("standby not promoted: %+v", st)
+	}
+}

@@ -1,0 +1,287 @@
+package netga_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gtfock/internal/core"
+	"gtfock/internal/dist"
+	"gtfock/internal/fault"
+	"gtfock/internal/linalg"
+	"gtfock/internal/metrics"
+	netga "gtfock/internal/net"
+)
+
+// chaosCluster is the loopback harness for process-kill chaos: durable
+// shard servers whose slots can be SIGKILLed (abrupt Close) and restarted
+// on the same address and journal directory mid-build, plus optional hot
+// standbys for the promotion path.
+type chaosCluster struct {
+	t       *testing.T
+	grid    *dist.Grid2D
+	dir     string
+	session uint64
+
+	mu       sync.Mutex
+	hosted   [][]int
+	addrs    []string
+	servers  []*netga.Server // current incarnation per slot
+	retired  []*netga.Server // killed incarnations (stats, cleanup)
+	standbys []*netga.Server
+}
+
+func (cc *chaosCluster) slotDir(k int) string {
+	return filepath.Join(cc.dir, fmt.Sprintf("s%d", k))
+}
+
+func (cc *chaosCluster) start(grid *dist.Grid2D, nservers int, withStandbys bool) ([]string, []int, []string) {
+	cc.grid = grid
+	assign, hosted := netga.SplitProcs(grid.NumProcs(), nservers)
+	cc.hosted = hosted
+	cc.addrs = make([]string, nservers)
+	cc.servers = make([]*netga.Server, nservers)
+	var stdbyAddrs []string
+	for k := 0; k < nservers; k++ {
+		srv := netga.NewServer(grid, hosted[k],
+			netga.WithDurability(cc.slotDir(k), 64), netga.WithNoSync())
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			cc.t.Fatalf("start server %d: %v", k, err)
+		}
+		cc.addrs[k] = addr
+		cc.servers[k] = srv
+	}
+	if withStandbys {
+		stdbyAddrs = make([]string, nservers)
+		cc.standbys = make([]*netga.Server, nservers)
+		for k := 0; k < nservers; k++ {
+			sb := netga.NewServer(grid, hosted[k], netga.WithStandby(cc.addrs[k]))
+			addr, err := sb.Start("127.0.0.1:0")
+			if err != nil {
+				cc.t.Fatalf("start standby %d: %v", k, err)
+			}
+			stdbyAddrs[k] = addr
+			cc.standbys[k] = sb
+		}
+	}
+	cc.t.Cleanup(cc.closeAll)
+	return cc.addrs, assign, stdbyAddrs
+}
+
+func (cc *chaosCluster) closeAll() {
+	cc.mu.Lock()
+	all := append([]*netga.Server{}, cc.servers...)
+	all = append(all, cc.retired...)
+	all = append(all, cc.standbys...)
+	cc.mu.Unlock()
+	for _, s := range all {
+		if s != nil {
+			s.Close()
+		}
+	}
+}
+
+// ops reports the cumulative request count of slot k across incarnations
+// (the kill trigger must keep advancing after a restart).
+func (cc *chaosCluster) ops(k int) int64 {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	n := cc.servers[k].Stats().Requests
+	for _, s := range cc.retired {
+		if s != nil {
+			n += s.Stats().Requests
+		}
+	}
+	return n
+}
+
+func (cc *chaosCluster) kill(k int) {
+	cc.mu.Lock()
+	srv := cc.servers[k]
+	cc.retired = append(cc.retired, srv)
+	cc.mu.Unlock()
+	srv.Kill()
+}
+
+func (cc *chaosCluster) restart(k int) {
+	srv := netga.NewServer(cc.grid, cc.hosted[k],
+		netga.WithDurability(cc.slotDir(k), 64), netga.WithNoSync())
+	var err error
+	for i := 0; i < 400; i++ {
+		if _, err = srv.Start(cc.addrs[k]); err == nil {
+			cc.mu.Lock()
+			cc.servers[k] = srv
+			cc.mu.Unlock()
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cc.t.Errorf("restart slot %d on %s: %v", k, cc.addrs[k], err)
+}
+
+// TestLoopbackKillRestartBuildMatchesSerial is the tentpole chaos proof
+// without standbys: durable shard servers are SIGKILLed mid-build and
+// restarted from snapshot + journal on the same address. The build must
+// complete, match the serial oracle to 1e-9, and count every task exactly
+// once — acknowledged accumulates survived the crash, retried ones
+// deduplicated against the recovered token table.
+func TestLoopbackKillRestartBuildMatchesSerial(t *testing.T) {
+	bs, scr, d := netSetup(t)
+	ref := core.BuildSerial(bs, scr, d)
+	ns := int64(bs.NumShells())
+
+	cc := &chaosCluster{t: t, dir: t.TempDir(), session: 300}
+	rpc := &metrics.RPC{}
+	reg := metrics.NewRegistry(4)
+	stop := make(chan struct{})
+	var chaos sync.WaitGroup
+	factory := func(grid *dist.Grid2D, stats *dist.RunStats) (dist.Backend, dist.Backend, func(), error) {
+		addrs, assign, _ := cc.start(grid, 2, false)
+		router := netga.NewRouter(addrs, nil, 0, rpc)
+		gaD, err := netga.Dial(grid, stats, addrs, assign, netga.Config{
+			Array: 0, Session: cc.session, RPC: rpc, Router: router,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		gaF, err := netga.Dial(grid, stats, addrs, assign, netga.Config{
+			Array: 1, Session: cc.session, RPC: rpc, Router: router,
+		})
+		if err != nil {
+			gaD.Close()
+			return nil, nil, nil, err
+		}
+		// Two kills per slot, triggered by served-op counts so they land
+		// mid-build deterministically per seed (the loopback build is only a
+		// few hundred RPCs long), restarted after 30ms.
+		plan := fault.ServerKillPlan(42, 2, 4, 20, 60, 30*time.Millisecond)
+		chaos.Add(1)
+		go func() {
+			defer chaos.Done()
+			fault.RunServerKills(plan, cc.ops, cc.kill, cc.restart, stop)
+		}()
+		return gaD, gaF, func() { gaD.Close(); gaF.Close() }, nil
+	}
+
+	res := buildDeadline(t, 4*time.Minute, func() core.Result {
+		return core.Build(bs, scr, d, core.Options{
+			Prow: 2, Pcol: 2,
+			Backend:       factory,
+			LeaseTTL:      300 * time.Millisecond,
+			MonitorEvery:  10 * time.Millisecond,
+			RetryAttempts: 10,
+			RetryBackoff:  2 * time.Millisecond,
+			RetryWallCap:  500 * time.Millisecond,
+			Metrics:       reg,
+		})
+	})
+	close(stop)
+	chaos.Wait()
+	if res.Err != nil {
+		t.Fatalf("build error: %v", res.Err)
+	}
+	if diff := linalg.MaxAbsDiff(ref, res.G); diff > 1e-9 {
+		t.Fatalf("|G - serial| = %g after kill/restart chaos", diff)
+	}
+	if got := reg.Snapshot().TasksTotal; got != ns*ns {
+		t.Fatalf("tasks_total = %d, want ns^2 = %d (lost or double-counted tasks)", got, ns*ns)
+	}
+	var replayed, dups int64
+	kills := 0
+	cc.mu.Lock()
+	for _, s := range cc.servers {
+		st := s.Stats()
+		replayed += st.Replayed
+		dups += st.AccDups
+	}
+	kills = len(cc.retired)
+	cc.mu.Unlock()
+	if kills == 0 {
+		t.Fatal("chaos plan killed no servers: the test proved nothing")
+	}
+	if replayed == 0 {
+		t.Fatal("restarted servers replayed no journal records")
+	}
+	t.Logf("kill-restart: %d kills, %d records replayed, %d dup accs absorbed, recovery=%+v",
+		kills, replayed, dups, res.Stats.Recovery)
+}
+
+// TestLoopbackStandbyPromotionBuildMatchesSerial kills a primary shard
+// mid-build with no restart: the only way the build can complete — which
+// it must, matching serial with exactly-once accounting — is the client
+// promoting the hot standby behind the epoch fence.
+func TestLoopbackStandbyPromotionBuildMatchesSerial(t *testing.T) {
+	bs, scr, d := netSetup(t)
+	ref := core.BuildSerial(bs, scr, d)
+	ns := int64(bs.NumShells())
+
+	cc := &chaosCluster{t: t, dir: t.TempDir(), session: 301}
+	rpc := &metrics.RPC{}
+	reg := metrics.NewRegistry(4)
+	stop := make(chan struct{})
+	var chaos sync.WaitGroup
+	var runStats *dist.RunStats
+	factory := func(grid *dist.Grid2D, stats *dist.RunStats) (dist.Backend, dist.Backend, func(), error) {
+		runStats = stats
+		addrs, assign, stdbyAddrs := cc.start(grid, 2, true)
+		router := netga.NewRouter(addrs, stdbyAddrs, 0, rpc)
+		gaD, err := netga.Dial(grid, stats, addrs, assign, netga.Config{
+			Array: 0, Session: cc.session, RPC: rpc, Router: router,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		gaF, err := netga.Dial(grid, stats, addrs, assign, netga.Config{
+			Array: 1, Session: cc.session, RPC: rpc, Router: router,
+		})
+		if err != nil {
+			gaD.Close()
+			return nil, nil, nil, err
+		}
+		// Kill primary 0 once it has served enough ops to be mid-build.
+		// Restart < 0: the slot never comes back; the standby must.
+		plan := fault.ServerKillPlan(43, 1, 1, 30, 31, -1)
+		chaos.Add(1)
+		go func() {
+			defer chaos.Done()
+			fault.RunServerKills(plan, cc.ops, cc.kill, nil, stop)
+		}()
+		return gaD, gaF, func() { gaD.Close(); gaF.Close() }, nil
+	}
+
+	res := buildDeadline(t, 4*time.Minute, func() core.Result {
+		return core.Build(bs, scr, d, core.Options{
+			Prow: 2, Pcol: 2,
+			Backend:       factory,
+			LeaseTTL:      300 * time.Millisecond,
+			MonitorEvery:  10 * time.Millisecond,
+			RetryAttempts: 10,
+			RetryBackoff:  2 * time.Millisecond,
+			RetryWallCap:  500 * time.Millisecond,
+			Metrics:       reg,
+		})
+	})
+	close(stop)
+	chaos.Wait()
+	if res.Err != nil {
+		t.Fatalf("build error: %v", res.Err)
+	}
+	if diff := linalg.MaxAbsDiff(ref, res.G); diff > 1e-9 {
+		t.Fatalf("|G - serial| = %g after standby promotion", diff)
+	}
+	if got := reg.Snapshot().TasksTotal; got != ns*ns {
+		t.Fatalf("tasks_total = %d, want ns^2 = %d (lost or double-counted tasks)", got, ns*ns)
+	}
+	st := cc.standbys[0].Stats()
+	if st.Standby || st.Promotions != 1 || st.Epoch < 2 {
+		t.Fatalf("standby 0 was not promoted: %+v", st)
+	}
+	if snap := rpc.Snapshot(); snap.Failovers == 0 {
+		t.Fatalf("no failover recorded in RPC stats: %+v", snap)
+	}
+	t.Logf("promotion: standby={epoch:%d repl_applied:%d} rpc=%+v recovery=%+v",
+		st.Epoch, st.ReplApplied, rpc.Snapshot(), runStats.Recovery)
+}

@@ -1,0 +1,221 @@
+package netga
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Shard durability: a write-ahead journal of applied state mutations plus
+// periodic atomic snapshots. Every mutation (Put, Acc with its idempotency
+// token, session install, dedup checkpoint, promotion) is appended — and
+// fsynced — to the journal *before* it becomes visible to dedup lookups or
+// is acknowledged, so the journal is the ground truth of what a crashed
+// server had applied. A restarted server loads the latest snapshot and
+// replays the journal suffix (records with seq > snapshot.Seq), landing in
+// a state equivalent to the moment of the crash: same shard arrays, same
+// session, same dedup sets — so exactly-once accumulation survives the
+// restart.
+//
+// On-disk journal framing, per record:
+//
+//	[4B total length][4B crc32(seq+body)][8B seq][encoded request]
+//
+// A torn tail (partial final record, or a crc mismatch from a crash
+// mid-append) terminates replay without error: everything before it was
+// synced and is recovered; the torn record was never acknowledged.
+
+// journalFile and snapshotFile are the fixed names inside a shard's
+// durability directory.
+const (
+	journalFile  = "journal.wal"
+	snapshotFile = "snapshot.gob"
+)
+
+// journal is an append-only write-ahead log. Appends are serialized by the
+// server's state mutex; the journal itself carries no locking.
+type journal struct {
+	path   string
+	f      *os.File
+	nosync bool
+	buf    []byte // reusable encode buffer
+}
+
+// openJournal opens (creating if absent) the journal for appending.
+func openJournal(dir string, nosync bool) (*journal, error) {
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{path: path, f: f, nosync: nosync}, nil
+}
+
+// append writes one record and syncs it to stable storage. The record is
+// durable when append returns; only then may the server act on it.
+func (j *journal) append(seq uint64, req *request) error {
+	rec := encodeRecord(j.buf, seq, req)
+	j.buf = rec
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(rec))
+	if _, err := j.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := j.f.Write(rec); err != nil {
+		return err
+	}
+	if j.nosync {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// reset truncates the journal: everything it held is covered by a snapshot
+// (or discarded by a session reset that was itself journaled afterwards).
+func (j *journal) reset() error {
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if j.nosync {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() error { return j.f.Close() }
+
+// replayJournal streams every intact record of dir's journal to fn in
+// order. A missing journal is an empty one. Replay stops silently at the
+// first torn or corrupt record (crash mid-append); fn errors abort.
+func replayJournal(dir string, fn func(seq uint64, req *request) error) (n int, err error) {
+	f, err := os.Open(filepath.Join(dir, journalFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return n, nil // clean EOF or torn header: end of intact log
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if size < 8 || size > maxFrame {
+			return n, nil // corrupt length: torn tail
+		}
+		rec := make([]byte, size)
+		if _, err := io.ReadFull(f, rec); err != nil {
+			return n, nil // torn body
+		}
+		if crc32.ChecksumIEEE(rec) != sum {
+			return n, nil // bit rot or torn write caught by the checksum
+		}
+		var req request
+		seq, derr := decodeRecord(rec, &req)
+		if derr != nil {
+			return n, nil // undecodable yet checksummed: treat as torn
+		}
+		if err := fn(seq, &req); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// snapshotState is the gob-encoded point-in-time state of one shard
+// server: arrays, session, fence epoch, role, and both dedup generations.
+// Seq is the journal position the snapshot covers — replay skips records
+// with seq <= Seq, which is also what makes snapshot-then-truncate
+// crash-safe in either order.
+type snapshotState struct {
+	Version    int
+	Session    uint64
+	Epoch      uint64 // shard fence epoch
+	Standby    bool
+	Rows, Cols int
+	Seq        uint64
+	Arrays     [numArrays][]float64
+	SeenCur    []uint64
+	SeenPrev   []uint64
+	Checkpoint uint64 // dedup generation counter
+}
+
+const snapshotVersion = 1
+
+// saveSnapshot writes st atomically: gob to a temp file, fsync it, rename
+// over the snapshot path, fsync the directory — a crash at any point
+// leaves either the old snapshot or the new one, never a torn file.
+func saveSnapshot(dir string, st *snapshotState, nosync bool) error {
+	path := filepath.Join(dir, snapshotFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if !nosync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if nosync {
+		return nil
+	}
+	return syncDir(dir)
+}
+
+// loadSnapshot reads the shard snapshot, if any. (nil, nil) means no
+// snapshot exists — recovery then replays the journal from scratch.
+func loadSnapshot(dir string) (*snapshotState, error) {
+	f, err := os.Open(filepath.Join(dir, snapshotFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var st snapshotState
+	if err := gob.NewDecoder(f).Decode(&st); err != nil {
+		return nil, fmt.Errorf("netga: corrupt snapshot in %s: %w", dir, err)
+	}
+	if st.Version != snapshotVersion {
+		return nil, fmt.Errorf("netga: snapshot version %d, want %d", st.Version, snapshotVersion)
+	}
+	return &st, nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

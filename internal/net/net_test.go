@@ -17,7 +17,7 @@ import (
 
 func TestProtoRoundTrip(t *testing.T) {
 	req := request{
-		Op: opAcc, Array: 1, Session: 7, ReqID: 42, Token: 99, Epoch: 3,
+		Op: opAcc, Array: 1, Session: 7, ReqID: 42, Token: 99, Epoch: 3, SEpoch: 6,
 		Proc: 2, R0: 1, R1: 4, C0: 0, C1: 2, Alpha: -0.5,
 		Data: []float64{1.5, -2, 3.25, 0, 5, math.Pi},
 	}
@@ -28,7 +28,7 @@ func TestProtoRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(req, back) {
 		t.Fatalf("request round trip: got %+v, want %+v", back, req)
 	}
-	resp := response{Status: statusErr, Dup: 1, ReqID: 42, Msg: "boom", Data: []float64{7, 8}}
+	resp := response{Status: statusErr, Dup: 1, ReqID: 42, SEpoch: 6, Msg: "boom", Data: []float64{7, 8}}
 	var rback response
 	if err := decodeResponse(encodeResponse(nil, &resp), &rback); err != nil {
 		t.Fatalf("decode response: %v", err)
@@ -38,6 +38,14 @@ func TestProtoRoundTrip(t *testing.T) {
 	}
 	if err := decodeRequest([]byte{1, 2, 3}, &back); err == nil {
 		t.Fatal("short request frame must not decode")
+	}
+	var rreq request
+	seq, err := decodeRecord(encodeRecord(nil, 17, &req), &rreq)
+	if err != nil || seq != 17 {
+		t.Fatalf("record round trip: seq=%d err=%v", seq, err)
+	}
+	if !reflect.DeepEqual(req, rreq) {
+		t.Fatalf("record round trip: got %+v, want %+v", rreq, req)
 	}
 }
 

@@ -19,17 +19,22 @@ import (
 
 // Wire operations.
 const (
-	opHello uint8 = iota + 1 // establish/validate a session on a fresh conn
-	opGet                    // read one single-owner patch
-	opPut                    // overwrite one single-owner patch (driver load)
-	opAcc                    // accumulate alpha*data into one patch, token-deduped
-	opPing                   // liveness probe
+	opHello      uint8 = iota + 1 // establish/validate a session on a fresh conn
+	opGet                         // read one single-owner patch
+	opPut                         // overwrite one single-owner patch (driver load)
+	opAcc                         // accumulate alpha*data into one patch, token-deduped
+	opPing                        // liveness probe
+	opCheckpoint                  // session checkpoint: advance the dedup eviction generation
+	opMembership                  // read the cluster membership map (JSON in Msg)
+	opPromote                     // promote a standby to primary at the fence epoch in SEpoch
+	opSubscribe                   // standby -> primary: hijack this conn into a replication stream
 )
 
 // Response statuses.
 const (
-	statusOK  uint8 = iota
-	statusErr       // server rejected the request; not retryable
+	statusOK    uint8 = iota
+	statusErr         // server rejected the request; not retryable
+	statusRetry       // transient rejection (standby, stale shard epoch): retry after resync
 )
 
 // maxFrame bounds a frame body so a corrupt length prefix cannot ask for
@@ -43,7 +48,10 @@ const numArrays = 2
 // request is one client->server frame. Every request carries the client
 // session so a reconnected conn needs no re-handshake; Hello installs a
 // session (a new session id resets the server's arrays and dedup state)
-// and validates geometry via R0=Rows, C0=Cols.
+// and validates geometry via R0=Rows, C0=Cols. SEpoch is the shard fence
+// epoch the issuer believes the target serves at (0 = unfenced/legacy):
+// a server at a different epoch answers statusRetry so stale clients
+// resync and a superseded primary can never double-apply after failover.
 type request struct {
 	Op             uint8
 	Array          uint8
@@ -51,25 +59,29 @@ type request struct {
 	ReqID          uint64
 	Token          uint64 // Acc idempotency token; 0 = no dedup
 	Epoch          int64
-	Proc           int32 // issuing rank; -1 for driver-side ops
+	SEpoch         uint64 // shard fence epoch; bumped by standby promotion
+	Proc           int32  // issuing rank; -1 for driver-side ops
 	R0, R1, C0, C1 int32
 	Alpha          float64
 	Data           []float64
 }
 
 // response is one server->client frame, matched to its request by ReqID.
+// SEpoch reports the serving shard's current fence epoch on every
+// response, so clients resync their routing state for free.
 type response struct {
 	Status uint8
 	Dup    uint8 // Acc was a token-dedup hit: acknowledged, not re-applied
 	ReqID  uint64
+	SEpoch uint64
 	Msg    string
 	Data   []float64
 }
 
 // reqHeaderLen is the fixed-size prefix of an encoded request:
-// op+array (2) + session+reqid+token (24) + epoch (8) + proc+4 coords
-// (20) + alpha (8) + data count (4).
-const reqHeaderLen = 2 + 24 + 8 + 20 + 8 + 4
+// op+array (2) + session+reqid+token (24) + epoch (8) + sepoch (8) +
+// proc+4 coords (20) + alpha (8) + data count (4).
+const reqHeaderLen = 2 + 24 + 8 + 8 + 20 + 8 + 4
 
 func encodeRequest(buf []byte, r *request) []byte {
 	buf = buf[:0]
@@ -78,6 +90,7 @@ func encodeRequest(buf []byte, r *request) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, r.ReqID)
 	buf = binary.LittleEndian.AppendUint64(buf, r.Token)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Epoch))
+	buf = binary.LittleEndian.AppendUint64(buf, r.SEpoch)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Proc))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.R0))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.R1))
@@ -100,13 +113,14 @@ func decodeRequest(body []byte, r *request) error {
 	r.ReqID = binary.LittleEndian.Uint64(body[10:])
 	r.Token = binary.LittleEndian.Uint64(body[18:])
 	r.Epoch = int64(binary.LittleEndian.Uint64(body[26:]))
-	r.Proc = int32(binary.LittleEndian.Uint32(body[34:]))
-	r.R0 = int32(binary.LittleEndian.Uint32(body[38:]))
-	r.R1 = int32(binary.LittleEndian.Uint32(body[42:]))
-	r.C0 = int32(binary.LittleEndian.Uint32(body[46:]))
-	r.C1 = int32(binary.LittleEndian.Uint32(body[50:]))
-	r.Alpha = math.Float64frombits(binary.LittleEndian.Uint64(body[54:]))
-	n := int(binary.LittleEndian.Uint32(body[62:]))
+	r.SEpoch = binary.LittleEndian.Uint64(body[34:])
+	r.Proc = int32(binary.LittleEndian.Uint32(body[42:]))
+	r.R0 = int32(binary.LittleEndian.Uint32(body[46:]))
+	r.R1 = int32(binary.LittleEndian.Uint32(body[50:]))
+	r.C0 = int32(binary.LittleEndian.Uint32(body[54:]))
+	r.C1 = int32(binary.LittleEndian.Uint32(body[58:]))
+	r.Alpha = math.Float64frombits(binary.LittleEndian.Uint64(body[62:]))
+	n := int(binary.LittleEndian.Uint32(body[70:]))
 	if len(body) != reqHeaderLen+8*n {
 		return fmt.Errorf("netga: request frame length %d does not match %d data values", len(body), n)
 	}
@@ -114,13 +128,15 @@ func decodeRequest(body []byte, r *request) error {
 	return nil
 }
 
-// respHeaderLen: status+dup (2) + reqid (8) + msg len (2) + data count (4).
-const respHeaderLen = 2 + 8 + 2 + 4
+// respHeaderLen: status+dup (2) + reqid (8) + sepoch (8) + msg len (2) +
+// data count (4).
+const respHeaderLen = 2 + 8 + 8 + 2 + 4
 
 func encodeResponse(buf []byte, r *response) []byte {
 	buf = buf[:0]
 	buf = append(buf, r.Status, r.Dup)
 	buf = binary.LittleEndian.AppendUint64(buf, r.ReqID)
+	buf = binary.LittleEndian.AppendUint64(buf, r.SEpoch)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Msg)))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Data)))
 	buf = append(buf, r.Msg...)
@@ -136,14 +152,38 @@ func decodeResponse(body []byte, r *response) error {
 	}
 	r.Status, r.Dup = body[0], body[1]
 	r.ReqID = binary.LittleEndian.Uint64(body[2:])
-	ml := int(binary.LittleEndian.Uint16(body[10:]))
-	n := int(binary.LittleEndian.Uint32(body[12:]))
+	r.SEpoch = binary.LittleEndian.Uint64(body[10:])
+	ml := int(binary.LittleEndian.Uint16(body[18:]))
+	n := int(binary.LittleEndian.Uint32(body[20:]))
 	if len(body) != respHeaderLen+ml+8*n {
 		return fmt.Errorf("netga: response frame length %d does not match msg %d + %d data values", len(body), ml, n)
 	}
 	r.Msg = string(body[respHeaderLen : respHeaderLen+ml])
 	r.Data = decodeFloats(body[respHeaderLen+ml:], n)
 	return nil
+}
+
+// A record is one durable/replicated state mutation: an 8-byte sequence
+// number followed by an encoded request. The same encoding backs both the
+// write-ahead journal (wrapped in a crc frame there) and the primary ->
+// standby replication stream (wrapped in a wire frame there), so replay
+// and replication apply through one code path.
+func encodeRecord(buf []byte, seq uint64, req *request) []byte {
+	buf = buf[:0]
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	body := encodeRequest(nil, req)
+	return append(buf, body...)
+}
+
+func decodeRecord(body []byte, req *request) (seq uint64, err error) {
+	if len(body) < 8 {
+		return 0, fmt.Errorf("netga: short record (%d bytes)", len(body))
+	}
+	seq = binary.LittleEndian.Uint64(body)
+	if err := decodeRequest(body[8:], req); err != nil {
+		return 0, err
+	}
+	return seq, nil
 }
 
 func decodeFloats(b []byte, n int) []float64 {

@@ -1,0 +1,292 @@
+package netga
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Hot-standby replication. A standby dials its primary and sends
+// opSubscribe; the primary hijacks that conn into a replication stream:
+// first a full state sync (the same gob snapshot the journal layer
+// writes), then every subsequent mutation record in journal order, each
+// acked by the standby before the primary acknowledges its own client
+// (semi-synchronous). That ack discipline is what makes promotion sound:
+// any op a client saw acknowledged is on the standby, so the post-failover
+// build never loses an accumulation the driver believes landed.
+//
+// Ordering comes for free: records are forwarded under the primary's
+// state mutex, in the same critical section that journals them, so the
+// stream is exactly the journal. The standby journals each record before
+// applying it, so a durable standby that itself crashes recovers like any
+// primary would.
+
+// replTimeout bounds one forward+ack round trip to the standby. A standby
+// slower than this is dropped and the primary degrades to solo rather
+// than stalling the build.
+const replTimeout = 2 * time.Second
+
+// subscriber is the primary's handle on a connected standby.
+type subscriber struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	buf  []byte
+}
+
+// forward sends one record and waits for the standby's seq ack. Called
+// with the server mutex held (serializing the stream with the journal).
+func (sub *subscriber) forward(seq uint64, req *request) error {
+	sub.conn.SetDeadline(time.Now().Add(replTimeout))
+	defer sub.conn.SetDeadline(time.Time{})
+	sub.buf = encodeRecord(sub.buf, seq, req)
+	if err := writeFrame(sub.bw, sub.buf); err != nil {
+		return err
+	}
+	if err := sub.bw.Flush(); err != nil {
+		return err
+	}
+	ack, err := readFrame(sub.br)
+	if err != nil {
+		return err
+	}
+	if len(ack) != 8 || binary.LittleEndian.Uint64(ack) != seq {
+		return fmt.Errorf("netga: bad replication ack for seq %d", seq)
+	}
+	return nil
+}
+
+// dropSubscriberLocked severs the standby stream (ack failure, or server
+// teardown). Caller holds s.mu. The standby's reconnect loop will
+// re-subscribe and get a fresh state sync.
+func (s *Server) dropSubscriberLocked() {
+	if s.sub != nil {
+		s.sub.conn.Close()
+		s.sub = nil
+	}
+}
+
+// serveSubscribe turns an accepted conn into the replication stream for a
+// standby. It sends the subscribe response followed by a full state-sync
+// frame, registers the subscriber, and returns true when the conn was
+// handed over (the caller must then not close it). The response, the
+// state frame and the registration happen under s.mu so no mutation can
+// slip between the sync point and the first streamed record.
+func (s *Server) serveSubscribe(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, req *request) bool {
+	fail := func(resp response) bool {
+		resp.SEpoch = s.epoch.Load()
+		buf := encodeResponse(nil, &resp)
+		if writeFrame(bw, buf) == nil {
+			bw.Flush()
+		}
+		return false
+	}
+	if s.standby.Load() {
+		return fail(retryResp(req.ReqID, "netga: standby cannot host a subscriber"))
+	}
+	if int(req.R0) != s.grid.Rows || int(req.C0) != s.grid.Cols {
+		return fail(errResp(req.ReqID, "netga: subscriber geometry %dx%d, server %dx%d",
+			req.R0, req.C0, s.grid.Rows, s.grid.Cols))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining {
+		return fail(errResp(req.ReqID, "netga: server closing"))
+	}
+	s.applyWG.Wait()
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(s.snapshotStateLocked()); err != nil {
+		return fail(errResp(req.ReqID, "netga: state sync: %v", err))
+	}
+	resp := response{ReqID: req.ReqID, SEpoch: s.epoch.Load()}
+	buf := encodeResponse(nil, &resp)
+	if err := writeFrame(bw, buf); err != nil {
+		return false
+	}
+	if err := writeFrame(bw, blob.Bytes()); err != nil {
+		return false
+	}
+	if err := bw.Flush(); err != nil {
+		return false
+	}
+	s.dropSubscriberLocked() // at most one standby; newest wins
+	s.sub = &subscriber{conn: conn, br: br, bw: bw}
+	return true
+}
+
+// runStandby is the standby-side loop: connect to the primary, subscribe,
+// apply the stream until it breaks, back off, repeat — until promotion or
+// teardown.
+func (s *Server) runStandby(stop chan struct{}) {
+	defer s.wg.Done()
+	wait := 10 * time.Millisecond
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if !s.standby.Load() {
+			return // promoted: this shard is the primary now
+		}
+		conn, err := net.DialTimeout("tcp", s.primaryAddr, replTimeout)
+		if err == nil {
+			wait = 10 * time.Millisecond
+			s.mu.Lock()
+			closed := s.closed
+			if !closed {
+				s.stdbyConn = conn
+			}
+			s.mu.Unlock()
+			if closed {
+				conn.Close()
+				return
+			}
+			s.streamFrom(conn)
+			s.mu.Lock()
+			s.stdbyConn = nil
+			s.mu.Unlock()
+			conn.Close()
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(wait):
+		}
+		if wait < time.Second {
+			wait *= 2
+		}
+	}
+}
+
+// streamFrom subscribes on conn and applies the primary's stream until
+// the conn breaks (primary death, promotion severing it, or teardown).
+func (s *Server) streamFrom(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	sub := request{
+		Op:    opSubscribe,
+		ReqID: 1,
+		R0:    int32(s.grid.Rows),
+		C0:    int32(s.grid.Cols),
+	}
+	conn.SetDeadline(time.Now().Add(replTimeout))
+	if err := writeFrame(bw, encodeRequest(nil, &sub)); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	body, err := readFrame(br)
+	if err != nil {
+		return
+	}
+	var resp response
+	if err := decodeResponse(body, &resp); err != nil || resp.Status != statusOK {
+		return
+	}
+	state, err := readFrame(br)
+	if err != nil {
+		return
+	}
+	var st snapshotState
+	if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&st); err != nil {
+		return
+	}
+	if err := s.installState(&st); err != nil {
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	var ack [8]byte
+	for {
+		body, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		var rec request
+		seq, err := decodeRecord(body, &rec)
+		if err != nil {
+			return
+		}
+		if err := s.applyStream(seq, &rec); err != nil {
+			return
+		}
+		binary.LittleEndian.PutUint64(ack[:], seq)
+		if err := writeFrame(bw, ack[:]); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// installState replaces the standby's state with the primary's state
+// sync. A durable standby persists it as its own snapshot and resets its
+// journal, so the sync point is recoverable without the primary.
+func (s *Server) installState(st *snapshotState) error {
+	if st.Rows != s.grid.Rows || st.Cols != s.grid.Cols {
+		return fmt.Errorf("netga: state sync geometry %dx%d, grid %dx%d",
+			st.Rows, st.Cols, s.grid.Rows, s.grid.Cols)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.standby.Load() {
+		return fmt.Errorf("netga: promoted mid-sync")
+	}
+	s.session = st.Session
+	s.epoch.Store(st.Epoch)
+	s.seq = st.Seq
+	s.ckptGen = st.Checkpoint
+	s.seenCur = tokenSet(st.SeenCur)
+	s.seenPrev = tokenSet(st.SeenPrev)
+	for p := range s.locks {
+		s.locks[p].Lock()
+	}
+	for a := range s.arrays {
+		copy(s.arrays[a], st.Arrays[a])
+	}
+	for p := range s.locks {
+		s.locks[p].Unlock()
+	}
+	if s.jr != nil {
+		st.Standby = true
+		if err := saveSnapshot(s.dir, st, s.nosync); err != nil {
+			return err
+		}
+		s.jr.reset()
+		s.sinceSnap = 0
+		s.snapshots.Add(1)
+	}
+	return nil
+}
+
+// applyStream journals (write-ahead, with the primary's sequence number)
+// and applies one replicated record, then lets the caller ack it.
+func (s *Server) applyStream(seq uint64, rec *request) error {
+	s.mu.Lock()
+	if !s.standby.Load() || s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("netga: no longer a standby")
+	}
+	if s.jr != nil {
+		if err := s.jr.append(seq, rec); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.journalRecords.Add(1)
+		s.sinceSnap++
+	}
+	if seq > s.seq {
+		s.seq = seq
+	}
+	s.mu.Unlock()
+	s.applyRecord(rec)
+	s.replApplied.Add(1)
+	s.maybeSnapshot()
+	return nil
+}

@@ -1,0 +1,233 @@
+package netga
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gtfock/internal/metrics"
+)
+
+// failoverAfter is the number of consecutive transport failures against
+// one shard slot before the router attempts a standby promotion. Injected
+// single-shot faults (resets, duplicate delivery) recover on the next
+// attempt and never reach it; a dead server does.
+const failoverAfter = 3
+
+// Router is the shared routing state of one driver process: for each
+// shard server slot, the address currently serving it, the shard fence
+// epoch the client believes that server is at, and the standby (if any)
+// to promote when the primary dies. One Router is shared by the D and F
+// clients so a failover observed through either array instantly reroutes
+// both — the driver process is the single point of routing truth, which
+// is what makes the epoch fence sufficient against split-brain: there is
+// exactly one promoter, and the promoted epoch fences the old primary at
+// the servers themselves.
+type Router struct {
+	opTimeout time.Duration
+	rpc       *metrics.RPC
+
+	mu    sync.Mutex
+	slots []routeSlot
+}
+
+type routeSlot struct {
+	addr      string
+	standby   string
+	epoch     uint64
+	fails     int
+	promoting bool // single-flight guard on the failover path
+}
+
+// NewRouter creates routing state for the given primaries. standbys may
+// be nil, shorter than addrs, or hold "" entries for slots with no
+// standby; missing entries can still be learned later from a membership
+// query. rpc may be nil.
+func NewRouter(addrs, standbys []string, opTimeout time.Duration, rpc *metrics.RPC) *Router {
+	if opTimeout <= 0 {
+		opTimeout = 2 * time.Second
+	}
+	rt := &Router{opTimeout: opTimeout, rpc: rpc, slots: make([]routeSlot, len(addrs))}
+	for i, a := range addrs {
+		rt.slots[i] = routeSlot{addr: a, epoch: 1}
+		if i < len(standbys) {
+			rt.slots[i].standby = standbys[i]
+		}
+	}
+	return rt
+}
+
+// Slots returns the number of shard server slots routed.
+func (rt *Router) Slots() int { return len(rt.slots) }
+
+// addr returns the address currently serving slot.
+func (rt *Router) addr(slot int) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.slots[slot].addr
+}
+
+// epoch returns the shard fence epoch the router believes slot is at.
+func (rt *Router) epoch(slot int) uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.slots[slot].epoch
+}
+
+// observe folds a response's shard epoch into the routing state: servers
+// report their epoch on every answer, so clients resync for free after a
+// promotion they did not perform. Epochs only move forward.
+func (rt *Router) observe(slot int, sepoch uint64) {
+	if sepoch == 0 {
+		return
+	}
+	rt.mu.Lock()
+	if sepoch > rt.slots[slot].epoch {
+		rt.slots[slot].epoch = sepoch
+	}
+	rt.mu.Unlock()
+}
+
+// success resets slot's consecutive-failure count.
+func (rt *Router) success(slot int) {
+	rt.mu.Lock()
+	rt.slots[slot].fails = 0
+	rt.mu.Unlock()
+}
+
+// failure counts one transport failure against slot and reports whether
+// the slot has crossed the failover threshold.
+func (rt *Router) failure(slot int) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.slots[slot].fails++
+	return rt.slots[slot].fails >= failoverAfter
+}
+
+// errFailoverInFlight reports another goroutine is already promoting this
+// slot; the caller just keeps retrying and picks up the new route.
+var errFailoverInFlight = errors.New("netga: failover already in flight")
+
+// Failover promotes slot's standby to primary at the next fence epoch and
+// swaps the route to it. Single-flight per slot; concurrent callers get
+// errFailoverInFlight and simply retry their op. With no standby known —
+// statically or via a membership query to the surviving servers — the
+// failover fails and the callers stay on the (possibly healing) primary.
+func (rt *Router) Failover(slot int) error {
+	rt.mu.Lock()
+	s := &rt.slots[slot]
+	if s.promoting {
+		rt.mu.Unlock()
+		return errFailoverInFlight
+	}
+	s.promoting = true
+	startAddr, startEpoch, target := s.addr, s.epoch, s.standby
+	rt.mu.Unlock()
+	defer func() {
+		rt.mu.Lock()
+		rt.slots[slot].promoting = false
+		rt.mu.Unlock()
+	}()
+
+	if target == "" {
+		target = rt.lookupStandby(slot)
+	}
+	if target == "" {
+		return fmt.Errorf("netga: no standby known for shard slot %d", slot)
+	}
+	req := request{Op: opPromote, SEpoch: startEpoch + 1}
+	resp, err := rt.oneShot(target, &req)
+	if err != nil {
+		return fmt.Errorf("netga: promote %s: %w", target, err)
+	}
+	epoch := startEpoch + 1
+	if resp.Status != statusOK {
+		if resp.SEpoch <= startEpoch {
+			return fmt.Errorf("netga: promote %s rejected: %s", target, resp.Msg)
+		}
+		// Already promoted at a higher fence (a retried promotion that
+		// lost its ack): adopt it.
+		epoch = resp.SEpoch
+	}
+	rt.mu.Lock()
+	s = &rt.slots[slot]
+	if s.addr == startAddr && s.epoch <= epoch {
+		s.addr = target
+		s.standby = "" // consumed; a fresh standby may be learned later
+		s.epoch = epoch
+		s.fails = 0
+	}
+	rt.mu.Unlock()
+	rt.rpc.AddFailover()
+	return nil
+}
+
+// lookupStandby asks the other live servers for the membership map and
+// returns slot's standby address ("" if nobody knows one). Learned
+// standbys for all slots are cached along the way.
+func (rt *Router) lookupStandby(slot int) string {
+	rt.mu.Lock()
+	addrs := make([]string, len(rt.slots))
+	for i := range rt.slots {
+		addrs[i] = rt.slots[i].addr
+	}
+	rt.mu.Unlock()
+	for i, addr := range addrs {
+		if i == slot {
+			continue // that one is the server we just lost
+		}
+		resp, err := rt.oneShot(addr, &request{Op: opMembership})
+		if err != nil || resp.Status != statusOK {
+			continue
+		}
+		var m Membership
+		if json.Unmarshal([]byte(resp.Msg), &m) != nil {
+			continue
+		}
+		rt.mu.Lock()
+		for k := range rt.slots {
+			if rt.slots[k].standby == "" && k < len(m.Standbys) {
+				rt.slots[k].standby = m.Standbys[k]
+			}
+		}
+		found := rt.slots[slot].standby
+		rt.mu.Unlock()
+		if found != "" {
+			return found
+		}
+	}
+	return ""
+}
+
+// oneShot runs a single RPC on a throwaway conn (the promotion and
+// membership path must not depend on the pooled conns to a possibly-dead
+// server).
+func (rt *Router) oneShot(addr string, req *request) (*response, error) {
+	conn, err := net.DialTimeout("tcp", addr, rt.opTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(rt.opTimeout))
+	req.ReqID = 1
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, encodeRequest(nil, req)); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	body, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := decodeResponse(body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

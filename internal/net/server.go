@@ -2,36 +2,129 @@ package netga
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gtfock/internal/dist"
 )
 
 // Server hosts the D and F shards of a subset of the process grid's
 // blocks and serves framed one-sided RPCs over TCP. It is deliberately
-// fence-oblivious: epoch fencing is enforced client-side in the driver
-// process, where the lease ledger lives; the server's job is idempotent
-// application (token dedup) so at-least-once delivery from retrying
-// clients becomes exactly-once accumulation.
+// fence-oblivious about *worker* epochs: that fencing is enforced
+// client-side in the driver process, where the lease ledger lives; the
+// server's job is idempotent application (token dedup) so at-least-once
+// delivery from retrying clients becomes exactly-once accumulation.
+//
+// Two orthogonal robustness layers sit on top (DESIGN.md §9):
+//
+//   - Durability: with WithDurability, every applied mutation is
+//     journaled (write-ahead, fsynced before ack) and periodically
+//     snapshotted, so a killed-and-restarted server replays to the state
+//     of its crash — same arrays, same session, same dedup sets — and
+//     the existing session resumes instead of resetting.
+//   - Failover: with WithStandby, the server runs as a hot standby of a
+//     primary, applying its replication stream (semi-sync: the primary
+//     acks a client only after the standby acked the record). A client
+//     that loses the primary promotes the standby with an epoch-fenced
+//     opPromote; *shard* epochs travel on every request so a superseded
+//     primary can never serve or double-apply after the fence.
 type Server struct {
 	grid  *dist.Grid2D
 	hosts map[int]bool
 
-	mu      sync.Mutex
-	session uint64
-	seen    map[uint64]bool // applied Acc tokens of the current session
-	arrays  [numArrays][]float64
-	locks   []sync.Mutex // per-proc patch locks
-	conns   map[net.Conn]bool
-	closed  bool
+	mu       sync.Mutex
+	session  uint64
+	seenCur  map[uint64]bool // applied Acc tokens since the last checkpoint
+	seenPrev map[uint64]bool // tokens of the previous checkpoint generation
+	ckptGen  uint64          // dedup eviction generation counter
+	arrays   [numArrays][]float64
+	locks    []sync.Mutex // per-proc patch locks
+	conns    map[net.Conn]bool
+	closed   bool
+	draining bool
 
-	ln net.Listener
-	wg sync.WaitGroup
+	// Role and shard fence epoch: written under mu, read lock-free.
+	epoch   atomic.Uint64
+	standby atomic.Bool
+
+	// Durability state (jr == nil: volatile server).
+	dir           string
+	snapshotEvery int
+	nosync        bool
+	jr            *journal
+	seq           uint64 // last assigned record sequence number (under mu)
+	sinceSnap     int    // journaled records since the last snapshot (under mu)
+	applyWG       sync.WaitGroup
+
+	// Replication state.
+	primaryAddr string      // non-empty: start as a standby of this primary
+	sub         *subscriber // connected downstream standby (under mu)
+	stdbyStop   chan struct{}
+	stdbyConn   net.Conn // standby side: live subscription conn (under mu)
+	membership  *Membership
+
+	ln       net.Listener
+	boundTo  string
+	wg       sync.WaitGroup
+	inflight atomic.Int64 // requests currently being handled (drain)
 
 	requests, accApplied, accDups, sessions, rejects atomic.Int64
+	journalRecords, replayed, snapshots              atomic.Int64
+	promotions, checkpoints, tokensEvicted           atomic.Int64
+	fencedOps, replSent, replApplied                 atomic.Int64
+}
+
+// Membership is the small cluster map every fockd can serve: the primary
+// address per server slot, and the standby (if any) per slot. A client
+// that exhausts its retry budget against a primary asks any live server
+// for this map to locate the standby it should promote.
+type Membership struct {
+	Primaries []string `json:"primaries"`
+	Standbys  []string `json:"standbys,omitempty"`
+}
+
+// ServerOption configures a Server at construction.
+type ServerOption func(*Server)
+
+// WithDurability enables the write-ahead journal and periodic snapshots
+// in dir (created if missing). snapshotEvery is the number of journaled
+// records between snapshots; 0 picks a default, negative disables
+// snapshots (journal-only).
+func WithDurability(dir string, snapshotEvery int) ServerOption {
+	return func(s *Server) {
+		s.dir = dir
+		if snapshotEvery == 0 {
+			snapshotEvery = 4096
+		}
+		s.snapshotEvery = snapshotEvery
+	}
+}
+
+// WithNoSync skips fsync on journal appends and snapshots. Only for
+// tests: it trades crash-durability on a real power loss for speed, while
+// keeping the in-process kill/restart semantics exact.
+func WithNoSync() ServerOption {
+	return func(s *Server) { s.nosync = true }
+}
+
+// WithStandby starts the server as a hot standby replicating from the
+// primary at addr. A standby rejects client operations (statusRetry)
+// until promoted by an epoch-fenced opPromote.
+func WithStandby(addr string) ServerOption {
+	return func(s *Server) {
+		s.primaryAddr = addr
+		s.standby.Store(true)
+	}
+}
+
+// WithMembership installs the cluster map served to opMembership queries.
+func WithMembership(m Membership) ServerOption {
+	return func(s *Server) { s.membership = &m }
 }
 
 // ServerStats is a point-in-time counter snapshot.
@@ -41,37 +134,72 @@ type ServerStats struct {
 	AccDups    int64 `json:"acc_dups"` // retried/duplicated Accs absorbed by token dedup
 	Sessions   int64 `json:"sessions"`
 	Rejects    int64 `json:"rejects"` // statusErr responses sent
+
+	Epoch   uint64 `json:"epoch"`             // shard fence epoch
+	Standby bool   `json:"standby,omitempty"` // still a standby (not promoted)
+
+	JournalRecords int64 `json:"journal_records,omitempty"` // records appended this incarnation
+	Replayed       int64 `json:"replayed,omitempty"`        // records replayed at recovery
+	Snapshots      int64 `json:"snapshots,omitempty"`
+	Promotions     int64 `json:"promotions,omitempty"`
+	Checkpoints    int64 `json:"checkpoints,omitempty"` // dedup eviction generations advanced
+	TokensLive     int64 `json:"tokens_live"`           // dedup tokens currently held
+	TokensEvicted  int64 `json:"tokens_evicted,omitempty"`
+	FencedOps      int64 `json:"fenced_ops,omitempty"` // ops rejected by the shard-epoch fence
+	ReplSent       int64 `json:"repl_sent,omitempty"`  // records forwarded to the standby
+	ReplApplied    int64 `json:"repl_applied,omitempty"`
 }
 
 // NewServer creates a server for the blocks of the given procs. The
 // backing store covers the full matrix for indexing simplicity; only the
 // hosted patches are ever addressed (requests for other owners are
 // rejected, catching routing bugs instead of serving zeros).
-func NewServer(grid *dist.Grid2D, procs []int) *Server {
+func NewServer(grid *dist.Grid2D, procs []int, opts ...ServerOption) *Server {
 	s := &Server{
-		grid:  grid,
-		hosts: map[int]bool{},
-		seen:  map[uint64]bool{},
-		locks: make([]sync.Mutex, grid.NumProcs()),
-		conns: map[net.Conn]bool{},
+		grid:     grid,
+		hosts:    map[int]bool{},
+		seenCur:  map[uint64]bool{},
+		seenPrev: map[uint64]bool{},
+		locks:    make([]sync.Mutex, grid.NumProcs()),
+		conns:    map[net.Conn]bool{},
 	}
+	s.epoch.Store(1)
 	for _, p := range procs {
 		s.hosts[p] = true
 	}
 	for a := range s.arrays {
 		s.arrays[a] = make([]float64, grid.Rows*grid.Cols)
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	return s
 }
 
-// Start listens on addr (e.g. "127.0.0.1:0") and serves in background
-// goroutines until Close. It returns the bound address.
+// Start recovers durable state (if configured), listens on addr (e.g.
+// "127.0.0.1:0"), and serves in background goroutines until Close,
+// Shutdown or Kill. It returns the bound address.
 func (s *Server) Start(addr string) (string, error) {
+	if s.dir != "" {
+		if err := s.recover(); err != nil {
+			return "", err
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if s.jr != nil {
+			s.jr.close()
+			s.jr = nil
+		}
 		return "", err
 	}
 	s.ln = ln
+	s.boundTo = ln.Addr().String()
+	if s.primaryAddr != "" {
+		s.stdbyStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.runStandby(s.stdbyStop)
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -81,7 +209,7 @@ func (s *Server) Start(addr string) (string, error) {
 				return // listener closed
 			}
 			s.mu.Lock()
-			if s.closed {
+			if s.closed || s.draining {
 				s.mu.Unlock()
 				conn.Close()
 				return
@@ -95,46 +223,340 @@ func (s *Server) Start(addr string) (string, error) {
 			}()
 		}
 	}()
-	return ln.Addr().String(), nil
+	return s.boundTo, nil
 }
 
-// Close stops the listener, tears down every live conn, and waits for
-// the handler goroutines to exit.
+// recover loads the latest snapshot and replays the journal suffix,
+// reconstructing the exact pre-crash state, then opens the journal for
+// appending. Called by Start before the listener binds.
+func (s *Server) recover() error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	snap, err := loadSnapshot(s.dir)
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		if snap.Rows != s.grid.Rows || snap.Cols != s.grid.Cols {
+			return fmt.Errorf("netga: snapshot geometry %dx%d, server grid %dx%d",
+				snap.Rows, snap.Cols, s.grid.Rows, s.grid.Cols)
+		}
+		s.session = snap.Session
+		s.epoch.Store(snap.Epoch)
+		s.standby.Store(snap.Standby && s.primaryAddr != "")
+		s.seq = snap.Seq
+		s.ckptGen = snap.Checkpoint
+		for a := range s.arrays {
+			copy(s.arrays[a], snap.Arrays[a])
+		}
+		s.seenCur = tokenSet(snap.SeenCur)
+		s.seenPrev = tokenSet(snap.SeenPrev)
+	}
+	base := s.seq
+	_, err = replayJournal(s.dir, func(seq uint64, req *request) error {
+		if seq <= base {
+			return nil // covered by the snapshot
+		}
+		s.applyRecord(req)
+		s.seq = seq
+		s.replayed.Add(1)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.jr, err = openJournal(s.dir, s.nosync)
+	return err
+}
+
+func tokenSet(tokens []uint64) map[uint64]bool {
+	m := make(map[uint64]bool, len(tokens))
+	for _, t := range tokens {
+		m[t] = true
+	}
+	return m
+}
+
+func tokenList(m map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	return out
+}
+
+// applyRecord applies one journal/replication record to the in-memory
+// state. It does NOT journal (recovery replays existing records; the
+// standby journals before applying). Token dedup is re-checked so replay
+// across a snapshot boundary and duplicated stream delivery stay
+// exactly-once.
+func (s *Server) applyRecord(req *request) {
+	switch req.Op {
+	case opHello:
+		s.mu.Lock()
+		s.session = req.Session
+		s.seenCur = map[uint64]bool{}
+		s.seenPrev = map[uint64]bool{}
+		s.zeroArraysLocked()
+		s.mu.Unlock()
+	case opCheckpoint:
+		s.mu.Lock()
+		s.rotateDedupLocked()
+		s.mu.Unlock()
+	case opPromote:
+		s.mu.Lock()
+		s.epoch.Store(req.SEpoch)
+		s.standby.Store(false)
+		s.mu.Unlock()
+	case opPut:
+		s.applyPatch(req)
+	case opAcc:
+		if req.Token != 0 {
+			s.mu.Lock()
+			if s.seenCur[req.Token] || s.seenPrev[req.Token] {
+				s.mu.Unlock()
+				return
+			}
+			s.seenCur[req.Token] = true
+			s.mu.Unlock()
+		}
+		s.applyPatch(req)
+	}
+}
+
+// zeroArraysLocked clears both shard arrays. Caller holds s.mu; the
+// per-proc locks are taken so concurrent Gets never see a torn reset.
+func (s *Server) zeroArraysLocked() {
+	for p := range s.locks {
+		s.locks[p].Lock()
+	}
+	for a := range s.arrays {
+		arr := s.arrays[a]
+		for i := range arr {
+			arr[i] = 0
+		}
+	}
+	for p := range s.locks {
+		s.locks[p].Unlock()
+	}
+}
+
+// rotateDedupLocked advances the dedup eviction generation: the previous
+// generation's tokens are evicted, the current one becomes previous.
+// Tokens are therefore only dropped after a full checkpoint interval —
+// never mid-epoch — so any retry of an op that completed before the
+// checkpoint still hits its token.
+func (s *Server) rotateDedupLocked() {
+	s.tokensEvicted.Add(int64(len(s.seenPrev)))
+	s.seenPrev = s.seenCur
+	s.seenCur = map[uint64]bool{}
+	s.ckptGen++
+	s.checkpoints.Add(1)
+}
+
+// applyPatch lands one Put/Acc payload in the arrays under the owner's
+// patch lock. The caller has validated geometry and ownership.
+func (s *Server) applyPatch(req *request) {
+	r0, r1, c0, c1 := int(req.R0), int(req.R1), int(req.C0), int(req.C1)
+	w := c1 - c0
+	owner := s.grid.Patches(r0, r1, c0, c1)[0].Proc
+	s.locks[owner].Lock()
+	defer s.locks[owner].Unlock()
+	for r := r0; r < r1; r++ {
+		dst := s.arrays[req.Array][r*s.grid.Cols+c0 : r*s.grid.Cols+c1]
+		row := req.Data[(r-r0)*w : (r-r0)*w+w]
+		if req.Op == opPut {
+			copy(dst, row)
+		} else {
+			for i := range dst {
+				dst[i] += req.Alpha * row[i]
+			}
+		}
+	}
+}
+
+// persistLocked makes one mutation durable and replicated: it assigns the
+// next sequence number, appends to the journal (fsynced), and — when
+// replicate is set and a standby is subscribed — forwards the record and
+// waits for the standby's ack (semi-sync). Caller holds s.mu, which is
+// what serializes the journal and the stream into one total order. A
+// journal failure rejects the op (never applied, never acked); a
+// replication failure drops the subscriber and degrades to solo.
+func (s *Server) persistLocked(req *request, replicate bool) error {
+	s.seq++
+	if s.jr != nil {
+		if err := s.jr.append(s.seq, req); err != nil {
+			s.seq--
+			return fmt.Errorf("netga: journal append: %w", err)
+		}
+		s.journalRecords.Add(1)
+		s.sinceSnap++
+	}
+	if replicate && s.sub != nil {
+		if err := s.sub.forward(s.seq, req); err != nil {
+			s.dropSubscriberLocked()
+		} else {
+			s.replSent.Add(1)
+		}
+	}
+	return nil
+}
+
+// maybeSnapshot takes a snapshot when enough records accumulated since
+// the last one, then truncates the journal it covers.
+func (s *Server) maybeSnapshot() {
+	if s.jr == nil || s.snapshotEvery <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.sinceSnap >= s.snapshotEvery {
+		s.snapshotLocked()
+	}
+	s.mu.Unlock()
+}
+
+// snapshotLocked writes an atomic snapshot at the current journal
+// position and truncates the journal. Caller holds s.mu; in-flight array
+// applies are drained first so the arrays match the sequence number.
+func (s *Server) snapshotLocked() {
+	if s.jr == nil {
+		return
+	}
+	s.applyWG.Wait()
+	st := s.snapshotStateLocked()
+	if err := saveSnapshot(s.dir, st, s.nosync); err != nil {
+		return // keep journaling; the next threshold retries
+	}
+	s.jr.reset()
+	s.sinceSnap = 0
+	s.snapshots.Add(1)
+}
+
+// snapshotStateLocked captures the current state. Caller holds s.mu and
+// has drained applyWG.
+func (s *Server) snapshotStateLocked() *snapshotState {
+	st := &snapshotState{
+		Version: snapshotVersion,
+		Session: s.session,
+		Epoch:   s.epoch.Load(),
+		Standby: s.standby.Load(),
+		Rows:    s.grid.Rows, Cols: s.grid.Cols,
+		Seq:        s.seq,
+		SeenCur:    tokenList(s.seenCur),
+		SeenPrev:   tokenList(s.seenPrev),
+		Checkpoint: s.ckptGen,
+	}
+	for a := range s.arrays {
+		st.Arrays[a] = append([]float64(nil), s.arrays[a]...)
+	}
+	return st
+}
+
+// Close abruptly stops the server: listener and conns are torn down and
+// goroutines joined, but no final snapshot is taken — exactly the state a
+// SIGKILL leaves behind. Durable servers recover from the journal; Kill
+// is an alias that makes chaos-test intent explicit.
 func (s *Server) Close() {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
 	s.closed = true
 	for c := range s.conns {
 		c.Close()
 	}
+	s.dropSubscriberLocked()
+	if s.stdbyConn != nil {
+		s.stdbyConn.Close()
+	}
+	stop := s.stdbyStop
+	s.stdbyStop = nil
 	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
 	if s.ln != nil {
 		s.ln.Close()
 	}
 	s.wg.Wait()
+	s.mu.Lock()
+	if s.jr != nil {
+		s.jr.close()
+		s.jr = nil
+	}
+	s.mu.Unlock()
+}
+
+// Kill is Close under its chaos-test name: a SIGKILL stand-in. Anything
+// journaled survives; everything else is lost.
+func (s *Server) Kill() { s.Close() }
+
+// Shutdown is the graceful counterpart for rolling restarts: it stops
+// accepting, drains in-flight requests (bounded by wait), flushes a final
+// snapshot so the next start needs no journal replay, and closes every
+// listener and conn. Safe to call from a signal handler.
+func (s *Server) Shutdown(wait time.Duration) {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	deadline := time.Now().Add(wait)
+	for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.mu.Lock()
+	if s.jr != nil {
+		s.snapshotLocked()
+	}
+	s.mu.Unlock()
+	s.Close()
 }
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	live := int64(len(s.seenCur) + len(s.seenPrev))
+	s.mu.Unlock()
 	return ServerStats{
 		Requests:   s.requests.Load(),
 		AccApplied: s.accApplied.Load(),
 		AccDups:    s.accDups.Load(),
 		Sessions:   s.sessions.Load(),
 		Rejects:    s.rejects.Load(),
+
+		Epoch:   s.epoch.Load(),
+		Standby: s.standby.Load(),
+
+		JournalRecords: s.journalRecords.Load(),
+		Replayed:       s.replayed.Load(),
+		Snapshots:      s.snapshots.Load(),
+		Promotions:     s.promotions.Load(),
+		Checkpoints:    s.checkpoints.Load(),
+		TokensLive:     live,
+		TokensEvicted:  s.tokensEvicted.Load(),
+		FencedOps:      s.fencedOps.Load(),
+		ReplSent:       s.replSent.Load(),
+		ReplApplied:    s.replApplied.Load(),
 	}
 }
 
 // Addr returns the bound address (valid after Start).
-func (s *Server) Addr() string {
-	if s.ln == nil {
-		return ""
-	}
-	return s.ln.Addr().String()
-}
+func (s *Server) Addr() string { return s.boundTo }
 
 func (s *Server) serveConn(conn net.Conn) {
+	hijacked := false
 	defer func() {
-		conn.Close()
+		if !hijacked {
+			conn.Close()
+		}
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -151,9 +573,22 @@ func (s *Server) serveConn(conn net.Conn) {
 		var resp response
 		if err := decodeRequest(body, &req); err != nil {
 			resp = response{Status: statusErr, Msg: err.Error()}
+		} else if req.Op == opSubscribe {
+			// The conn becomes a replication stream owned by the
+			// subscription; this goroutine hands it over and exits.
+			hijacked = s.serveSubscribe(conn, br, bw, &req)
+			if hijacked {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}
+			return
 		} else {
+			s.inflight.Add(1)
 			resp = s.handle(&req)
+			s.inflight.Add(-1)
 		}
+		resp.SEpoch = s.epoch.Load()
 		if resp.Status == statusErr {
 			s.rejects.Add(1)
 		}
@@ -164,6 +599,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := bw.Flush(); err != nil {
 			return
 		}
+		s.mu.Lock()
+		drain := s.draining
+		s.mu.Unlock()
+		if drain {
+			return
+		}
 	}
 }
 
@@ -171,13 +612,37 @@ func errResp(reqID uint64, format string, args ...any) response {
 	return response{Status: statusErr, ReqID: reqID, Msg: fmt.Sprintf(format, args...)}
 }
 
+// retryResp is a transient rejection: the client should resync its view
+// (the response carries the server's shard epoch) and retry, not abort.
+func retryResp(reqID uint64, format string, args ...any) response {
+	return response{Status: statusRetry, ReqID: reqID, Msg: fmt.Sprintf(format, args...)}
+}
+
 func (s *Server) handle(req *request) response {
 	s.requests.Add(1)
-	if req.Op == opHello {
+	switch req.Op {
+	case opHello:
 		return s.hello(req)
-	}
-	if req.Op == opPing {
+	case opPing:
 		return response{ReqID: req.ReqID}
+	case opMembership:
+		return s.membershipResp(req)
+	case opPromote:
+		return s.promote(req)
+	case opCheckpoint:
+		return s.checkpoint(req)
+	}
+
+	// Data ops: role, shard-epoch fence, then session.
+	if s.standby.Load() {
+		return retryResp(req.ReqID, "netga: standby of %s: not promoted", s.primaryAddr)
+	}
+	if cur := s.epoch.Load(); req.SEpoch != 0 && req.SEpoch != cur {
+		s.fencedOps.Add(1)
+		if req.SEpoch > cur {
+			return retryResp(req.ReqID, "netga: shard superseded (epoch %d > %d)", req.SEpoch, cur)
+		}
+		return retryResp(req.ReqID, "netga: stale shard epoch %d (now %d)", req.SEpoch, cur)
 	}
 	s.mu.Lock()
 	sessionOK := s.session != 0 && req.Session == s.session
@@ -212,49 +677,51 @@ func (s *Server) handle(req *request) response {
 		}
 		s.locks[owner].Unlock()
 		return response{ReqID: req.ReqID, Data: data}
-	case opPut:
+	case opPut, opAcc:
 		if len(req.Data) != (r1-r0)*w {
-			return errResp(req.ReqID, "netga: put payload %d values, want %d", len(req.Data), (r1-r0)*w)
+			return errResp(req.ReqID, "netga: payload %d values, want %d", len(req.Data), (r1-r0)*w)
 		}
-		s.locks[owner].Lock()
-		for r := r0; r < r1; r++ {
-			copy(s.arrays[req.Array][r*s.grid.Cols+c0:r*s.grid.Cols+c1], req.Data[(r-r0)*w:(r-r0)*w+w])
-		}
-		s.locks[owner].Unlock()
-		return response{ReqID: req.ReqID}
-	case opAcc:
-		if len(req.Data) != (r1-r0)*w {
-			return errResp(req.ReqID, "netga: acc payload %d values, want %d", len(req.Data), (r1-r0)*w)
-		}
-		if req.Token != 0 {
-			s.mu.Lock()
-			if s.seen[req.Token] {
-				s.mu.Unlock()
-				s.accDups.Add(1)
-				return response{ReqID: req.ReqID, Dup: 1}
-			}
-			s.seen[req.Token] = true
-			s.mu.Unlock()
-		}
-		s.locks[owner].Lock()
-		for r := r0; r < r1; r++ {
-			dst := s.arrays[req.Array][r*s.grid.Cols+c0 : r*s.grid.Cols+c1]
-			row := req.Data[(r-r0)*w : (r-r0)*w+w]
-			for i := range dst {
-				dst[i] += req.Alpha * row[i]
-			}
-		}
-		s.locks[owner].Unlock()
-		s.accApplied.Add(1)
-		return response{ReqID: req.ReqID}
+		return s.applyOp(req)
 	}
 	return errResp(req.ReqID, "netga: unknown op %d", req.Op)
 }
 
+// applyOp is the write path shared by Put and Acc: dedup check, journal
+// append and standby forward under s.mu (write-ahead: the record is
+// durable and replicated before the token becomes visible or the client
+// is acked), then the array mutation under the owner's patch lock.
+func (s *Server) applyOp(req *request) response {
+	s.mu.Lock()
+	if req.Op == opAcc && req.Token != 0 && (s.seenCur[req.Token] || s.seenPrev[req.Token]) {
+		s.mu.Unlock()
+		s.accDups.Add(1)
+		return response{ReqID: req.ReqID, Dup: 1}
+	}
+	if err := s.persistLocked(req, true); err != nil {
+		s.mu.Unlock()
+		return errResp(req.ReqID, "%v", err)
+	}
+	if req.Op == opAcc && req.Token != 0 {
+		s.seenCur[req.Token] = true
+	}
+	s.applyWG.Add(1)
+	s.mu.Unlock()
+
+	s.applyPatch(req)
+	s.applyWG.Done()
+	if req.Op == opAcc {
+		s.accApplied.Add(1)
+	}
+	s.maybeSnapshot()
+	return response{ReqID: req.ReqID}
+}
+
 // hello installs or validates a session. A session id the server has not
-// seen resets the arrays and the dedup state (a new build); re-Hello
-// with the current session (a reconnecting client) validates and changes
-// nothing. Geometry travels in R0=Rows, C0=Cols.
+// seen resets the arrays, the dedup state and the journal (a new build);
+// re-Hello with the current session — a reconnecting client, or one
+// rejoining a recovered server — validates and changes nothing, which is
+// what lets a restarted shard resume the build instead of restarting it.
+// Geometry travels in R0=Rows, C0=Cols.
 func (s *Server) hello(req *request) response {
 	if int(req.R0) != s.grid.Rows || int(req.C0) != s.grid.Cols {
 		return errResp(req.ReqID, "netga: geometry mismatch: client %dx%d, server %dx%d",
@@ -263,19 +730,107 @@ func (s *Server) hello(req *request) response {
 	if req.Session == 0 {
 		return errResp(req.ReqID, "netga: session id must be nonzero")
 	}
+	if s.standby.Load() {
+		return retryResp(req.ReqID, "netga: standby of %s: not promoted", s.primaryAddr)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if req.Session != s.session {
-		s.session = req.Session
-		s.seen = map[uint64]bool{}
-		for a := range s.arrays {
-			arr := s.arrays[a]
-			for i := range arr {
-				arr[i] = 0
-			}
+		s.applyWG.Wait()
+		if s.jr != nil {
+			// The old session's history is dead; the install record is the
+			// first entry of the fresh journal (seq keeps increasing so a
+			// stale snapshot plus the new journal still replays correctly).
+			s.jr.reset()
+			s.sinceSnap = 0
 		}
+		rec := request{Op: opHello, Session: req.Session, R0: req.R0, C0: req.C0, SEpoch: s.epoch.Load()}
+		if err := s.persistLocked(&rec, true); err != nil {
+			return errResp(req.ReqID, "%v", err)
+		}
+		s.session = req.Session
+		s.seenCur = map[uint64]bool{}
+		s.seenPrev = map[uint64]bool{}
+		s.zeroArraysLocked()
 		s.sessions.Add(1)
 	}
+	return response{ReqID: req.ReqID}
+}
+
+// checkpoint advances the dedup eviction generation (driver-issued at a
+// session checkpoint, e.g. an SCF iteration boundary — never mid-build):
+// tokens that have survived one full generation are evicted, bounding the
+// dedup table over long SCF runs.
+func (s *Server) checkpoint(req *request) response {
+	if s.standby.Load() {
+		return retryResp(req.ReqID, "netga: standby of %s: not promoted", s.primaryAddr)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.session == 0 || req.Session != s.session {
+		return errResp(req.ReqID, "netga: unknown session %d", req.Session)
+	}
+	rec := request{Op: opCheckpoint, Session: req.Session}
+	if err := s.persistLocked(&rec, true); err != nil {
+		return errResp(req.ReqID, "%v", err)
+	}
+	s.rotateDedupLocked()
+	return response{ReqID: req.ReqID}
+}
+
+// membershipResp serves the cluster map, if one was configured.
+func (s *Server) membershipResp(req *request) response {
+	s.mu.Lock()
+	m := s.membership
+	s.mu.Unlock()
+	if m == nil {
+		return errResp(req.ReqID, "netga: no membership configured")
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		return errResp(req.ReqID, "netga: membership: %v", err)
+	}
+	return response{ReqID: req.ReqID, Msg: string(blob)}
+}
+
+// SetMembership replaces the served cluster map at runtime (tests, or a
+// deployment tool updating the gossip seed).
+func (s *Server) SetMembership(m Membership) {
+	s.mu.Lock()
+	s.membership = &m
+	s.mu.Unlock()
+}
+
+// promote handles the epoch-fenced role transition. A standby becomes the
+// serving primary at the fence epoch; the same epoch retried is
+// acknowledged idempotently; a stale epoch is rejected outright. The
+// promotion is journaled before the role flips so a restarted promoted
+// standby comes back as a primary, and the subscription to the (dead)
+// old primary is severed so a zombie cannot stream into a promoted shard.
+func (s *Server) promote(req *request) response {
+	if req.SEpoch == 0 {
+		return errResp(req.ReqID, "netga: promote requires a fence epoch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.epoch.Load()
+	if req.SEpoch < cur || (req.SEpoch == cur && s.standby.Load()) {
+		return errResp(req.ReqID, "netga: stale promotion epoch %d (shard at %d)", req.SEpoch, cur)
+	}
+	if req.SEpoch == cur {
+		return response{ReqID: req.ReqID} // idempotent retry of a done promotion
+	}
+	rec := request{Op: opPromote, SEpoch: req.SEpoch}
+	if err := s.persistLocked(&rec, false); err != nil {
+		return errResp(req.ReqID, "%v", err)
+	}
+	s.epoch.Store(req.SEpoch)
+	wasStandby := s.standby.Load()
+	s.standby.Store(false)
+	if wasStandby && s.stdbyConn != nil {
+		s.stdbyConn.Close() // sever the stream from the old primary
+	}
+	s.promotions.Add(1)
 	return response{ReqID: req.ReqID}
 }
 

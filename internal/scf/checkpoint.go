@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 
 	"gtfock/internal/linalg"
 )
@@ -26,10 +27,17 @@ type Checkpoint struct {
 
 const checkpointVersion = 1
 
-// Save writes the checkpoint to path atomically: the gob goes to a
-// temporary file in the same directory which is then renamed over path,
-// so a crash mid-write never leaves a torn checkpoint where a previous
-// valid one stood.
+// PrevSuffix is appended to a checkpoint path to name the previous
+// generation kept as the fallback for a corrupted or torn latest file.
+const PrevSuffix = ".prev"
+
+// Save writes the checkpoint to path atomically and durably: the gob
+// goes to a temporary file in the same directory, the temp file is
+// fsynced before the rename and the directory is fsynced after it, so a
+// crash — including a power loss — never leaves a torn checkpoint where
+// a previous valid one stood. The previous checkpoint is rotated to
+// path+PrevSuffix first, so one older generation always survives even if
+// the latest write is interrupted at the worst moment.
 func (ck *Checkpoint) Save(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -41,15 +49,36 @@ func (ck *Checkpoint) Save(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
+	}
+	// Rotate the current checkpoint to the fallback slot (best-effort: on
+	// the first save there is nothing to rotate).
+	if _, serr := os.Stat(path); serr == nil {
+		os.Rename(path, path+PrevSuffix)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs the directory holding a checkpoint so the renames are
+// durable, not just ordered.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // SaveCheckpoint writes the SCF state of res to path (gob encoding,
@@ -105,6 +134,24 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		}
 	}
 	return &ck, nil
+}
+
+// LoadCheckpointFallback reads the checkpoint at path, falling back to
+// the previous generation (path+PrevSuffix) when the latest file is
+// missing, torn, or fails validation — a crash mid-save then costs one
+// SCF iteration instead of the whole run. Only when neither generation
+// is usable is the latest error returned (an os.ErrNotExist from both
+// means a cold start).
+func LoadCheckpointFallback(path string) (*Checkpoint, error) {
+	ck, err := LoadCheckpoint(path)
+	if err == nil {
+		return ck, nil
+	}
+	prev, perr := LoadCheckpoint(path + PrevSuffix)
+	if perr == nil {
+		return prev, nil
+	}
+	return nil, err
 }
 
 // Fock reconstructs the checkpointed Fock matrix.

@@ -215,8 +215,76 @@ func TestCheckpointPathSavesEachIteration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 {
-		t.Fatalf("expected only the checkpoint in %s, found %d entries", dir, len(entries))
+	for _, e := range entries {
+		if n := e.Name(); n != filepath.Base(path) && n != filepath.Base(path)+PrevSuffix {
+			t.Fatalf("unexpected residue %q in %s", n, dir)
+		}
+	}
+	// Multiple iterations ran, so the previous generation must have been
+	// rotated into the fallback slot.
+	if _, err := LoadCheckpoint(path + PrevSuffix); err != nil {
+		t.Fatalf("no valid previous-generation checkpoint: %v", err)
+	}
+}
+
+// A torn or corrupted latest checkpoint must fall back to the previous
+// generation — losing one iteration, not the run.
+func TestLoadCheckpointFallback(t *testing.T) {
+	mol := chem.Methane()
+	res, err := RunHF(mol, Options{BasisName: "sto-3g"})
+	if err != nil || !res.Converged {
+		t.Fatal("setup SCF failed")
+	}
+	path := filepath.Join(t.TempDir(), "fb.ckpt")
+
+	// Two generations: iteration 7 rotated to .prev, iteration 8 latest.
+	ck := Checkpoint{
+		Version: checkpointVersion, Formula: "CH4", BasisName: "sto-3g",
+		NumFuncs: res.Basis.NumFuncs, Iter: 7, Energy: res.Energy,
+		FData: append([]float64(nil), res.F.Data...),
+		DData: append([]float64(nil), res.D.Data...),
+	}
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ck.Iter = 8
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpointFallback(path)
+	if err != nil || got.Iter != 8 {
+		t.Fatalf("healthy fallback load: iter=%v err=%v, want 8", got, err)
+	}
+
+	// Truncate the latest (a crash mid-write that somehow survived the
+	// atomic rename discipline): fallback returns iteration 7.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadCheckpointFallback(path)
+	if err != nil {
+		t.Fatalf("fallback after truncation: %v", err)
+	}
+	if got.Iter != 7 {
+		t.Fatalf("fallback loaded iter %d, want previous generation 7", got.Iter)
+	}
+
+	// Both generations corrupt: the latest error surfaces.
+	if err := os.WriteFile(path+PrevSuffix, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpointFallback(path); err == nil {
+		t.Fatal("expected error when both generations are corrupt")
+	}
+
+	// Neither generation exists: os.ErrNotExist, the cold-start signal.
+	missing := filepath.Join(t.TempDir(), "none.ckpt")
+	if _, err := LoadCheckpointFallback(missing); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing checkpoints: %v, want os.ErrNotExist", err)
 	}
 }
 
