@@ -158,8 +158,11 @@ func (c *Client) charge(proc, r0, r1, c0, c1 int) {
 // connPool keeps idle conns to one shard slot. Any conn that sees an
 // error is discarded, so an idle conn never has residue of a previous
 // RPC. The slot's address is re-resolved through the router on every
-// checkout, so a failover drains the old primary's conns and dials the
-// promoted standby with no pool surgery.
+// checkout AND checkin — under the pool lock, so two racing gets cannot
+// regress curAddr — and every conn remembers the address it was dialed
+// to, so a conn to a superseded primary checked out across a failover is
+// closed on return instead of re-entering the pool and being handed out
+// against the wrong server forever.
 type connPool struct {
 	router  *Router
 	slot    int
@@ -168,14 +171,21 @@ type connPool struct {
 
 	mu        sync.Mutex
 	curAddr   string
-	idle      []net.Conn
+	idle      []*pooledConn
 	discarded int64
 	closed    bool
 }
 
-func (p *connPool) get() (net.Conn, error) {
+// pooledConn ties a conn to the address it was dialed to.
+type pooledConn struct {
+	net.Conn
+	addr string
+}
+
+// syncAddrLocked refreshes curAddr from the router, draining idle conns
+// to a stale address. Caller holds p.mu.
+func (p *connPool) syncAddrLocked() string {
 	addr := p.router.addr(p.slot)
-	p.mu.Lock()
 	if addr != p.curAddr {
 		for _, c := range p.idle {
 			c.Close()
@@ -183,6 +193,12 @@ func (p *connPool) get() (net.Conn, error) {
 		p.idle = nil
 		p.curAddr = addr
 	}
+	return addr
+}
+
+func (p *connPool) get() (*pooledConn, error) {
+	p.mu.Lock()
+	addr := p.syncAddrLocked()
 	if n := len(p.idle); n > 0 {
 		conn := p.idle[n-1]
 		p.idle = p.idle[:n-1]
@@ -200,12 +216,13 @@ func (p *connPool) get() (net.Conn, error) {
 	} else {
 		p.rpc.AddDial()
 	}
-	return conn, nil
+	return &pooledConn{Conn: conn, addr: addr}, nil
 }
 
-func (p *connPool) put(conn net.Conn) {
+func (p *connPool) put(conn *pooledConn) {
 	p.mu.Lock()
-	if p.closed {
+	addr := p.syncAddrLocked()
+	if p.closed || conn.addr != addr {
 		p.mu.Unlock()
 		conn.Close()
 		return
@@ -214,7 +231,7 @@ func (p *connPool) put(conn net.Conn) {
 	p.mu.Unlock()
 }
 
-func (p *connPool) discard(conn net.Conn) {
+func (p *connPool) discard(conn *pooledConn) {
 	conn.Close()
 	p.mu.Lock()
 	p.discarded++

@@ -42,6 +42,8 @@ type journal struct {
 	path   string
 	f      *os.File
 	nosync bool
+	off    int64 // file offset past the last fully appended record
+	failed bool  // a failed append could not be rolled back; log is damaged
 	buf    []byte // reusable encode buffer
 }
 
@@ -52,38 +54,67 @@ func openJournal(dir string, nosync bool) (*journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &journal{path: path, f: f, nosync: nosync}, nil
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &journal{path: path, f: f, nosync: nosync, off: st.Size()}, nil
 }
 
 // append writes one record and syncs it to stable storage. The record is
-// durable when append returns; only then may the server act on it.
+// durable when append returns; only then may the server act on it. A
+// failed append must not leave partial bytes mid-log (the next record
+// would land after them and be lost behind the tear on replay), so on any
+// write or sync error the file is truncated back to the pre-append
+// offset; if even that fails, the journal is marked failed and every
+// subsequent append is rejected rather than appended past the damage.
 func (j *journal) append(seq uint64, req *request) error {
+	if j.failed {
+		return fmt.Errorf("netga: journal %s damaged by an earlier failed append", j.path)
+	}
 	rec := encodeRecord(j.buf, seq, req)
 	j.buf = rec
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(rec)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(rec))
-	if _, err := j.f.Write(hdr[:]); err != nil {
+	err := func() error {
+		if _, err := j.f.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := j.f.Write(rec); err != nil {
+			return err
+		}
+		if j.nosync {
+			return nil
+		}
+		return j.f.Sync()
+	}()
+	if err != nil {
+		if terr := j.f.Truncate(j.off); terr != nil {
+			j.failed = true
+		}
 		return err
 	}
-	if _, err := j.f.Write(rec); err != nil {
-		return err
-	}
-	if j.nosync {
-		return nil
-	}
-	return j.f.Sync()
+	j.off += int64(len(hdr)) + int64(len(rec))
+	return nil
 }
 
 // reset truncates the journal: everything it held is covered by a snapshot
 // (or discarded by a session reset that was itself journaled afterwards).
+// A successful reset also clears the failed flag — an empty log has no
+// damage to append past.
 func (j *journal) reset() error {
 	if err := j.f.Truncate(0); err != nil {
+		j.failed = true
 		return err
 	}
 	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		j.failed = true
 		return err
 	}
+	j.off = 0
+	j.failed = false
 	if j.nosync {
 		return nil
 	}
@@ -94,43 +125,64 @@ func (j *journal) close() error { return j.f.Close() }
 
 // replayJournal streams every intact record of dir's journal to fn in
 // order. A missing journal is an empty one. Replay stops silently at the
-// first torn or corrupt record (crash mid-append); fn errors abort.
-func replayJournal(dir string, fn func(seq uint64, req *request) error) (n int, err error) {
+// first torn or corrupt record (crash mid-append); fn errors abort. good
+// is the byte length of the intact prefix — recovery truncates the file
+// to it so fresh appends extend the intact log instead of landing behind
+// the tear, where replay would never reach them.
+func replayJournal(dir string, fn func(seq uint64, req *request) error) (n int, good int64, err error) {
 	f, err := os.Open(filepath.Join(dir, journalFile))
 	if os.IsNotExist(err) {
-		return 0, nil
+		return 0, 0, nil
 	}
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer f.Close()
 	var hdr [8]byte
 	for {
 		if _, err := io.ReadFull(f, hdr[:]); err != nil {
-			return n, nil // clean EOF or torn header: end of intact log
+			return n, good, nil // clean EOF or torn header: end of intact log
 		}
 		size := binary.LittleEndian.Uint32(hdr[0:])
 		sum := binary.LittleEndian.Uint32(hdr[4:])
 		if size < 8 || size > maxFrame {
-			return n, nil // corrupt length: torn tail
+			return n, good, nil // corrupt length: torn tail
 		}
 		rec := make([]byte, size)
 		if _, err := io.ReadFull(f, rec); err != nil {
-			return n, nil // torn body
+			return n, good, nil // torn body
 		}
 		if crc32.ChecksumIEEE(rec) != sum {
-			return n, nil // bit rot or torn write caught by the checksum
+			return n, good, nil // bit rot or torn write caught by the checksum
 		}
 		var req request
 		seq, derr := decodeRecord(rec, &req)
 		if derr != nil {
-			return n, nil // undecodable yet checksummed: treat as torn
+			return n, good, nil // undecodable yet checksummed: treat as torn
 		}
 		if err := fn(seq, &req); err != nil {
-			return n, err
+			return n, good, err
 		}
 		n++
+		good += int64(len(hdr)) + int64(size)
 	}
+}
+
+// truncateJournal cuts dir's journal back to size bytes, removing a torn
+// tail left by a crash mid-append. A missing journal needs no cut.
+func truncateJournal(dir string, size int64) error {
+	path := filepath.Join(dir, journalFile)
+	st, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if st.Size() <= size {
+		return nil
+	}
+	return os.Truncate(path, size)
 }
 
 // snapshotState is the gob-encoded point-in-time state of one shard

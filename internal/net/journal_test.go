@@ -157,7 +157,7 @@ func TestJournalTornTail(t *testing.T) {
 	jr.close()
 
 	count := func() int {
-		n, err := replayJournal(dir, func(seq uint64, req *request) error { return nil })
+		n, _, err := replayJournal(dir, func(seq uint64, req *request) error { return nil })
 		if err != nil {
 			t.Fatalf("replay: %v", err)
 		}
@@ -190,6 +190,74 @@ func TestJournalTornTail(t *testing.T) {
 	}
 	if got := count(); got != len(reqs)-1 {
 		t.Fatalf("corrupt-tail journal replayed %d records, want %d", got, len(reqs)-1)
+	}
+}
+
+// A torn tail must be cut off at recovery: records appended by the
+// recovered server would otherwise land behind the tear, where replay
+// never reaches them — acked mutations silently dropped on the next
+// restart.
+func TestJournalTornTailTruncatedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := driveServer(t, dir, testRequests(11, 8))
+	s.jr.close()
+	count := func() int {
+		n, _, err := replayJournal(dir, func(uint64, *request) error { return nil })
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		return n
+	}
+	n0 := count()
+	path := filepath.Join(dir, journalFile)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover (losing the torn final record) and append one fresh record.
+	b := driveServer(t, dir, []*request{{
+		Op: opAcc, Array: 0, Session: 42, Token: 900001, Alpha: 1,
+		R0: 0, R1: 1, C0: 0, C1: 1, Data: []float64{1},
+	}})
+	b.jr.close()
+	if got, want := count(), n0; got != want {
+		t.Fatalf("replay after torn-tail recovery + 1 append sees %d records, want %d", got, want)
+	}
+}
+
+// An append that fails and cannot be rolled back must poison the journal:
+// writing further records past the damage would hide them from replay
+// while the server acks them as durable.
+func TestJournalAppendFailureMarksDamage(t *testing.T) {
+	dir := t.TempDir()
+	jr, err := openJournal(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := testRequests(13, 3)
+	for i, r := range reqs {
+		if err := jr.append(uint64(i+1), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jr.f.Close() // the disk goes away mid-run
+	if err := jr.append(uint64(len(reqs)+1), reqs[0]); err == nil {
+		t.Fatal("append on a dead file reported success")
+	}
+	if !jr.failed {
+		t.Fatal("journal not marked failed after an unrollbackable append error")
+	}
+	if err := jr.append(uint64(len(reqs)+2), reqs[0]); err == nil {
+		t.Fatal("append past known damage accepted")
+	}
+	// Everything appended before the failure still replays.
+	n, _, err := replayJournal(dir, func(uint64, *request) error { return nil })
+	if err != nil || n != len(reqs) {
+		t.Fatalf("replay after damage: n=%d err=%v, want %d intact records", n, err, len(reqs))
 	}
 }
 

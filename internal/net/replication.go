@@ -115,6 +115,10 @@ func (s *Server) serveSubscribe(conn net.Conn, br *bufio.Reader, bw *bufio.Write
 	}
 	s.dropSubscriberLocked() // at most one standby; newest wins
 	s.sub = &subscriber{conn: conn, br: br, bw: bw}
+	// From here on this primary never again acks a replicated op without a
+	// live subscriber (see persistLocked): losing the stream could mean
+	// the standby was promoted over us.
+	s.hadStandby = true
 	return true
 }
 
@@ -258,7 +262,13 @@ func (s *Server) installState(st *snapshotState) error {
 		if err := saveSnapshot(s.dir, st, s.nosync); err != nil {
 			return err
 		}
-		s.jr.reset()
+		// The reset must land: stale journal records with seq beyond the
+		// synced snapshot would replay on top of it and corrupt recovery.
+		// Abandoning the stream here makes the reconnect loop retry the
+		// whole state sync.
+		if err := s.jr.reset(); err != nil {
+			return err
+		}
 		s.sinceSnap = 0
 		s.snapshots.Add(1)
 	}

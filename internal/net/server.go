@@ -3,6 +3,7 @@ package netga
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -64,6 +65,7 @@ type Server struct {
 	// Replication state.
 	primaryAddr string      // non-empty: start as a standby of this primary
 	sub         *subscriber // connected downstream standby (under mu)
+	hadStandby  bool        // a standby has subscribed at least once (under mu)
 	stdbyStop   chan struct{}
 	stdbyConn   net.Conn // standby side: live subscription conn (under mu)
 	membership  *Membership
@@ -254,7 +256,7 @@ func (s *Server) recover() error {
 		s.seenPrev = tokenSet(snap.SeenPrev)
 	}
 	base := s.seq
-	_, err = replayJournal(s.dir, func(seq uint64, req *request) error {
+	_, good, err := replayJournal(s.dir, func(seq uint64, req *request) error {
 		if seq <= base {
 			return nil // covered by the snapshot
 		}
@@ -264,6 +266,9 @@ func (s *Server) recover() error {
 		return nil
 	})
 	if err != nil {
+		return err
+	}
+	if err := truncateJournal(s.dir, good); err != nil {
 		return err
 	}
 	s.jr, err = openJournal(s.dir, s.nosync)
@@ -376,14 +381,34 @@ func (s *Server) applyPatch(req *request) {
 	}
 }
 
+// errReplLost marks a mutation that could not be confirmed on the
+// standby: either the semi-sync forward failed, or the subscriber is gone
+// and has not re-attached. The op must NOT be acknowledged statusOK —
+// if the disconnect was really a promotion (stall, partial partition),
+// an ack here would be an accumulation that exists only on this
+// superseded primary, silently missing from the shard the build reads.
+// Callers answer statusRetry instead: the record (if journaled) is
+// idempotent under its token, so the client retrying against whichever
+// server the router now points at is safe in every interleaving.
+var errReplLost = errors.New("netga: standby replication lost")
+
 // persistLocked makes one mutation durable and replicated: it assigns the
 // next sequence number, appends to the journal (fsynced), and — when
 // replicate is set and a standby is subscribed — forwards the record and
 // waits for the standby's ack (semi-sync). Caller holds s.mu, which is
 // what serializes the journal and the stream into one total order. A
-// journal failure rejects the op (never applied, never acked); a
-// replication failure drops the subscriber and degrades to solo.
+// journal failure rejects the op (never applied, never acked). A
+// replication failure drops the subscriber and fails with errReplLost;
+// once a standby has ever been attached, the primary keeps refusing
+// replicated ops (statusRetry, before journaling anything) until a
+// subscriber re-attaches, because it cannot distinguish a crashed standby
+// from having been superseded by an epoch-fenced promotion it never saw.
+// This is the availability price of the failover option: a primary whose
+// standby is gone for good blocks writes instead of diverging.
 func (s *Server) persistLocked(req *request, replicate bool) error {
+	if replicate && s.hadStandby && s.sub == nil {
+		return errReplLost
+	}
 	s.seq++
 	if s.jr != nil {
 		if err := s.jr.append(s.seq, req); err != nil {
@@ -396,9 +421,9 @@ func (s *Server) persistLocked(req *request, replicate bool) error {
 	if replicate && s.sub != nil {
 		if err := s.sub.forward(s.seq, req); err != nil {
 			s.dropSubscriberLocked()
-		} else {
-			s.replSent.Add(1)
+			return errReplLost
 		}
+		s.replSent.Add(1)
 	}
 	return nil
 }
@@ -428,6 +453,9 @@ func (s *Server) snapshotLocked() {
 	if err := saveSnapshot(s.dir, st, s.nosync); err != nil {
 		return // keep journaling; the next threshold retries
 	}
+	// A failed reset is tolerable here (unlike installState): every record
+	// left behind has seq <= snapshot.Seq and replay skips it; the journal
+	// marks itself failed if it cannot be truncated safely.
 	s.jr.reset()
 	s.sinceSnap = 0
 	s.snapshots.Add(1)
@@ -699,6 +727,11 @@ func (s *Server) applyOp(req *request) response {
 	}
 	if err := s.persistLocked(req, true); err != nil {
 		s.mu.Unlock()
+		if errors.Is(err, errReplLost) {
+			// Not acked, token not marked: the client retries the same
+			// token once the standby re-attaches or the router reroutes.
+			return retryResp(req.ReqID, "%v", err)
+		}
 		return errResp(req.ReqID, "%v", err)
 	}
 	if req.Op == opAcc && req.Token != 0 {
@@ -736,16 +769,27 @@ func (s *Server) hello(req *request) response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if req.Session != s.session {
+		if s.hadStandby && s.sub == nil {
+			// Refuse before the destructive journal reset: a session
+			// install that cannot reach the standby must not be acked
+			// (see persistLocked).
+			return retryResp(req.ReqID, "%v", errReplLost)
+		}
 		s.applyWG.Wait()
 		if s.jr != nil {
 			// The old session's history is dead; the install record is the
 			// first entry of the fresh journal (seq keeps increasing so a
 			// stale snapshot plus the new journal still replays correctly).
-			s.jr.reset()
+			if err := s.jr.reset(); err != nil {
+				return errResp(req.ReqID, "netga: journal reset: %v", err)
+			}
 			s.sinceSnap = 0
 		}
 		rec := request{Op: opHello, Session: req.Session, R0: req.R0, C0: req.C0, SEpoch: s.epoch.Load()}
 		if err := s.persistLocked(&rec, true); err != nil {
+			if errors.Is(err, errReplLost) {
+				return retryResp(req.ReqID, "%v", err)
+			}
 			return errResp(req.ReqID, "%v", err)
 		}
 		s.session = req.Session
@@ -772,6 +816,9 @@ func (s *Server) checkpoint(req *request) response {
 	}
 	rec := request{Op: opCheckpoint, Session: req.Session}
 	if err := s.persistLocked(&rec, true); err != nil {
+		if errors.Is(err, errReplLost) {
+			return retryResp(req.ReqID, "%v", err)
+		}
 		return errResp(req.ReqID, "%v", err)
 	}
 	s.rotateDedupLocked()
