@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race net-test net-smoke net-failover ci bench microbench bench-short bench-check bench-ab
+.PHONY: build test vet race net-test net-smoke net-failover net-elastic ci bench microbench bench-short bench-check bench-ab
 
 build:
 	$(GO) build ./...
@@ -36,7 +36,16 @@ net-smoke:
 net-failover:
 	$(GO) test -race -count=1 -run 'TestLoopbackKillRestartBuildMatchesSerial|TestLoopbackStandbyPromotionBuildMatchesSerial|TestJournal|TestSnapshotRoundTrip|TestKillRestartRecoversState|TestDedupEvictionAtCheckpointOnly|TestGracefulShutdownFlushesSnapshot|TestStandbyPromotionPreservesState|TestFailoverViaMembershipLookup|TestServerKill|TestRunServerKills' ./internal/net/ ./internal/fault/
 
-ci: build vet race net-smoke net-failover
+# Elastic-fleet gate under the race detector: the membership-churn chaos
+# build (shard join, graceful leave, and primary kill mid-build on a
+# deterministic schedule must match the serial oracle exactly-once), plus
+# the fleet coordinator unit layer (lease expiry, standby promotion,
+# drain), the placement property tests (deterministic minimal-move
+# rebalance), and the concurrent-promotion single-flight router test.
+net-elastic:
+	$(GO) test -race -count=1 -run 'TestElasticChurnBuildMatchesSerial|TestFleet|TestRebalance|TestRouter|TestMembershipChurn' ./internal/net/ ./internal/fault/
+
+ci: build vet race net-smoke net-failover net-elastic
 
 # Go-testing microbenchmarks (one iteration each; a compile-and-run smoke).
 microbench:

@@ -80,6 +80,7 @@ func main() {
 		netServers  = flag.String("net-servers", "", "comma-separated fockd addresses (backend=net); must match the fockd cluster order")
 		netStandbys = flag.String("net-standbys", "", "comma-separated standby addresses per slot (backend=net); empty entries allowed")
 		netSession  = flag.Uint64("net-session", 0, "session id for the net backend (0 = derive from wall clock); a fresh id resets the servers")
+		netFleet    = flag.String("fleet", "", "elastic fleet coordinator address (backend=net); replaces -net-servers with live membership")
 		netVerify   = flag.Bool("net-verify", false, "verify the net-backed G against the serial oracle (small molecules)")
 
 		// Network fault injection (backend=net): applied at the conn layer.
@@ -177,22 +178,27 @@ func main() {
 			}
 			var rpc *metrics.RPC
 			if *backend == "net" {
-				if *netServers == "" {
-					fatalIf(fmt.Errorf("-backend net requires -net-servers"))
-				}
-				addrs := strings.Split(*netServers, ",")
-				var standbys []string
-				if *netStandbys != "" {
-					standbys = strings.Split(*netStandbys, ",")
-				}
 				session := *netSession
 				if session == 0 {
 					session = uint64(time.Now().UnixNano())
 				}
 				rpc = &metrics.RPC{}
-				copt.Backend = netFactory(addrs, standbys, session, copt.Fault, rpc)
+				if *netFleet != "" {
+					copt.Backend = fleetFactory(*netFleet, session, rpc)
+					fmt.Printf("net backend: elastic fleet at %s, session %d\n", *netFleet, session)
+				} else {
+					if *netServers == "" {
+						fatalIf(fmt.Errorf("-backend net requires -net-servers or -fleet"))
+					}
+					addrs := strings.Split(*netServers, ",")
+					var standbys []string
+					if *netStandbys != "" {
+						standbys = strings.Split(*netStandbys, ",")
+					}
+					copt.Backend = netFactory(addrs, standbys, session, copt.Fault, rpc)
+					fmt.Printf("net backend: %d shard servers (%d standbys), session %d\n", len(addrs), len(standbys), session)
+				}
 				copt.LeaseTTL = time.Duration(*leaseMS) * time.Millisecond
-				fmt.Printf("net backend: %d shard servers (%d standbys), session %d\n", len(addrs), len(standbys), session)
 			} else if *backend != "local" {
 				fatalIf(fmt.Errorf("unknown backend %q", *backend))
 			}
@@ -377,6 +383,42 @@ func netFactory(addrs, standbys []string, session uint64, inj *fault.Injector, r
 	}
 }
 
+// fleetFactory returns a core.Options.Backend factory for the elastic
+// fleet: routing comes from the coordinator's live membership view
+// instead of a static server list, so shards can join, leave or fail
+// over mid-build. The placement-generation delta across the build is
+// charged to the RPC counters as blocks migrated under the driver.
+func fleetFactory(fleetAddr string, session uint64, rpc *metrics.RPC) func(
+	grid *dist.Grid2D, stats *dist.RunStats) (dist.Backend, dist.Backend, func(), error) {
+	return func(grid *dist.Grid2D, stats *dist.RunStats) (dist.Backend, dist.Backend, func(), error) {
+		router := netga.NewFleetRouter(fleetAddr, 0, rpc)
+		gaD, err := netga.DialFleet(grid, stats, fleetAddr, netga.Config{
+			Array: 0, Session: session, RPC: rpc, Router: router,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		gaF, err := netga.DialFleet(grid, stats, fleetAddr, netga.Config{
+			Array: 1, Session: session, RPC: rpc, Router: router,
+		})
+		if err != nil {
+			gaD.Close()
+			return nil, nil, nil, err
+		}
+		startGen := gaD.PlacementGen()
+		cleanup := func() {
+			// One generation is published per migrated block, so the delta
+			// is the number of cutovers this build routed across.
+			if end := gaD.PlacementGen(); end > startGen {
+				rpc.AddBlocksMigrated(int64(end - startGen))
+			}
+			gaD.Close()
+			gaF.Close()
+		}
+		return gaD, gaF, cleanup, nil
+	}
+}
+
 // reportRPC prints the transport-level counters of a net-backed build.
 func reportRPC(rpc *metrics.RPC) {
 	s := rpc.Snapshot()
@@ -390,6 +432,10 @@ func reportRPC(rpc *metrics.RPC) {
 	if s.Failovers > 0 || s.StaleRetries > 0 {
 		fmt.Printf("  failover:            %d promotions, %d stale-epoch retries\n",
 			s.Failovers, s.StaleRetries)
+	}
+	if s.PlacementRetries > 0 || s.ViewRefreshes > 0 || s.BlocksMigrated > 0 {
+		fmt.Printf("  elastic fleet:       %d map-generation retries, %d view refreshes, %d blocks migrated\n",
+			s.PlacementRetries, s.ViewRefreshes, s.BlocksMigrated)
 	}
 	if s.LatencyNS.Count > 0 {
 		fmt.Printf("  latency:             mean %.1fus, p95 %.1fus, max %.1fus\n",

@@ -21,6 +21,20 @@
 // SIGTERM and SIGINT shut down gracefully: stop accepting, drain
 // in-flight ops, flush a final snapshot, close listeners — so rolling
 // restarts do not rely on crash recovery.
+//
+// Elastic fleet mode replaces the static -servers/-index layout with
+// lease-based membership and live resharding:
+//
+//	fockd -fleet -mol alkane:2 -basis sto-3g -grid 2x2 -listen 127.0.0.1:7100
+//	fockd -join 127.0.0.1:7100 -member-id 1 -mol alkane:2 -basis sto-3g -grid 2x2
+//	fockd -join 127.0.0.1:7100 -member-id 2 -mol alkane:2 -basis sto-3g -grid 2x2
+//	fockbuild -mol alkane:2 -basis sto-3g -grid 2x2 -backend net -fleet 127.0.0.1:7100
+//
+// -fleet runs the membership/placement coordinator; -join runs a shard
+// member hosting whatever blocks the coordinator migrates to it. Members
+// heartbeat to keep their lease; on SIGTERM a member leaves gracefully,
+// serving until its blocks have drained to the survivors. -http serves
+// /debug/vars with the shard (fock_shard) or fleet (fock_fleet) state.
 package main
 
 import (
@@ -36,6 +50,8 @@ import (
 	"gtfock/internal/basis"
 	"gtfock/internal/chem"
 	"gtfock/internal/core"
+	"gtfock/internal/dist"
+	"gtfock/internal/metrics"
 	netga "gtfock/internal/net"
 	"gtfock/internal/reorder"
 )
@@ -56,10 +72,18 @@ func main() {
 		peers         = flag.String("peers", "", "comma-separated primary addresses of all slots (membership map)")
 		standbys      = flag.String("standbys", "", "comma-separated standby addresses per slot (membership map; empty entries allowed)")
 		drainFor      = flag.Duration("drain", 5*time.Second, "max time to drain in-flight ops on SIGTERM/SIGINT")
+
+		fleetMode = flag.Bool("fleet", false, "run the elastic fleet coordinator instead of a shard server")
+		joinAddr  = flag.String("join", "", "fleet coordinator address to join as an elastic member")
+		memberID  = flag.Uint64("member-id", 0, "stable member id for -join (nonzero, unique per member)")
+		incarn    = flag.Uint64("incarnation", 0, "member incarnation for -join (bump when rejoining after a kill)")
+		standby   = flag.String("standby", "", "hot-standby address to advertise to the fleet for -join")
+		leaseTTL  = flag.Duration("lease-ttl", 1500*time.Millisecond, "membership lease TTL (fleet and members must agree)")
+		httpAddr  = flag.String("http", "", "serve /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
 
-	if *index < 0 || *index >= *servers {
+	if !*fleetMode && *joinAddr == "" && (*index < 0 || *index >= *servers) {
 		fatalIf(fmt.Errorf("-index %d outside [0, %d)", *index, *servers))
 	}
 	mol, err := parseMolecule(*molSpec)
@@ -82,7 +106,17 @@ func main() {
 	fatalIf(err)
 
 	grid := core.Grid(bs, prow, pcol)
-	_, hosted := netga.SplitProcs(grid.NumProcs(), *servers)
+
+	if *fleetMode {
+		runFleet(grid, *listen, *leaseTTL, *httpAddr)
+		return
+	}
+
+	var hostedProcs []int
+	if *joinAddr == "" {
+		_, hosted := netga.SplitProcs(grid.NumProcs(), *servers)
+		hostedProcs = hosted[*index]
+	}
 	var opts []netga.ServerOption
 	if *journalDir != "" {
 		fatalIf(os.MkdirAll(*journalDir, 0o755))
@@ -97,19 +131,56 @@ func main() {
 			Standbys:  splitAddrs(*standbys),
 		}))
 	}
-	srv := netga.NewServer(grid, hosted[*index], opts...)
+	srv := netga.NewServer(grid, hostedProcs, opts...)
 	addr, err := srv.Start(*listen)
 	fatalIf(err)
-	role := "primary"
-	if *standbyOf != "" {
-		role = "standby of " + *standbyOf
+	if *httpAddr != "" {
+		metrics.PublishFunc("fock_shard", func() any { return srv.Stats() })
+		dbg, err := metrics.StartDebugServer(*httpAddr, nil)
+		fatalIf(err)
+		fmt.Printf("fockd: debug endpoint on http://%s/debug/vars\n", dbg)
 	}
-	fmt.Printf("fockd %d/%d (%s): serving procs %v of a %dx%d grid (%d funcs) on %s\n",
-		*index, *servers, role, hosted[*index], prow, pcol, bs.NumFuncs, addr)
+
+	var fm *netga.FleetMember
+	if *joinAddr != "" {
+		if *memberID == 0 {
+			fatalIf(fmt.Errorf("-join requires a nonzero -member-id"))
+		}
+		self := netga.Member{
+			ID: *memberID, Addr: addr, Standby: *standby,
+			Epoch: srv.Stats().Epoch, Incarnation: *incarn,
+		}
+		fm, err = netga.JoinFleet(*joinAddr, self, *leaseTTL, 0)
+		fatalIf(err)
+		fmt.Printf("fockd member %d: joined fleet %s, serving a %dx%d grid (%d funcs) on %s (blocks arrive by migration)\n",
+			*memberID, *joinAddr, prow, pcol, bs.NumFuncs, addr)
+	} else {
+		role := "primary"
+		if *standbyOf != "" {
+			role = "standby of " + *standbyOf
+		}
+		fmt.Printf("fockd %d/%d (%s): serving procs %v of a %dx%d grid (%d funcs) on %s\n",
+			*index, *servers, role, hostedProcs, prow, pcol, bs.NumFuncs, addr)
+	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
+	if fm != nil {
+		// Graceful leave: ask the fleet to drain our blocks to the
+		// survivors and keep serving until none are left (or the drain
+		// window closes — then shut down anyway; the journal has the rest).
+		fmt.Printf("fockd member %d: leaving fleet, draining %d hosted blocks\n",
+			*memberID, srv.Stats().HostedProcs)
+		if err := fm.Leave(); err != nil {
+			fmt.Fprintln(os.Stderr, "fockd: leave:", err)
+		} else {
+			deadline := time.Now().Add(*drainFor + 30*time.Second)
+			for srv.Stats().HostedProcs > 0 && time.Now().Before(deadline) {
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+	}
 	// Graceful shutdown: drain in-flight ops and flush a final snapshot,
 	// so the next start replays nothing.
 	srv.Shutdown(*drainFor)
@@ -124,6 +195,40 @@ func main() {
 		fmt.Printf("fockd %d: replication: %d forwarded, %d applied from stream, %d promotions\n",
 			*index, st.ReplSent, st.ReplApplied, st.Promotions)
 	}
+	if st.BlocksIn+st.BlocksOut+st.Freezes+st.PlacementFenced > 0 {
+		fmt.Printf("fockd %d: elastic: %d blocks in, %d out, %d freezes, %d ops fenced, placement gen %d, %d still hosted\n",
+			*index, st.BlocksIn, st.BlocksOut, st.Freezes, st.PlacementFenced, st.PGen, st.HostedProcs)
+	}
+}
+
+// runFleet runs the elastic fleet coordinator: membership leases, the
+// versioned placement, and the block-migration engine.
+func runFleet(grid *dist.Grid2D, listen string, ttl time.Duration, httpAddr string) {
+	f := netga.NewFleet(grid, netga.FleetConfig{LeaseTTL: ttl})
+	addr, err := f.Start(listen)
+	fatalIf(err)
+	if httpAddr != "" {
+		metrics.PublishFunc("fock_fleet", func() any {
+			return struct {
+				Stats netga.FleetStats `json:"stats"`
+				View  netga.FleetView  `json:"view"`
+			}{f.Stats(), f.View()}
+		})
+		dbg, err := metrics.StartDebugServer(httpAddr, nil)
+		fatalIf(err)
+		fmt.Printf("fockd fleet: debug endpoint on http://%s/debug/vars\n", dbg)
+	}
+	fmt.Printf("fockd fleet: coordinating %d blocks on %s (lease TTL %v)\n",
+		grid.NumProcs(), addr, ttl)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	st := f.Stats()
+	f.Close()
+	fmt.Printf("fockd fleet: %d members (%d dead, %d leaving), %d joins, %d rejoins, %d leaves, %d expiries, %d promotions, %d blocks moved, view gen %d, placement gen %d\n",
+		st.Members, st.Dead, st.Leaving, st.Joins, st.Rejoins, st.Leaves,
+		st.Expiries, st.Promotions, st.BlocksMoved, st.ViewGen, st.PlacementGen)
 }
 
 // splitAddrs splits a comma-separated address list, keeping empty

@@ -1,0 +1,118 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Churn event kinds: a new member joining the fleet mid-build, a member
+// leaving gracefully (drain, then removal), and a member killed outright
+// (no drain; the fleet's lease detector finds out).
+const (
+	ChurnJoin = iota
+	ChurnLeave
+	ChurnKill
+)
+
+// ChurnEvent is one scheduled membership change of an elastic fleet.
+// Like ServerKill, triggers are op-count based (fire once the build has
+// issued at least AfterOps operations — deterministic "mid-build"
+// placement) or wall-clock based. Server identifies which member the
+// event hits; for ChurnJoin it names the prepared spare to bring in.
+type ChurnEvent struct {
+	Kind     int           // ChurnJoin, ChurnLeave or ChurnKill
+	Server   int           // member index (ChurnLeave/ChurnKill) or spare index (ChurnJoin)
+	AfterOps int64         // op-count trigger; 0 = use After instead
+	After    time.Duration // wall-clock trigger when AfterOps == 0
+	Restart  time.Duration // ChurnKill only: rejoin delay; < 0 = stays dead
+}
+
+// MembershipChurnPlan draws a deterministic churn schedule from seed:
+// events cycle join -> leave -> kill so every mechanism is exercised,
+// joins name spares 0,1,2,... in order, and leave/kill targets spread
+// round-robin over the nmembers initial members. Each event fires at an
+// op count uniform in [minOps, maxOps), ordered increasing so the
+// schedule replays the same way every run. The plan depends only on
+// (seed, nmembers, events, minOps, maxOps, restart).
+func MembershipChurnPlan(seed int64, nmembers, events int, minOps, maxOps int64, restart time.Duration) []ChurnEvent {
+	if nmembers <= 0 || events <= 0 {
+		return nil
+	}
+	if maxOps <= minOps {
+		maxOps = minOps + 1
+	}
+	s := seed*-0x61c8864680b583eb + -0x61c8864680b583eb>>1
+	s ^= s >> 31
+	r := rand.New(rand.NewSource(s))
+	triggers := make([]int64, events)
+	for i := range triggers {
+		triggers[i] = minOps + r.Int63n(maxOps-minOps)
+	}
+	// Sort ascending (insertion sort; plans are tiny) so events fire in
+	// schedule order as the op counter only moves forward.
+	for i := 1; i < len(triggers); i++ {
+		for j := i; j > 0 && triggers[j] < triggers[j-1]; j-- {
+			triggers[j], triggers[j-1] = triggers[j-1], triggers[j]
+		}
+	}
+	plan := make([]ChurnEvent, events)
+	joins, targets := 0, 0
+	for i := range plan {
+		plan[i] = ChurnEvent{Kind: i % 3, AfterOps: triggers[i], Restart: restart}
+		switch plan[i].Kind {
+		case ChurnJoin:
+			plan[i].Server = joins
+			joins++
+		default:
+			plan[i].Server = targets % nmembers
+			targets++
+		}
+	}
+	return plan
+}
+
+// RunMembershipChurn executes a churn schedule. It is fleet-agnostic: ops
+// reports the build's cumulative operation count, join brings spare i
+// into the fleet, leave starts member i's graceful exit, kill SIGKILLs
+// member i (lease expiry detects it), and restart rejoins a killed
+// member from its durable state. Events fire in schedule order; the
+// runner returns when the schedule is done or stop closes. Callbacks run
+// on this goroutine.
+func RunMembershipChurn(plan []ChurnEvent, ops func() int64, join, leave, kill, restart func(i int), stop <-chan struct{}) {
+	start := time.Now()
+	for _, e := range plan {
+		for {
+			fire := false
+			if e.AfterOps > 0 {
+				fire = ops() >= e.AfterOps
+			} else {
+				fire = time.Since(start) >= e.After
+			}
+			if fire {
+				break
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		switch e.Kind {
+		case ChurnJoin:
+			join(e.Server)
+		case ChurnLeave:
+			leave(e.Server)
+		case ChurnKill:
+			kill(e.Server)
+			if e.Restart < 0 {
+				continue
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(e.Restart):
+			}
+			restart(e.Server)
+		}
+	}
+}

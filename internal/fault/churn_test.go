@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMembershipChurnPlanDeterministic(t *testing.T) {
+	a := MembershipChurnPlan(7, 3, 9, 100, 1000, 20*time.Millisecond)
+	b := MembershipChurnPlan(7, 3, 9, 100, 1000, 20*time.Millisecond)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different churn schedules")
+	}
+	c := MembershipChurnPlan(8, 3, 9, 100, 1000, 20*time.Millisecond)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical churn schedules")
+	}
+	joins, targets := 0, 0
+	var last int64
+	for i, e := range a {
+		if e.Kind != i%3 {
+			t.Fatalf("event %d kind %d, want join/leave/kill cycle %d", i, e.Kind, i%3)
+		}
+		switch e.Kind {
+		case ChurnJoin:
+			if e.Server != joins {
+				t.Fatalf("join %d names spare %d, want spares in order", joins, e.Server)
+			}
+			joins++
+		default:
+			if e.Server != targets%3 {
+				t.Fatalf("event %d targets member %d, want round-robin %d", i, e.Server, targets%3)
+			}
+			targets++
+		}
+		if e.AfterOps < 100 || e.AfterOps >= 1000 {
+			t.Fatalf("event %d trigger %d outside [100,1000)", i, e.AfterOps)
+		}
+		if e.AfterOps < last {
+			t.Fatalf("event %d trigger %d before previous %d: schedule not ordered", i, e.AfterOps, last)
+		}
+		last = e.AfterOps
+	}
+	if MembershipChurnPlan(7, 0, 4, 1, 2, 0) != nil || MembershipChurnPlan(7, 2, 0, 1, 2, 0) != nil {
+		t.Fatal("degenerate plans must be empty")
+	}
+}
+
+func TestRunMembershipChurnExecutesSchedule(t *testing.T) {
+	plan := []ChurnEvent{
+		{Kind: ChurnLeave, Server: 1, AfterOps: 3},
+		{Kind: ChurnJoin, Server: 0, AfterOps: 5},
+		{Kind: ChurnKill, Server: 0, AfterOps: 7, Restart: time.Millisecond},
+		{Kind: ChurnKill, Server: 2, AfterOps: 8, Restart: -1}, // never restarted
+	}
+	var ops atomic.Int64
+	var mu sync.Mutex
+	var got []string
+	record := func(what string) func(int) {
+		return func(i int) {
+			mu.Lock()
+			got = append(got, what)
+			mu.Unlock()
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunMembershipChurn(plan, ops.Load,
+			record("join"), record("leave"), record("kill"), record("restart"), nil)
+	}()
+	for i := 0; i < 10; i++ {
+		ops.Add(1)
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunMembershipChurn did not finish")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"leave", "join", "kill", "restart", "kill"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("churn callbacks %v, want %v", got, want)
+	}
+}

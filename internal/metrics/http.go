@@ -26,6 +26,23 @@ func Publish(reg *Registry) {
 	})
 }
 
+var publishedFuncs sync.Map // expvar name -> *atomic.Value holding func() any
+
+// PublishFunc exposes fn as the expvar name (on /debug/vars). Safe to
+// call repeatedly — expvar allows each name only once per process, so
+// later calls swap which function the variable reads. Used to export
+// shard, fleet-membership and placement state alongside fock_metrics.
+func PublishFunc(name string, fn func() any) {
+	holder, loaded := publishedFuncs.LoadOrStore(name, &atomic.Value{})
+	h := holder.(*atomic.Value)
+	h.Store(fn)
+	if !loaded {
+		expvar.Publish(name, expvar.Func(func() any {
+			return h.Load().(func() any)()
+		}))
+	}
+}
+
 // StartDebugServer publishes reg and serves the process-wide debug mux —
 // /debug/vars (expvar, including fock_metrics) and /debug/pprof/ — on
 // addr in a background goroutine. It returns the bound address (useful

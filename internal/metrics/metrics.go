@@ -320,6 +320,9 @@ type RPC struct {
 	resets, dupSends         atomic.Int64
 	partitioned              atomic.Int64
 	failovers, staleRetries  atomic.Int64
+	placementRetries         atomic.Int64
+	viewRefreshes            atomic.Int64
+	blocksMigrated           atomic.Int64
 }
 
 // ObserveCall records one completed RPC (success or final failure) with
@@ -400,6 +403,30 @@ func (c *RPC) AddStaleRetry() {
 	}
 }
 
+// AddPlacementRetry counts one request refused under a superseded
+// placement generation (the block moved; the client re-resolved its
+// route from a newer map and retried).
+func (c *RPC) AddPlacementRetry() {
+	if c != nil {
+		c.placementRetries.Add(1)
+	}
+}
+
+// AddViewRefresh counts one successful fleet-view fetch.
+func (c *RPC) AddViewRefresh() {
+	if c != nil {
+		c.viewRefreshes.Add(1)
+	}
+}
+
+// AddBlocksMigrated counts blocks observed moving to a new owner (from
+// the driver's perspective: placement-generation bumps it routed across).
+func (c *RPC) AddBlocksMigrated(n int64) {
+	if c != nil && n > 0 {
+		c.blocksMigrated.Add(n)
+	}
+}
+
 // RPCSnapshot is the JSON-facing view of the transport counters.
 type RPCSnapshot struct {
 	LatencyNS    HistSnapshot `json:"latency_ns"`
@@ -413,6 +440,11 @@ type RPCSnapshot struct {
 	Partitioned  int64        `json:"partitioned,omitempty"`
 	Failovers    int64        `json:"failovers,omitempty"`
 	StaleRetries int64        `json:"stale_retries,omitempty"`
+	// Elastic-fleet counters: requests bounced by a superseded placement
+	// map, fleet-view fetches, and blocks seen migrating to new owners.
+	PlacementRetries int64 `json:"placement_retries,omitempty"`
+	ViewRefreshes    int64 `json:"view_refreshes,omitempty"`
+	BlocksMigrated   int64 `json:"blocks_migrated,omitempty"`
 }
 
 // Snapshot captures the current transport counters.
@@ -421,17 +453,20 @@ func (c *RPC) Snapshot() RPCSnapshot {
 		return RPCSnapshot{}
 	}
 	return RPCSnapshot{
-		LatencyNS:    c.latency.snapshot(),
-		Calls:        c.calls.Load(),
-		Retries:      c.retries.Load(),
-		Failures:     c.failures.Load(),
-		Dials:        c.dials.Load(),
-		Reconnects:   c.reconnects.Load(),
-		Resets:       c.resets.Load(),
-		DupSends:     c.dupSends.Load(),
-		Partitioned:  c.partitioned.Load(),
-		Failovers:    c.failovers.Load(),
-		StaleRetries: c.staleRetries.Load(),
+		LatencyNS:        c.latency.snapshot(),
+		Calls:            c.calls.Load(),
+		Retries:          c.retries.Load(),
+		Failures:         c.failures.Load(),
+		Dials:            c.dials.Load(),
+		Reconnects:       c.reconnects.Load(),
+		Resets:           c.resets.Load(),
+		DupSends:         c.dupSends.Load(),
+		Partitioned:      c.partitioned.Load(),
+		Failovers:        c.failovers.Load(),
+		StaleRetries:     c.staleRetries.Load(),
+		PlacementRetries: c.placementRetries.Load(),
+		ViewRefreshes:    c.viewRefreshes.Load(),
+		BlocksMigrated:   c.blocksMigrated.Load(),
 	}
 }
 

@@ -60,6 +60,14 @@ type Client struct {
 	fence  dist.Fence
 	reqID  atomic.Uint64
 	token  atomic.Uint64
+
+	// Elastic mode (DialFleet): routes resolve per attempt through the
+	// fleet view instead of the fixed assignment, pools are allocated per
+	// router slot as members appear, and every member is helloed once
+	// (session + geometry validation) before its first data op.
+	elastic bool
+	poolsMu sync.Mutex
+	helloed map[int]bool // slot -> hello done
 }
 
 var _ dist.Backend = (*Client)(nil)
@@ -118,9 +126,139 @@ func Dial(grid *dist.Grid2D, stats *dist.RunStats, addrs []string, assign []int,
 	return c, nil
 }
 
+// fleetDialWait bounds how long DialFleet waits for the fleet view to
+// cover every block (bootstrap migration may still be in flight).
+const fleetDialWait = 30 * time.Second
+
+// DialFleet connects to an elastic fleet: routing state comes from the
+// fleet coordinator at fleetAddr (via cfg.Router, which must be a fleet
+// router when provided) instead of a static address list. DialFleet
+// blocks until the published view assigns every block, then validates
+// session + geometry against every member; members that join later are
+// helloed lazily on first route.
+func DialFleet(grid *dist.Grid2D, stats *dist.RunStats, fleetAddr string, cfg Config) (*Client, error) {
+	if cfg.Session == 0 {
+		return nil, errors.New("netga: session id must be nonzero")
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 2 * time.Second
+	}
+	rt := cfg.Router
+	if rt == nil {
+		rt = NewFleetRouter(fleetAddr, cfg.OpTimeout, cfg.RPC)
+	}
+	if !rt.elastic() {
+		return nil, errors.New("netga: DialFleet requires a fleet router")
+	}
+	c := &Client{
+		grid:    grid,
+		stats:   stats,
+		cfg:     cfg,
+		router:  rt,
+		elastic: true,
+		helloed: map[int]bool{},
+	}
+	deadline := time.Now().Add(fleetDialWait)
+	var lastErr error
+	for {
+		rt.refreshView(true)
+		lastErr = nil
+		for p := 0; p < grid.NumProcs(); p++ {
+			if _, err := c.routeFor(p); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		if lastErr == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			c.Close()
+			return nil, fmt.Errorf("netga: fleet at %s not routable: %w", fleetAddr, lastErr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// errNoRoute marks a transiently unroutable block: the view does not
+// assign it yet (bootstrap or a pinned dead member), or its owner has not
+// answered a hello. Retryable; never evidence a specific server is dead.
+var errNoRoute = errors.New("netga: block not routable yet")
+
+// routeFor resolves the pool serving proc's block. Static mode is the
+// fixed assignment; elastic mode resolves through the fleet view —
+// re-fetched (throttled) when the block is unassigned — and hellos the
+// member on first contact.
+func (c *Client) routeFor(proc int) (*connPool, error) {
+	if !c.elastic {
+		return c.pools[c.assign[proc]], nil
+	}
+	slot := c.router.slotFor(proc)
+	if slot < 0 {
+		c.router.RefreshView()
+		if slot = c.router.slotFor(proc); slot < 0 {
+			return nil, fmt.Errorf("%w: proc %d unassigned in current view", errNoRoute, proc)
+		}
+	}
+	pool := c.poolBySlot(slot)
+	if err := c.helloSlot(slot, pool); err != nil {
+		return nil, fmt.Errorf("%w: hello slot %d: %v", errNoRoute, slot, err)
+	}
+	return pool, nil
+}
+
+// poolBySlot returns (allocating if needed) the conn pool of a router
+// slot. Slots are append-only, so pools stay valid across churn.
+func (c *Client) poolBySlot(slot int) *connPool {
+	c.poolsMu.Lock()
+	defer c.poolsMu.Unlock()
+	for slot >= len(c.pools) {
+		c.pools = append(c.pools, &connPool{router: c.router, slot: len(c.pools), timeout: c.cfg.OpTimeout, rpc: c.cfg.RPC})
+	}
+	return c.pools[slot]
+}
+
+// helloSlot validates session + geometry against a member once. Hello is
+// idempotent under one session, so two goroutines racing here are
+// harmless; a member that joined mid-build adopts the session either
+// from migrated block state or from this hello, whichever lands first.
+// Failures are transient (errNoRoute): a dead unhelloed member is the
+// fleet detector's to fail over, not this client's.
+func (c *Client) helloSlot(slot int, pool *connPool) error {
+	c.poolsMu.Lock()
+	done := c.helloed[slot]
+	c.poolsMu.Unlock()
+	if done {
+		return nil
+	}
+	hello := request{
+		Op: opHello, Session: c.cfg.Session, ReqID: c.reqID.Add(1),
+		R0: int32(c.grid.Rows), C0: int32(c.grid.Cols),
+	}
+	resp, _, err := c.doRPC(-1, pool, &hello)
+	if err != nil {
+		return err
+	}
+	if resp.Status != statusOK {
+		return fmt.Errorf("netga: hello rejected by %s: %s", c.router.addr(slot), resp.Msg)
+	}
+	c.poolsMu.Lock()
+	c.helloed[slot] = true
+	c.poolsMu.Unlock()
+	return nil
+}
+
+// PlacementGen returns the placement generation the client is routing
+// with (0 in static mode). The delta across a build counts the blocks
+// that migrated under it — each cutover bumps the generation once.
+func (c *Client) PlacementGen() uint64 { return c.router.pgen() }
+
 // Close tears down every pooled connection.
 func (c *Client) Close() {
-	for _, p := range c.pools {
+	c.poolsMu.Lock()
+	pools := append([]*connPool(nil), c.pools...)
+	c.poolsMu.Unlock()
+	for _, p := range pools {
 		p.closeAll()
 	}
 }
@@ -257,7 +395,13 @@ func (p *connPool) closeAll() {
 func (c *Client) doRPC(rank int, pool *connPool, req *request) (resp *response, sent bool, err error) {
 	// Stamp the shard fence epoch this client believes the slot is at; a
 	// server at a different epoch answers statusRetry instead of applying.
+	// Elastic requests also carry the placement generation routed under,
+	// so a server holding a newer map bounces them instead of serving a
+	// block that moved away.
 	req.SEpoch = c.router.epoch(pool.slot)
+	if c.elastic {
+		req.PGen = c.router.pgen()
+	}
 	sendTwice := false
 	if c.cfg.Fault != nil && rank >= 0 {
 		delay, outcome := c.cfg.Fault.NetFault(rank)
@@ -344,8 +488,17 @@ func (c *Client) doRPC(rank int, pool *connPool, req *request) (resp *response, 
 	if out.Status == statusRetry {
 		// Transient shard rejection (standby not promoted, or our epoch is
 		// stale — the observe above already resynced it): retryable, and
-		// provably not applied.
+		// provably not applied. A server answering from a newer placement
+		// generation means our route is superseded — refresh the view
+		// (throttled: a whole retry storm collapses to one fetch) so the
+		// retry resolves against the new map.
 		c.cfg.RPC.AddStaleRetry()
+		if c.elastic {
+			if out.PGen > req.PGen {
+				c.cfg.RPC.AddPlacementRetry()
+			}
+			c.router.RefreshView()
+		}
 		return nil, true, fmt.Errorf("%w: %s", errShardRetry, out.Msg)
 	}
 	c.router.success(pool.slot)
@@ -395,7 +548,6 @@ func (c *Client) GetRetry(ctx context.Context, attempts int, backoff time.Durati
 	}
 	retries := 0
 	for _, p := range c.grid.Patches(r0, r1, c0, c1) {
-		pool := c.pools[c.assign[p.Proc]]
 		req := request{
 			Op: opGet, Array: c.cfg.Array, Session: c.cfg.Session,
 			Proc: int32(proc), R0: int32(p.R0), R1: int32(p.R1), C0: int32(p.C0), C1: int32(p.C1),
@@ -413,6 +565,13 @@ func (c *Client) GetRetry(ctx context.Context, attempts int, backoff time.Durati
 					return retries, cerr
 				}
 				wait = growWait(wait)
+			}
+			// Route per attempt: under elastic placement the block's owner
+			// can change between retries (that is the point of the retry).
+			pool, rerr := c.routeFor(p.Proc)
+			if rerr != nil {
+				err = rerr
+				continue
 			}
 			req.ReqID = c.reqID.Add(1)
 			var resp *response
@@ -465,7 +624,6 @@ func (c *Client) AccFencedRetry(ctx context.Context, backoff time.Duration, proc
 	retries := 0
 	committed := false
 	for _, p := range c.grid.Patches(r0, r1, c0, c1) {
-		pool := c.pools[c.assign[p.Proc]]
 		w := p.C1 - p.C0
 		data := make([]float64, (p.R1-p.R0)*w)
 		for r := p.R0; r < p.R1; r++ {
@@ -484,13 +642,22 @@ func (c *Client) AccFencedRetry(ctx context.Context, backoff time.Duration, proc
 			if !committed && c.fence != nil && !c.fence.ValidEpoch(proc, epoch) {
 				return retries, dist.ErrFenced
 			}
-			req.ReqID = c.reqID.Add(1)
-			resp, sent, err := c.doRPC(proc, pool, &req)
-			if sent {
-				committed = true
-			}
-			if err != nil {
-				c.noteFailure(pool, err)
+			var resp *response
+			var sent bool
+			var err error
+			if pool, rerr := c.routeFor(p.Proc); rerr != nil {
+				// Transiently unroutable (block mid-migration, view catching
+				// up): no frame went out, so this retry is provably clean.
+				err = rerr
+			} else {
+				req.ReqID = c.reqID.Add(1)
+				resp, sent, err = c.doRPC(proc, pool, &req)
+				if sent {
+					committed = true
+				}
+				if err != nil {
+					c.noteFailure(pool, err)
+				}
 			}
 			if err == nil && resp.Status != statusOK {
 				c.cfg.RPC.AddFailure()
@@ -570,15 +737,69 @@ func (c *Client) driverOp(pool *connPool, req *request) (*response, error) {
 	return nil, err
 }
 
+// driverOpProc is driverOp with per-attempt route resolution: the
+// driver-side whole-matrix ops address blocks, and under elastic
+// placement a block's owner can change (or be briefly frozen) between
+// attempts.
+func (c *Client) driverOpProc(proc int, req *request) (*response, error) {
+	var err error
+	for a := 0; a < 14; a++ {
+		if a > 0 {
+			wait := 5 * time.Millisecond << uint(a-1)
+			if wait > time.Second {
+				wait = time.Second
+			}
+			if cerr := dist.SleepBackoff(context.Background(), wait); cerr != nil {
+				return nil, cerr
+			}
+		}
+		pool, rerr := c.routeFor(proc)
+		if rerr != nil {
+			err = rerr
+			continue
+		}
+		req.ReqID = c.reqID.Add(1)
+		var resp *response
+		resp, _, err = c.doRPC(-1, pool, req)
+		if err != nil {
+			c.noteFailure(pool, err)
+			continue
+		}
+		if resp.Status != statusOK {
+			return nil, fmt.Errorf("netga: %s", resp.Msg)
+		}
+		return resp, nil
+	}
+	return nil, err
+}
+
 // Checkpoint advances the dedup-eviction generation on every shard: the
 // driver calls it at a session checkpoint (an SCF iteration boundary),
 // when no accumulate can still be retrying, so tokens are only ever
-// evicted a full generation after their op completed.
+// evicted a full generation after their op completed. Elastic mode
+// checkpoints every member currently hosting a block — migrated tokens
+// travel with their blocks, so those members hold all live tokens.
 func (c *Client) Checkpoint() error {
-	for _, pool := range c.pools {
-		req := request{Op: opCheckpoint, Session: c.cfg.Session, Proc: -1}
-		if _, err := c.driverOp(pool, &req); err != nil {
+	req := request{Op: opCheckpoint, Session: c.cfg.Session, Proc: -1}
+	if !c.elastic {
+		for _, pool := range c.pools {
+			if _, err := c.driverOp(pool, &req); err != nil {
+				return fmt.Errorf("netga: checkpoint: %w", err)
+			}
+		}
+		return nil
+	}
+	done := map[*connPool]bool{}
+	for p := 0; p < c.grid.NumProcs(); p++ {
+		pool, err := c.routeFor(p)
+		if err == nil && done[pool] {
+			continue
+		}
+		if _, err := c.driverOpProc(p, &req); err != nil {
 			return fmt.Errorf("netga: checkpoint: %w", err)
+		}
+		if pool != nil {
+			done[pool] = true
 		}
 	}
 	return nil
@@ -601,7 +822,7 @@ func (c *Client) LoadMatrix(m *linalg.Matrix) {
 			R0: int32(p.R0), R1: int32(p.R1), C0: int32(p.C0), C1: int32(p.C1),
 			Data: data,
 		}
-		if _, err := c.driverOp(c.pools[c.assign[p.Proc]], &req); err != nil {
+		if _, err := c.driverOpProc(p.Proc, &req); err != nil {
 			panic(fmt.Sprintf("netga: LoadMatrix: %v", err))
 		}
 	}
@@ -616,7 +837,7 @@ func (c *Client) ToMatrix() *linalg.Matrix {
 			Op: opGet, Array: c.cfg.Array, Session: c.cfg.Session, Proc: -1,
 			R0: int32(p.R0), R1: int32(p.R1), C0: int32(p.C0), C1: int32(p.C1),
 		}
-		resp, err := c.driverOp(c.pools[c.assign[p.Proc]], &req)
+		resp, err := c.driverOpProc(p.Proc, &req)
 		if err != nil {
 			panic(fmt.Sprintf("netga: ToMatrix: %v", err))
 		}

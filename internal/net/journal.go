@@ -194,6 +194,7 @@ type snapshotState struct {
 	Version    int
 	Session    uint64
 	Epoch      uint64 // shard fence epoch
+	PGen       uint64 // placement generation (0 = static placement)
 	Standby    bool
 	Rows, Cols int
 	Seq        uint64
@@ -201,9 +202,11 @@ type snapshotState struct {
 	SeenCur    []uint64
 	SeenPrev   []uint64
 	Checkpoint uint64 // dedup generation counter
+	Hosts      []int  // procs hosted at save time (elastic placement moves them)
+	Frozen     []int  // procs frozen mid-migration at save time
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // saveSnapshot writes st atomically: gob to a temp file, fsync it, rename
 // over the snapshot path, fsync the directory — a crash at any point

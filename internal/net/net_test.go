@@ -17,9 +17,11 @@ import (
 
 func TestProtoRoundTrip(t *testing.T) {
 	req := request{
-		Op: opAcc, Array: 1, Session: 7, ReqID: 42, Token: 99, Epoch: 3, SEpoch: 6,
+		Op: opAcc, Array: 1, Session: 7, ReqID: 42, Token: 99, Epoch: 3, SEpoch: 6, PGen: 12,
 		Proc: 2, R0: 1, R1: 4, C0: 0, C1: 2, Alpha: -0.5,
-		Data: []float64{1.5, -2, 3.25, 0, 5, math.Pi},
+		Msg:    "migrate session 7",
+		Tokens: []uint64{1, 1 << 56, 0xfeedface},
+		Data:   []float64{1.5, -2, 3.25, 0, 5, math.Pi},
 	}
 	var back request
 	if err := decodeRequest(encodeRequest(nil, &req), &back); err != nil {
@@ -28,7 +30,8 @@ func TestProtoRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(req, back) {
 		t.Fatalf("request round trip: got %+v, want %+v", back, req)
 	}
-	resp := response{Status: statusErr, Dup: 1, ReqID: 42, SEpoch: 6, Msg: "boom", Data: []float64{7, 8}}
+	resp := response{Status: statusErr, Dup: 1, ReqID: 42, SEpoch: 6, PGen: 12, Msg: "boom",
+		Tokens: []uint64{3, 9}, Data: []float64{7, 8}}
 	var rback response
 	if err := decodeResponse(encodeResponse(nil, &resp), &rback); err != nil {
 		t.Fatalf("decode response: %v", err)

@@ -1,0 +1,211 @@
+package netga
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Elastic placement: a versioned consistent block->shard mapping that
+// replaces the fixed SplitProcs slot arithmetic. A "block" is one proc of
+// the 2D process grid (it owns one rectangular patch of D and F); the
+// placement says which fleet member hosts each block at a given
+// generation. Rebalance is a pure, deterministic function of (previous
+// placement, new member set): every party that computes it from the same
+// inputs derives the identical map, and the set of blocks that move is
+// minimal — a member join or leave moves at most ceil(blocks/n) blocks,
+// never a full reshuffle.
+
+// Member is one shard server in the fleet view.
+type Member struct {
+	ID          uint64 `json:"id"`                // stable member identity (survives promotion)
+	Addr        string `json:"addr"`              // current serving address
+	Standby     string `json:"standby,omitempty"` // hot-standby address, if any
+	Epoch       uint64 `json:"epoch"`             // shard fence epoch of the serving address
+	Incarnation uint64 `json:"incarnation"`       // bumped on rejoin / promotion
+	LeaseExpiry int64  `json:"lease_expiry"`      // unix nanos; the failure detector's deadline
+}
+
+// Placement is one generation of the block->member map. Assign[p] is the
+// index into Members of the member hosting grid proc p.
+type Placement struct {
+	Gen     uint64   `json:"gen"`
+	Members []Member `json:"members"`
+	Assign  []int    `json:"assign"`
+}
+
+// FleetView is the full membership + placement state the fleet serves:
+// what clients route by and members converge on. ViewGen counts
+// membership changes (join/leave/death/promotion); Placement.Gen counts
+// map flips (one per migrated block).
+type FleetView struct {
+	ViewGen   uint64    `json:"view_gen"`
+	Placement Placement `json:"placement"`
+}
+
+// MemberOf returns the member hosting proc p, or nil if the placement
+// does not cover it.
+func (pl *Placement) MemberOf(p int) *Member {
+	if p < 0 || p >= len(pl.Assign) {
+		return nil
+	}
+	k := pl.Assign[p]
+	if k < 0 || k >= len(pl.Members) {
+		return nil
+	}
+	return &pl.Members[k]
+}
+
+// HostedBy returns the procs assigned to member id, in proc order.
+func (pl *Placement) HostedBy(id uint64) []int {
+	var out []int
+	for p, k := range pl.Assign {
+		if k >= 0 && k < len(pl.Members) && pl.Members[k].ID == id {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Moves lists the procs whose owning member differs between two
+// placements (compared by member ID, so a promotion — same ID, new
+// address — is not a move).
+func Moves(from, to *Placement) []int {
+	var out []int
+	for p := range to.Assign {
+		tm := to.MemberOf(p)
+		fm := from.MemberOf(p)
+		if tm == nil {
+			continue
+		}
+		if fm == nil || fm.ID != tm.ID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Rebalance computes the next placement for nprocs blocks over the given
+// members, moving as few blocks as possible away from prev (nil for a
+// fresh fleet). It is deterministic: members are ordered by ID, quota
+// remainders go to the members currently owning the most blocks (ties by
+// ID), and orphaned blocks are assigned in proc order to the first member
+// below quota. With an unchanged member set and a balanced prev it
+// returns prev's assignment unchanged (at the same Gen+1 only when the
+// caller installs it; Rebalance itself leaves Gen = prev.Gen so callers
+// bump it per cutover).
+//
+// Movement bound: every member's quota is floor(nprocs/n) or
+// ceil(nprocs/n), a surviving owner keeps its blocks up to quota, and
+// only over-quota or orphaned blocks move — so one join moves at most
+// ceil(nprocs/(n+1)) blocks (the newcomer's quota) and one leave moves
+// exactly the leaver's blocks, at most ceil(nprocs/n) of a balanced map.
+func Rebalance(prev *Placement, nprocs int, members []Member) *Placement {
+	ms := append([]Member(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	n := len(ms)
+	next := &Placement{Members: ms, Assign: make([]int, nprocs)}
+	if prev != nil {
+		next.Gen = prev.Gen
+	}
+	if n == 0 {
+		for p := range next.Assign {
+			next.Assign[p] = -1
+		}
+		return next
+	}
+	idx := make(map[uint64]int, n) // member ID -> index in ms
+	for k, m := range ms {
+		idx[m.ID] = k
+	}
+
+	// Current ownership per surviving member (by new index).
+	owned := make([]int, n)
+	prevOwner := make([]int, nprocs) // new-index owner of p in prev, -1 if none
+	for p := range prevOwner {
+		prevOwner[p] = -1
+		if prev != nil {
+			if m := prev.MemberOf(p); m != nil {
+				if k, ok := idx[m.ID]; ok {
+					prevOwner[p] = k
+					owned[k]++
+				}
+			}
+		}
+	}
+
+	// Quotas: floor or ceil of nprocs/n; the nprocs%n ceil seats go to the
+	// members owning the most blocks today (ties broken by ID order), so an
+	// already-balanced map keeps its remainder where it lies and moves
+	// nothing.
+	quota := make([]int, n)
+	lo, extra := nprocs/n, nprocs%n
+	for k := range quota {
+		quota[k] = lo
+	}
+	order := make([]int, n)
+	for k := range order {
+		order[k] = k
+	}
+	sort.SliceStable(order, func(i, j int) bool { return owned[order[i]] > owned[order[j]] })
+	for i := 0; i < extra; i++ {
+		quota[order[i]]++
+	}
+
+	// Pass 1: surviving owners keep their blocks (in proc order) up to
+	// quota; everything else is orphaned.
+	count := make([]int, n)
+	var orphans []int
+	for p := 0; p < nprocs; p++ {
+		k := prevOwner[p]
+		if k >= 0 && count[k] < quota[k] {
+			next.Assign[p] = k
+			count[k]++
+		} else {
+			next.Assign[p] = -1
+			orphans = append(orphans, p)
+		}
+	}
+
+	// Pass 2: orphans fill members below quota, in member-ID order.
+	fill := 0
+	for _, p := range orphans {
+		for count[fill] >= quota[fill] {
+			fill++
+		}
+		next.Assign[p] = fill
+		count[fill]++
+	}
+	return next
+}
+
+// Validate checks internal consistency of a placement for nprocs blocks.
+func (pl *Placement) Validate(nprocs int) error {
+	if len(pl.Assign) != nprocs {
+		return fmt.Errorf("netga: placement covers %d procs, want %d", len(pl.Assign), nprocs)
+	}
+	for p, k := range pl.Assign {
+		if k < 0 || k >= len(pl.Members) {
+			return fmt.Errorf("netga: proc %d assigned to member index %d of %d", p, k, len(pl.Members))
+		}
+	}
+	return nil
+}
+
+// encodeView / decodeView are the wire codec of the fleet view (JSON in
+// the Msg field — control-plane traffic, never on the data path).
+func encodeView(v *FleetView) string {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return "{}"
+	}
+	return string(blob)
+}
+
+func decodeView(s string) (*FleetView, error) {
+	var v FleetView
+	if err := json.Unmarshal([]byte(s), &v); err != nil {
+		return nil, fmt.Errorf("netga: bad fleet view: %w", err)
+	}
+	return &v, nil
+}

@@ -1,0 +1,156 @@
+package netga
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randMembers draws n members with distinct IDs from r.
+func randMembers(r *rand.Rand, n int) []Member {
+	used := map[uint64]bool{}
+	out := make([]Member, 0, n)
+	for len(out) < n {
+		id := uint64(r.Intn(1000)) + 1
+		if used[id] {
+			continue
+		}
+		used[id] = true
+		out = append(out, Member{ID: id, Addr: "x", Epoch: 1})
+	}
+	return out
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// assertBalanced checks every member owns floor or ceil of nprocs/n blocks.
+func assertBalanced(t *testing.T, pl *Placement, nprocs int) {
+	t.Helper()
+	n := len(pl.Members)
+	count := make([]int, n)
+	for p, k := range pl.Assign {
+		if k < 0 || k >= n {
+			t.Fatalf("proc %d assigned to %d of %d members", p, k, n)
+		}
+		count[k]++
+	}
+	lo, hi := nprocs/n, ceilDiv(nprocs, n)
+	for k, c := range count {
+		if c < lo || c > hi {
+			t.Fatalf("member %d owns %d blocks, want in [%d,%d]", pl.Members[k].ID, c, lo, hi)
+		}
+	}
+}
+
+// TestRebalanceProperties drives Rebalance through random fleets growing
+// and shrinking by one member and checks the elastic-placement contract:
+// the map is a deterministic pure function of (prev, members) regardless
+// of member input order, it is idempotent for an unchanged fleet, it
+// stays balanced, and the moved set is minimal — a join moves at most
+// ceil(nprocs/(n+1)) blocks, a leave at most ceil(nprocs/n).
+func TestRebalanceProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nprocs := 1 + r.Intn(40)
+		n := 1 + r.Intn(8)
+		members := randMembers(r, n)
+
+		cur := Rebalance(nil, nprocs, members)
+		if err := cur.Validate(nprocs); err != nil {
+			t.Fatalf("trial %d: fresh placement invalid: %v", trial, err)
+		}
+		assertBalanced(t, cur, nprocs)
+
+		// Determinism: an independently computed view from a shuffled copy
+		// of the same membership must be identical block for block.
+		shuf := append([]Member(nil), members...)
+		r.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		again := Rebalance(nil, nprocs, shuf)
+		for p := range cur.Assign {
+			if cur.MemberOf(p).ID != again.MemberOf(p).ID {
+				t.Fatalf("trial %d: shuffled input changed owner of proc %d", trial, p)
+			}
+		}
+
+		// Idempotence: same fleet, no moves.
+		same := Rebalance(cur, nprocs, members)
+		if mv := Moves(cur, same); len(mv) != 0 {
+			t.Fatalf("trial %d: unchanged fleet moved %d blocks: %v", trial, len(mv), mv)
+		}
+
+		// Join: one new member, moves bounded by the newcomer's quota.
+		joined := append(append([]Member(nil), members...), randMembers2(r, members))
+		grown := Rebalance(cur, nprocs, joined)
+		if err := grown.Validate(nprocs); err != nil {
+			t.Fatalf("trial %d: grown placement invalid: %v", trial, err)
+		}
+		assertBalanced(t, grown, nprocs)
+		if mv := Moves(cur, grown); len(mv) > ceilDiv(nprocs, n+1) {
+			t.Fatalf("trial %d: join moved %d blocks, bound %d", trial, len(mv), ceilDiv(nprocs, n+1))
+		}
+		// Every moved block must land on the newcomer: survivors never move.
+		newID := joined[len(joined)-1].ID
+		for _, p := range Moves(cur, grown) {
+			if grown.MemberOf(p).ID != newID {
+				t.Fatalf("trial %d: join moved proc %d to survivor %d", trial, p, grown.MemberOf(p).ID)
+			}
+		}
+
+		// Leave: drop one member, only its blocks move.
+		if n > 1 {
+			gone := members[r.Intn(n)]
+			var rest []Member
+			for _, m := range members {
+				if m.ID != gone.ID {
+					rest = append(rest, m)
+				}
+			}
+			shrunk := Rebalance(cur, nprocs, rest)
+			if err := shrunk.Validate(nprocs); err != nil {
+				t.Fatalf("trial %d: shrunk placement invalid: %v", trial, err)
+			}
+			assertBalanced(t, shrunk, nprocs)
+			moved := Moves(cur, shrunk)
+			if len(moved) > ceilDiv(nprocs, n) {
+				t.Fatalf("trial %d: leave moved %d blocks, bound %d", trial, len(moved), ceilDiv(nprocs, n))
+			}
+			was := map[int]bool{}
+			for _, p := range cur.HostedBy(gone.ID) {
+				was[p] = true
+			}
+			for _, p := range moved {
+				if !was[p] {
+					t.Fatalf("trial %d: leave moved proc %d not owned by leaver", trial, p)
+				}
+			}
+		}
+	}
+}
+
+// randMembers2 returns one fresh member whose ID collides with none of the
+// existing ones.
+func randMembers2(r *rand.Rand, existing []Member) Member {
+	used := map[uint64]bool{}
+	for _, m := range existing {
+		used[m.ID] = true
+	}
+	for {
+		id := uint64(r.Intn(2000)) + 1
+		if !used[id] {
+			return Member{ID: id, Addr: "y", Epoch: 1}
+		}
+	}
+}
+
+// TestRebalanceEmptyFleet covers the degenerate no-members case: every
+// block unassigned, nothing to validate.
+func TestRebalanceEmptyFleet(t *testing.T) {
+	pl := Rebalance(nil, 4, nil)
+	for p, k := range pl.Assign {
+		if k != -1 {
+			t.Fatalf("proc %d assigned to %d in empty fleet", p, k)
+		}
+	}
+	if pl.MemberOf(0) != nil {
+		t.Fatalf("MemberOf returned a member in an empty fleet")
+	}
+}

@@ -28,6 +28,15 @@ const (
 	opMembership                  // read the cluster membership map (JSON in Msg)
 	opPromote                     // promote a standby to primary at the fence epoch in SEpoch
 	opSubscribe                   // standby -> primary: hijack this conn into a replication stream
+
+	// Elastic fleet ops (lease-based membership + live resharding).
+	opJoin    // member -> fleet: register {id, addr, standby, incarnation} (JSON in Msg)
+	opLeave   // member -> fleet: graceful leave; blocks are migrated off first
+	opLease   // member -> fleet: heartbeat renewing the membership lease
+	opView    // anyone -> fleet: fetch the full fleet view (members + placement)
+	opFreeze  // fleet -> shard: freeze writes to proc (durable), return its D/F state + dedup tokens
+	opMigrate // fleet -> shard: install a migrated block's state + tokens and host its proc
+	opSetGen  // fleet -> shard: adopt placement generation PGen; Proc >= 0 also drops that proc
 )
 
 // Response statuses.
@@ -60,28 +69,35 @@ type request struct {
 	Token          uint64 // Acc idempotency token; 0 = no dedup
 	Epoch          int64
 	SEpoch         uint64 // shard fence epoch; bumped by standby promotion
+	PGen           uint64 // placement generation the issuer routed by; 0 = static placement
 	Proc           int32  // issuing rank; -1 for driver-side ops
 	R0, R1, C0, C1 int32
 	Alpha          float64
-	Data           []float64
+	Msg            string    // fleet-op JSON payload (join/leave/lease)
+	Tokens         []uint64  // migrated dedup tokens (opMigrate)
+	Data           []float64 // patch payload; for opMigrate: D block then F block
 }
 
 // response is one server->client frame, matched to its request by ReqID.
 // SEpoch reports the serving shard's current fence epoch on every
-// response, so clients resync their routing state for free.
+// response, and PGen its placement generation, so clients resync their
+// routing state for free.
 type response struct {
 	Status uint8
 	Dup    uint8 // Acc was a token-dedup hit: acknowledged, not re-applied
 	ReqID  uint64
 	SEpoch uint64
+	PGen   uint64 // serving shard's placement generation (0 = static)
 	Msg    string
+	Tokens []uint64 // dedup tokens of a frozen block (opFreeze)
 	Data   []float64
 }
 
 // reqHeaderLen is the fixed-size prefix of an encoded request:
 // op+array (2) + session+reqid+token (24) + epoch (8) + sepoch (8) +
-// proc+4 coords (20) + alpha (8) + data count (4).
-const reqHeaderLen = 2 + 24 + 8 + 8 + 20 + 8 + 4
+// pgen (8) + proc+4 coords (20) + alpha (8) + msg len (2) +
+// token count (4) + data count (4).
+const reqHeaderLen = 2 + 24 + 8 + 8 + 8 + 20 + 8 + 2 + 4 + 4
 
 func encodeRequest(buf []byte, r *request) []byte {
 	buf = buf[:0]
@@ -91,13 +107,20 @@ func encodeRequest(buf []byte, r *request) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, r.Token)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Epoch))
 	buf = binary.LittleEndian.AppendUint64(buf, r.SEpoch)
+	buf = binary.LittleEndian.AppendUint64(buf, r.PGen)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Proc))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.R0))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.R1))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.C0))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.C1))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Alpha))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Msg)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Tokens)))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Data)))
+	buf = append(buf, r.Msg...)
+	for _, t := range r.Tokens {
+		buf = binary.LittleEndian.AppendUint64(buf, t)
+	}
 	for _, v := range r.Data {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 	}
@@ -114,32 +137,45 @@ func decodeRequest(body []byte, r *request) error {
 	r.Token = binary.LittleEndian.Uint64(body[18:])
 	r.Epoch = int64(binary.LittleEndian.Uint64(body[26:]))
 	r.SEpoch = binary.LittleEndian.Uint64(body[34:])
-	r.Proc = int32(binary.LittleEndian.Uint32(body[42:]))
-	r.R0 = int32(binary.LittleEndian.Uint32(body[46:]))
-	r.R1 = int32(binary.LittleEndian.Uint32(body[50:]))
-	r.C0 = int32(binary.LittleEndian.Uint32(body[54:]))
-	r.C1 = int32(binary.LittleEndian.Uint32(body[58:]))
-	r.Alpha = math.Float64frombits(binary.LittleEndian.Uint64(body[62:]))
-	n := int(binary.LittleEndian.Uint32(body[70:]))
-	if len(body) != reqHeaderLen+8*n {
-		return fmt.Errorf("netga: request frame length %d does not match %d data values", len(body), n)
+	r.PGen = binary.LittleEndian.Uint64(body[42:])
+	r.Proc = int32(binary.LittleEndian.Uint32(body[50:]))
+	r.R0 = int32(binary.LittleEndian.Uint32(body[54:]))
+	r.R1 = int32(binary.LittleEndian.Uint32(body[58:]))
+	r.C0 = int32(binary.LittleEndian.Uint32(body[62:]))
+	r.C1 = int32(binary.LittleEndian.Uint32(body[66:]))
+	r.Alpha = math.Float64frombits(binary.LittleEndian.Uint64(body[70:]))
+	ml := int(binary.LittleEndian.Uint16(body[78:]))
+	nt := int(binary.LittleEndian.Uint32(body[80:]))
+	n := int(binary.LittleEndian.Uint32(body[84:]))
+	if len(body) != reqHeaderLen+ml+8*nt+8*n {
+		return fmt.Errorf("netga: request frame length %d does not match msg %d + %d tokens + %d data values", len(body), ml, nt, n)
 	}
-	r.Data = decodeFloats(body[reqHeaderLen:], n)
+	off := reqHeaderLen
+	r.Msg = string(body[off : off+ml])
+	off += ml
+	r.Tokens = decodeUint64s(body[off:], nt)
+	off += 8 * nt
+	r.Data = decodeFloats(body[off:], n)
 	return nil
 }
 
-// respHeaderLen: status+dup (2) + reqid (8) + sepoch (8) + msg len (2) +
-// data count (4).
-const respHeaderLen = 2 + 8 + 8 + 2 + 4
+// respHeaderLen: status+dup (2) + reqid (8) + sepoch (8) + pgen (8) +
+// msg len (2) + token count (4) + data count (4).
+const respHeaderLen = 2 + 8 + 8 + 8 + 2 + 4 + 4
 
 func encodeResponse(buf []byte, r *response) []byte {
 	buf = buf[:0]
 	buf = append(buf, r.Status, r.Dup)
 	buf = binary.LittleEndian.AppendUint64(buf, r.ReqID)
 	buf = binary.LittleEndian.AppendUint64(buf, r.SEpoch)
+	buf = binary.LittleEndian.AppendUint64(buf, r.PGen)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Msg)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Tokens)))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Data)))
 	buf = append(buf, r.Msg...)
+	for _, t := range r.Tokens {
+		buf = binary.LittleEndian.AppendUint64(buf, t)
+	}
 	for _, v := range r.Data {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 	}
@@ -153,14 +189,31 @@ func decodeResponse(body []byte, r *response) error {
 	r.Status, r.Dup = body[0], body[1]
 	r.ReqID = binary.LittleEndian.Uint64(body[2:])
 	r.SEpoch = binary.LittleEndian.Uint64(body[10:])
-	ml := int(binary.LittleEndian.Uint16(body[18:]))
-	n := int(binary.LittleEndian.Uint32(body[20:]))
-	if len(body) != respHeaderLen+ml+8*n {
-		return fmt.Errorf("netga: response frame length %d does not match msg %d + %d data values", len(body), ml, n)
+	r.PGen = binary.LittleEndian.Uint64(body[18:])
+	ml := int(binary.LittleEndian.Uint16(body[26:]))
+	nt := int(binary.LittleEndian.Uint32(body[28:]))
+	n := int(binary.LittleEndian.Uint32(body[32:]))
+	if len(body) != respHeaderLen+ml+8*nt+8*n {
+		return fmt.Errorf("netga: response frame length %d does not match msg %d + %d tokens + %d data values", len(body), ml, nt, n)
 	}
-	r.Msg = string(body[respHeaderLen : respHeaderLen+ml])
-	r.Data = decodeFloats(body[respHeaderLen+ml:], n)
+	off := respHeaderLen
+	r.Msg = string(body[off : off+ml])
+	off += ml
+	r.Tokens = decodeUint64s(body[off:], nt)
+	off += 8 * nt
+	r.Data = decodeFloats(body[off:], n)
 	return nil
+}
+
+func decodeUint64s(b []byte, n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
 }
 
 // A record is one durable/replicated state mutation: an 8-byte sequence

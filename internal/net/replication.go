@@ -244,10 +244,19 @@ func (s *Server) installState(st *snapshotState) error {
 	}
 	s.session = st.Session
 	s.epoch.Store(st.Epoch)
+	s.pgen.Store(st.PGen)
 	s.seq = st.Seq
 	s.ckptGen = st.Checkpoint
 	s.seenCur = tokenSet(st.SeenCur)
 	s.seenPrev = tokenSet(st.SeenPrev)
+	s.hosts = map[int]bool{}
+	for _, p := range st.Hosts {
+		s.hosts[p] = true
+	}
+	s.frozen = map[int]bool{}
+	for _, p := range st.Frozen {
+		s.frozen[p] = true
+	}
 	for p := range s.locks {
 		s.locks[p].Lock()
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -17,6 +18,25 @@ import (
 // single-shot faults (resets, duplicate delivery) recover on the next
 // attempt and never reach it; a dead server does.
 const failoverAfter = 3
+
+// Failover and view-refresh attempts back off exponentially with jitter:
+// a dead primary plus slow membership convergence must not hot-spin the
+// router through promotion probes and fleet lookups on every retry.
+const (
+	failoverBackoffMin = 10 * time.Millisecond
+	failoverBackoffMax = time.Second
+	minViewRefresh     = 5 * time.Millisecond
+)
+
+// jittered spreads a backoff wait over [wait/2, wait] so synchronized
+// retriers desynchronize.
+func jittered(wait time.Duration) time.Duration {
+	if wait <= 1 {
+		return wait
+	}
+	half := wait / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
 
 // Router is the shared routing state of one driver process: for each
 // shard server slot, the address currently serving it, the shard fence
@@ -33,14 +53,30 @@ type Router struct {
 
 	mu    sync.Mutex
 	slots []routeSlot
+
+	// Elastic mode (fleetAddr != ""): slots are allocated dynamically, one
+	// per fleet member ever seen, and routing goes through the published
+	// placement instead of fixed slot arithmetic. Slots are append-only —
+	// a member that leaves keeps its index (nothing routes to it), so
+	// connection pools keyed by slot stay valid across churn.
+	fleetAddr     string
+	view          *FleetView
+	slotOf        map[uint64]int // member ID -> slot index
+	nextRefreshAt time.Time
+	refreshWait   time.Duration
 }
 
 type routeSlot struct {
+	id        uint64 // fleet member ID (0 in static mode)
 	addr      string
 	standby   string
 	epoch     uint64
 	fails     int
 	promoting bool // single-flight guard on the failover path
+
+	// Failover pacing (the anti-hot-spin backoff).
+	failoverWait   time.Duration
+	nextFailoverAt time.Time
 }
 
 // NewRouter creates routing state for the given primaries. standbys may
@@ -61,8 +97,148 @@ func NewRouter(addrs, standbys []string, opTimeout time.Duration, rpc *metrics.R
 	return rt
 }
 
+// NewFleetRouter creates elastic routing state fed by the fleet
+// coordinator at fleetAddr. Slots appear as members do; callers must
+// RefreshView before the first route. rpc may be nil.
+func NewFleetRouter(fleetAddr string, opTimeout time.Duration, rpc *metrics.RPC) *Router {
+	if opTimeout <= 0 {
+		opTimeout = 2 * time.Second
+	}
+	return &Router{
+		opTimeout: opTimeout,
+		rpc:       rpc,
+		fleetAddr: fleetAddr,
+		slotOf:    map[uint64]int{},
+	}
+}
+
 // Slots returns the number of shard server slots routed.
-func (rt *Router) Slots() int { return len(rt.slots) }
+func (rt *Router) Slots() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.slots)
+}
+
+// elastic reports whether this router routes by fleet placement.
+func (rt *Router) elastic() bool { return rt.fleetAddr != "" }
+
+// pgen returns the placement generation requests must carry (0 in static
+// mode, where servers skip the placement fence).
+func (rt *Router) pgen() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.view == nil {
+		return 0
+	}
+	return rt.view.Placement.Gen
+}
+
+// slotFor resolves the slot hosting grid proc p under the current view.
+// A negative slot means the view does not (yet) assign the block — the
+// caller refreshes and retries.
+func (rt *Router) slotFor(p int) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.view == nil {
+		return -1
+	}
+	m := rt.view.Placement.MemberOf(p)
+	if m == nil {
+		return -1
+	}
+	slot, ok := rt.slotOf[m.ID]
+	if !ok {
+		return -1
+	}
+	return slot
+}
+
+// RefreshView fetches the fleet view, throttled (frequent callers inside
+// a retry loop collapse to one fetch per interval) and with jittered
+// capped backoff after failures so a dead fleet or slow convergence
+// doesn't hot-spin the lookup path. A throttled call returns nil: the
+// caller routes on the view it has.
+func (rt *Router) RefreshView() error { return rt.refreshView(false) }
+
+func (rt *Router) refreshView(force bool) error {
+	rt.mu.Lock()
+	if rt.fleetAddr == "" {
+		rt.mu.Unlock()
+		return errors.New("netga: router has no fleet")
+	}
+	now := time.Now()
+	if !force && now.Before(rt.nextRefreshAt) {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.nextRefreshAt = now.Add(rt.opTimeout) // hold off others while in flight
+	addr := rt.fleetAddr
+	rt.mu.Unlock()
+
+	resp, err := rt.oneShot(addr, &request{Op: opView})
+	var v *FleetView
+	if err == nil {
+		if resp.Status != statusOK {
+			err = fmt.Errorf("netga: fleet view: %s", resp.Msg)
+		} else {
+			v, err = decodeView(resp.Msg)
+		}
+	}
+	if err != nil {
+		rt.mu.Lock()
+		if rt.refreshWait == 0 {
+			rt.refreshWait = failoverBackoffMin
+		} else if rt.refreshWait < failoverBackoffMax {
+			rt.refreshWait *= 2
+		}
+		rt.nextRefreshAt = time.Now().Add(jittered(rt.refreshWait))
+		rt.mu.Unlock()
+		return err
+	}
+	rt.applyView(v)
+	rt.rpc.AddViewRefresh()
+	rt.mu.Lock()
+	rt.refreshWait = 0
+	rt.nextRefreshAt = time.Now().Add(minViewRefresh)
+	rt.mu.Unlock()
+	return nil
+}
+
+// applyView folds a fetched view into the routing state: new members get
+// fresh slots, known members update in place (an address change — a
+// promotion or a durable restart elsewhere — resets the failure and
+// backoff state so the new address gets a clean start). Stale views
+// (older ViewGen) are dropped.
+func (rt *Router) applyView(v *FleetView) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.view != nil && v.ViewGen < rt.view.ViewGen {
+		return
+	}
+	if rt.view != nil && v.ViewGen == rt.view.ViewGen && v.Placement.Gen < rt.view.Placement.Gen {
+		return
+	}
+	for _, m := range v.Placement.Members {
+		slot, ok := rt.slotOf[m.ID]
+		if !ok {
+			slot = len(rt.slots)
+			rt.slots = append(rt.slots, routeSlot{id: m.ID, addr: m.Addr, standby: m.Standby, epoch: 1})
+			rt.slotOf[m.ID] = slot
+		}
+		s := &rt.slots[slot]
+		if s.addr != m.Addr {
+			s.addr = m.Addr
+			s.fails = 0
+			s.failoverWait = 0
+			s.nextFailoverAt = time.Time{}
+		}
+		s.standby = m.Standby
+		if m.Epoch > s.epoch {
+			s.epoch = m.Epoch
+		}
+	}
+	rt.view = v
+}
 
 // addr returns the address currently serving slot.
 func (rt *Router) addr(slot int) string {
@@ -92,20 +268,41 @@ func (rt *Router) observe(slot int, sepoch uint64) {
 	rt.mu.Unlock()
 }
 
-// success resets slot's consecutive-failure count.
+// success resets slot's consecutive-failure count and failover backoff.
 func (rt *Router) success(slot int) {
 	rt.mu.Lock()
-	rt.slots[slot].fails = 0
+	s := &rt.slots[slot]
+	s.fails = 0
+	s.failoverWait = 0
+	s.nextFailoverAt = time.Time{}
 	rt.mu.Unlock()
 }
 
 // failure counts one transport failure against slot and reports whether
-// the slot has crossed the failover threshold.
+// the caller should attempt a failover now. Crossing the threshold is
+// necessary but not sufficient: failover probes are paced by a jittered
+// exponential backoff per slot, so a dead primary with no (or a slow)
+// standby doesn't make every retry loop hammer promotion and membership
+// lookups — callers between backoff deadlines just keep retrying the op.
 func (rt *Router) failure(slot int) bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	rt.slots[slot].fails++
-	return rt.slots[slot].fails >= failoverAfter
+	s := &rt.slots[slot]
+	s.fails++
+	if s.fails < failoverAfter {
+		return false
+	}
+	now := time.Now()
+	if now.Before(s.nextFailoverAt) {
+		return false
+	}
+	if s.failoverWait == 0 {
+		s.failoverWait = failoverBackoffMin
+	} else if s.failoverWait < failoverBackoffMax {
+		s.failoverWait *= 2
+	}
+	s.nextFailoverAt = now.Add(jittered(s.failoverWait))
+	return true
 }
 
 // errFailoverInFlight reports another goroutine is already promoting this
@@ -168,8 +365,15 @@ func (rt *Router) Failover(slot int) error {
 
 // lookupStandby asks the other live servers for the membership map and
 // returns slot's standby address ("" if nobody knows one). Learned
-// standbys for all slots are cached along the way.
+// standbys for all slots are cached along the way. In elastic mode the
+// fleet view is the membership map, so a forced refresh answers directly.
 func (rt *Router) lookupStandby(slot int) string {
+	if rt.elastic() {
+		rt.refreshView(true)
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		return rt.slots[slot].standby
+	}
 	rt.mu.Lock()
 	addrs := make([]string, len(rt.slots))
 	for i := range rt.slots {

@@ -1,0 +1,141 @@
+package netga
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gtfock/internal/dist"
+)
+
+// Concurrent promotion is single-flight: many goroutines observing the
+// same dead primary and racing into Failover produce exactly one
+// opPromote at epoch+1 — losers get errFailoverInFlight (or see the
+// already-swapped route) and simply retry their op. Run under -race.
+func TestRouterConcurrentPromotionSingleFlight(t *testing.T) {
+	grid := dist.UniformGrid2D(1, 1, 4, 4)
+	primary := NewServer(grid, []int{0})
+	paddr, err := primary.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := NewServer(grid, []int{0}, WithStandby(paddr))
+	sbaddr, err := sb.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sb.Close)
+	waitFor(t, 5*time.Second, func() bool {
+		primary.mu.Lock()
+		defer primary.mu.Unlock()
+		return primary.sub != nil
+	}, "standby subscription")
+
+	rt := NewRouter([]string{paddr}, []string{sbaddr}, time.Second, nil)
+	primary.Kill()
+
+	const racers = 8
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var wins, inFlight, other int
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each racer independently crosses the failure threshold, as a
+			// fleet of worker goroutines would after a primary death.
+			for k := 0; k < failoverAfter; k++ {
+				rt.failure(0)
+			}
+			err := rt.Failover(0)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				wins++
+			case err == errFailoverInFlight:
+				inFlight++
+			default:
+				other++
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Exactly one promotion reached the standby, and it fenced at epoch 2.
+	st := sb.Stats()
+	if st.Promotions != 1 {
+		t.Fatalf("standby saw %d promotions, want exactly 1 (racers: %d wins, %d in-flight, %d other)",
+			st.Promotions, wins, inFlight, other)
+	}
+	if st.Standby || st.Epoch != 2 {
+		t.Fatalf("standby after promotion: %+v", st)
+	}
+	if wins < 1 {
+		t.Fatalf("no racer completed the failover (%d in-flight, %d other)", inFlight, other)
+	}
+	// The route now points at the standby at the new epoch.
+	if got := rt.addr(0); got != sbaddr {
+		t.Fatalf("slot 0 routed to %s, want the promoted standby %s", got, sbaddr)
+	}
+	if e := rt.epoch(0); e != 2 {
+		t.Fatalf("slot 0 epoch %d, want 2", e)
+	}
+	// Losers that neither won nor hit the in-flight gate must have failed
+	// for the benign "consumed standby" reason, never a double promote.
+	if other > 0 && wins+inFlight+other != racers {
+		t.Fatalf("racer outcomes do not add up: %d+%d+%d != %d", wins, inFlight, other, racers)
+	}
+}
+
+// After the standby was consumed by a promotion, a later failover attempt
+// (primary dead again, no standby left) fails cleanly without touching
+// the route.
+func TestRouterFailoverWithoutStandbyFails(t *testing.T) {
+	grid := dist.UniformGrid2D(1, 1, 4, 4)
+	primary := NewServer(grid, []int{0})
+	paddr, err := primary.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(primary.Close)
+	rt := NewRouter([]string{paddr}, nil, 250*time.Millisecond, nil)
+	err = rt.Failover(0)
+	if err == nil || !strings.Contains(err.Error(), "no standby") {
+		t.Fatalf("failover with no standby: %v, want a no-standby error", err)
+	}
+	if got := rt.addr(0); got != paddr {
+		t.Fatalf("failed failover moved the route to %s", got)
+	}
+}
+
+// The per-slot failover gate backs off: once the threshold fires, an
+// immediately following burst of failures does not re-arm failover until
+// the backoff window has passed — the anti-hot-spin guarantee for a dead
+// primary with slow membership convergence.
+func TestRouterFailureBackoffGate(t *testing.T) {
+	rt := NewRouter([]string{"127.0.0.1:1"}, nil, time.Second, nil)
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if rt.failure(0) {
+			fired++
+		}
+	}
+	// First arm fires at the threshold; the rest of the burst is absorbed
+	// by the backoff window (failoverBackoffMin with jitter >= half of it,
+	// far longer than this loop).
+	if fired != 1 {
+		t.Fatalf("failure() armed %d times in a tight burst, want 1", fired)
+	}
+	// success resets both the counter and the backoff.
+	rt.success(0)
+	for i := 0; i < failoverAfter-1; i++ {
+		if rt.failure(0) {
+			t.Fatal("failure() armed below the threshold after a success")
+		}
+	}
+	if !rt.failure(0) {
+		t.Fatal("failure() did not re-arm at the threshold after a success reset")
+	}
+}

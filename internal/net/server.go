@@ -49,8 +49,17 @@ type Server struct {
 	closed   bool
 	draining bool
 
-	// Role and shard fence epoch: written under mu, read lock-free.
+	// Elastic placement state (under mu): frozen blocks reject writes
+	// (statusRetry) while their state is in flight to a new owner. The
+	// hosted-proc set is mutable — the fleet installs and drops blocks at
+	// runtime via opMigrate/opSetGen.
+	frozen map[int]bool
+
+	// Role and shard fence epoch: written under mu, read lock-free. pgen
+	// is the placement generation this shard serves at (0 = static
+	// placement, no fencing); it moves only forward.
 	epoch   atomic.Uint64
+	pgen    atomic.Uint64
 	standby atomic.Bool
 
 	// Durability state (jr == nil: volatile server).
@@ -79,6 +88,7 @@ type Server struct {
 	journalRecords, replayed, snapshots              atomic.Int64
 	promotions, checkpoints, tokensEvicted           atomic.Int64
 	fencedOps, replSent, replApplied                 atomic.Int64
+	freezes, blocksIn, blocksOut, placementFenced    atomic.Int64
 }
 
 // Membership is the small cluster map every fockd can serve: the primary
@@ -150,6 +160,14 @@ type ServerStats struct {
 	FencedOps      int64 `json:"fenced_ops,omitempty"` // ops rejected by the shard-epoch fence
 	ReplSent       int64 `json:"repl_sent,omitempty"`  // records forwarded to the standby
 	ReplApplied    int64 `json:"repl_applied,omitempty"`
+
+	PGen            uint64 `json:"pgen,omitempty"`             // placement generation (0 = static)
+	HostedProcs     int    `json:"hosted_procs"`               // blocks currently hosted
+	FrozenProcs     int    `json:"frozen_procs,omitempty"`     // blocks frozen for out-migration
+	Freezes         int64  `json:"freezes,omitempty"`          // opFreeze cutovers started here
+	BlocksIn        int64  `json:"blocks_in,omitempty"`        // blocks installed by opMigrate
+	BlocksOut       int64  `json:"blocks_out,omitempty"`       // blocks dropped after cutover
+	PlacementFenced int64  `json:"placement_fenced,omitempty"` // ops rejected by the placement-gen fence
 }
 
 // NewServer creates a server for the blocks of the given procs. The
@@ -160,6 +178,7 @@ func NewServer(grid *dist.Grid2D, procs []int, opts ...ServerOption) *Server {
 	s := &Server{
 		grid:     grid,
 		hosts:    map[int]bool{},
+		frozen:   map[int]bool{},
 		seenCur:  map[uint64]bool{},
 		seenPrev: map[uint64]bool{},
 		locks:    make([]sync.Mutex, grid.NumProcs()),
@@ -246,6 +265,7 @@ func (s *Server) recover() error {
 		}
 		s.session = snap.Session
 		s.epoch.Store(snap.Epoch)
+		s.pgen.Store(snap.PGen)
 		s.standby.Store(snap.Standby && s.primaryAddr != "")
 		s.seq = snap.Seq
 		s.ckptGen = snap.Checkpoint
@@ -254,6 +274,16 @@ func (s *Server) recover() error {
 		}
 		s.seenCur = tokenSet(snap.SeenCur)
 		s.seenPrev = tokenSet(snap.SeenPrev)
+		// The snapshot records the true hosted/frozen sets at save time;
+		// they supersede the constructor's static assignment.
+		s.hosts = map[int]bool{}
+		for _, p := range snap.Hosts {
+			s.hosts[p] = true
+		}
+		s.frozen = map[int]bool{}
+		for _, p := range snap.Frozen {
+			s.frozen[p] = true
+		}
 	}
 	base := s.seq
 	_, good, err := replayJournal(s.dir, func(seq uint64, req *request) error {
@@ -313,6 +343,20 @@ func (s *Server) applyRecord(req *request) {
 		s.mu.Lock()
 		s.epoch.Store(req.SEpoch)
 		s.standby.Store(false)
+		s.mu.Unlock()
+	case opFreeze:
+		s.mu.Lock()
+		if p := int(req.Proc); p >= 0 && s.hosts[p] {
+			s.frozen[p] = true
+		}
+		s.mu.Unlock()
+	case opMigrate:
+		s.mu.Lock()
+		s.applyMigrateLocked(req)
+		s.mu.Unlock()
+	case opSetGen:
+		s.mu.Lock()
+		s.applySetGenLocked(req)
 		s.mu.Unlock()
 	case opPut:
 		s.applyPatch(req)
@@ -468,12 +512,19 @@ func (s *Server) snapshotStateLocked() *snapshotState {
 		Version: snapshotVersion,
 		Session: s.session,
 		Epoch:   s.epoch.Load(),
+		PGen:    s.pgen.Load(),
 		Standby: s.standby.Load(),
 		Rows:    s.grid.Rows, Cols: s.grid.Cols,
 		Seq:        s.seq,
 		SeenCur:    tokenList(s.seenCur),
 		SeenPrev:   tokenList(s.seenPrev),
 		Checkpoint: s.ckptGen,
+	}
+	for p := range s.hosts {
+		st.Hosts = append(st.Hosts, p)
+	}
+	for p := range s.frozen {
+		st.Frozen = append(st.Frozen, p)
 	}
 	for a := range s.arrays {
 		st.Arrays[a] = append([]float64(nil), s.arrays[a]...)
@@ -552,6 +603,7 @@ func (s *Server) Shutdown(wait time.Duration) {
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	live := int64(len(s.seenCur) + len(s.seenPrev))
+	hosted, frozen := len(s.hosts), len(s.frozen)
 	s.mu.Unlock()
 	return ServerStats{
 		Requests:   s.requests.Load(),
@@ -573,6 +625,14 @@ func (s *Server) Stats() ServerStats {
 		FencedOps:      s.fencedOps.Load(),
 		ReplSent:       s.replSent.Load(),
 		ReplApplied:    s.replApplied.Load(),
+
+		PGen:            s.pgen.Load(),
+		HostedProcs:     hosted,
+		FrozenProcs:     frozen,
+		Freezes:         s.freezes.Load(),
+		BlocksIn:        s.blocksIn.Load(),
+		BlocksOut:       s.blocksOut.Load(),
+		PlacementFenced: s.placementFenced.Load(),
 	}
 }
 
@@ -617,6 +677,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.inflight.Add(-1)
 		}
 		resp.SEpoch = s.epoch.Load()
+		resp.PGen = s.pgen.Load()
 		if resp.Status == statusErr {
 			s.rejects.Add(1)
 		}
@@ -659,9 +720,16 @@ func (s *Server) handle(req *request) response {
 		return s.promote(req)
 	case opCheckpoint:
 		return s.checkpoint(req)
+	case opFreeze:
+		return s.freezeBlock(req)
+	case opMigrate:
+		return s.migrateIn(req)
+	case opSetGen:
+		return s.setGen(req)
 	}
 
-	// Data ops: role, shard-epoch fence, then session.
+	// Data ops: role, shard-epoch fence, placement-generation fence, then
+	// session.
 	if s.standby.Load() {
 		return retryResp(req.ReqID, "netga: standby of %s: not promoted", s.primaryAddr)
 	}
@@ -671,6 +739,23 @@ func (s *Server) handle(req *request) response {
 			return retryResp(req.ReqID, "netga: shard superseded (epoch %d > %d)", req.SEpoch, cur)
 		}
 		return retryResp(req.ReqID, "netga: stale shard epoch %d (now %d)", req.SEpoch, cur)
+	}
+	// Placement fence, adopt-forward: a request routed by a NEWER map than
+	// this shard has seen proves that map exists (the fleet only hands out
+	// published generations), so the shard adopts it; a request routed by a
+	// SUPERSEDED map is refused so the client refetches the view. Requests
+	// with PGen 0 come from static-placement clients and bypass the fence.
+	if req.PGen != 0 {
+		for {
+			cur := s.pgen.Load()
+			if req.PGen < cur {
+				s.placementFenced.Add(1)
+				return retryResp(req.ReqID, "netga: stale placement gen %d (now %d)", req.PGen, cur)
+			}
+			if req.PGen == cur || s.pgen.CompareAndSwap(cur, req.PGen) {
+				break
+			}
+		}
 	}
 	s.mu.Lock()
 	sessionOK := s.session != 0 && req.Session == s.session
@@ -692,8 +777,11 @@ func (s *Server) handle(req *request) response {
 		return errResp(req.ReqID, "netga: patch spans %d owners, want 1", len(ps))
 	}
 	owner := ps[0].Proc
-	if !s.hosts[owner] {
-		return errResp(req.ReqID, "netga: proc %d not hosted here", owner)
+	s.mu.Lock()
+	hosted := s.hosts[owner]
+	s.mu.Unlock()
+	if !hosted {
+		return s.notHostedResp(req, owner)
 	}
 	w := c1 - c0
 	switch req.Op {
@@ -709,17 +797,43 @@ func (s *Server) handle(req *request) response {
 		if len(req.Data) != (r1-r0)*w {
 			return errResp(req.ReqID, "netga: payload %d values, want %d", len(req.Data), (r1-r0)*w)
 		}
-		return s.applyOp(req)
+		return s.applyOp(req, owner)
 	}
 	return errResp(req.ReqID, "netga: unknown op %d", req.Op)
+}
+
+// notHostedResp answers a request for a block this shard does not host.
+// Under elastic placement that is a routing race (the block moved, or the
+// map the client routed by is mid-cutover) and retryable after a view
+// refresh; under static placement it is a routing bug and fatal.
+func (s *Server) notHostedResp(req *request, owner int) response {
+	if s.pgen.Load() != 0 || req.PGen != 0 {
+		s.placementFenced.Add(1)
+		return retryResp(req.ReqID, "netga: proc %d not hosted here (placement moved)", owner)
+	}
+	return errResp(req.ReqID, "netga: proc %d not hosted here", owner)
 }
 
 // applyOp is the write path shared by Put and Acc: dedup check, journal
 // append and standby forward under s.mu (write-ahead: the record is
 // durable and replicated before the token becomes visible or the client
 // is acked), then the array mutation under the owner's patch lock.
-func (s *Server) applyOp(req *request) response {
+func (s *Server) applyOp(req *request, owner int) response {
 	s.mu.Lock()
+	// Re-check ownership and the migration freeze under mu: the early
+	// checks in handle are advisory (a cutover can land between them and
+	// here), this one is authoritative — a write must never slip into a
+	// block that has been frozen or handed off, or it would exist only on
+	// the superseded owner.
+	if !s.hosts[owner] {
+		s.mu.Unlock()
+		return s.notHostedResp(req, owner)
+	}
+	if s.frozen[owner] {
+		s.mu.Unlock()
+		s.placementFenced.Add(1)
+		return retryResp(req.ReqID, "netga: proc %d frozen (migrating)", owner)
+	}
 	if req.Op == opAcc && req.Token != 0 && (s.seenCur[req.Token] || s.seenPrev[req.Token]) {
 		s.mu.Unlock()
 		s.accDups.Add(1)
@@ -797,6 +911,12 @@ func (s *Server) hello(req *request) response {
 		s.seenPrev = map[uint64]bool{}
 		s.zeroArraysLocked()
 		s.sessions.Add(1)
+		// The journal reset above destroyed any journaled placement history
+		// (the opMigrate/opSetGen records that tell an elastic shard which
+		// blocks it hosts). Snapshot at the install point so a crash after
+		// this hello recovers the current host set, frozen set and placement
+		// generation instead of whatever an older snapshot remembered.
+		s.snapshotLocked()
 	}
 	return response{ReqID: req.ReqID}
 }
@@ -879,6 +999,177 @@ func (s *Server) promote(req *request) response {
 	}
 	s.promotions.Add(1)
 	return response{ReqID: req.ReqID}
+}
+
+// blockBounds returns the matrix rectangle owned by grid proc p.
+func (s *Server) blockBounds(p int) (r0, r1, c0, c1 int) {
+	i, j := s.grid.Coords(p)
+	return s.grid.RowCuts[i], s.grid.RowCuts[i+1], s.grid.ColCuts[j], s.grid.ColCuts[j+1]
+}
+
+// freezeBlock (opFreeze, fleet -> source shard) starts a block's
+// migration: writes to proc p are durably refused from here on (the
+// freeze is journaled and replicated, so neither a crash-restart nor a
+// standby promotion un-freezes it), in-flight applies are drained, and
+// the response carries the block's D and F state, the shard's dedup
+// tokens, and the session (in Msg) for the new owner to adopt. The
+// frozen copy is immutable, so a retried freeze returns identical state.
+// Reads keep being served: until the cutover fences this shard, the
+// frozen copy IS the block's current value.
+func (s *Server) freezeBlock(req *request) response {
+	if s.standby.Load() {
+		return retryResp(req.ReqID, "netga: standby of %s: not promoted", s.primaryAddr)
+	}
+	p := int(req.Proc)
+	if p < 0 || p >= s.grid.NumProcs() {
+		return errResp(req.ReqID, "netga: bad proc %d", p)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hosts[p] {
+		return errResp(req.ReqID, "netga: proc %d not hosted here", p)
+	}
+	if !s.frozen[p] {
+		rec := request{Op: opFreeze, Session: s.session, Proc: req.Proc}
+		if err := s.persistLocked(&rec, true); err != nil {
+			if errors.Is(err, errReplLost) {
+				return retryResp(req.ReqID, "%v", err)
+			}
+			return errResp(req.ReqID, "%v", err)
+		}
+		s.frozen[p] = true
+		s.freezes.Add(1)
+	}
+	s.applyWG.Wait() // drain writes that passed the freeze check before it was set
+	r0, r1, c0, c1 := s.blockBounds(p)
+	w := c1 - c0
+	data := make([]float64, 0, numArrays*(r1-r0)*w)
+	s.locks[p].Lock()
+	for a := 0; a < numArrays; a++ {
+		for r := r0; r < r1; r++ {
+			data = append(data, s.arrays[a][r*s.grid.Cols+c0:r*s.grid.Cols+c1]...)
+		}
+	}
+	s.locks[p].Unlock()
+	tokens := make([]uint64, 0, len(s.seenCur)+len(s.seenPrev))
+	tokens = append(tokens, tokenList(s.seenCur)...)
+	for t := range s.seenPrev {
+		if !s.seenCur[t] {
+			tokens = append(tokens, t)
+		}
+	}
+	return response{ReqID: req.ReqID, Data: data, Tokens: tokens,
+		Msg: fmt.Sprintf("%d", s.session)}
+}
+
+// migrateIn (opMigrate, fleet -> destination shard) installs a migrated
+// block: the build session is adopted (a fresh joiner resets to it), the
+// source's dedup tokens are merged so a client retry of an Acc the source
+// already acked stays a duplicate here, the block's D/F state lands under
+// the patch lock, and the proc joins the hosted set. The whole install is
+// journaled and replicated first, so it survives crash and failover.
+// Pre-publish the install is idempotent (no client can route a write here
+// until the fleet publishes the new map, and the fleet publishes only
+// after the install is acked), so fleet-side retries are safe.
+func (s *Server) migrateIn(req *request) response {
+	if s.standby.Load() {
+		return retryResp(req.ReqID, "netga: standby of %s: not promoted", s.primaryAddr)
+	}
+	p := int(req.Proc)
+	if p < 0 || p >= s.grid.NumProcs() {
+		return errResp(req.ReqID, "netga: bad proc %d", p)
+	}
+	r0, r1, c0, c1 := s.blockBounds(p)
+	if n := numArrays * (r1 - r0) * (c1 - c0); len(req.Data) != 0 && len(req.Data) != n {
+		return errResp(req.ReqID, "netga: migrate payload %d values, want %d", len(req.Data), n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.persistLocked(req, true); err != nil {
+		if errors.Is(err, errReplLost) {
+			return retryResp(req.ReqID, "%v", err)
+		}
+		return errResp(req.ReqID, "%v", err)
+	}
+	s.applyMigrateLocked(req)
+	s.blocksIn.Add(1)
+	return response{ReqID: req.ReqID}
+}
+
+// applyMigrateLocked lands an opMigrate record. Caller holds s.mu. Shared
+// by the live handler, journal replay, and the replication stream.
+func (s *Server) applyMigrateLocked(req *request) {
+	p := int(req.Proc)
+	if req.Session != 0 && req.Session != s.session {
+		// A fresh member adopts the running build's session wholesale.
+		s.session = req.Session
+		s.seenCur = map[uint64]bool{}
+		s.seenPrev = map[uint64]bool{}
+		s.zeroArraysLocked()
+		s.sessions.Add(1)
+	}
+	for _, t := range req.Tokens {
+		s.seenCur[t] = true
+	}
+	s.hosts[p] = true
+	delete(s.frozen, p)
+	if len(req.Data) > 0 {
+		r0, r1, c0, c1 := s.blockBounds(p)
+		w := c1 - c0
+		s.locks[p].Lock()
+		off := 0
+		for a := 0; a < numArrays; a++ {
+			for r := r0; r < r1; r++ {
+				copy(s.arrays[a][r*s.grid.Cols+c0:r*s.grid.Cols+c1], req.Data[off:off+w])
+				off += w
+			}
+		}
+		s.locks[p].Unlock()
+	}
+}
+
+// setGen (opSetGen, fleet -> shard) finalizes a cutover leg: the shard
+// adopts placement generation PGen (monotone), and when Proc >= 0 also
+// drops that proc from its hosted set (the source's side of the cutover).
+// The record is journaled and replicated, so a restarted or failed-over
+// shard stays on the new map's side of the fence. The fleet orders the
+// legs source-drop BEFORE publish, so once any client can route a write
+// to the new owner, the old owner already refuses the block.
+func (s *Server) setGen(req *request) response {
+	if s.standby.Load() {
+		return retryResp(req.ReqID, "netga: standby of %s: not promoted", s.primaryAddr)
+	}
+	if req.PGen == 0 {
+		return errResp(req.ReqID, "netga: setgen requires a placement generation")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := request{Op: opSetGen, PGen: req.PGen, Proc: req.Proc}
+	if err := s.persistLocked(&rec, true); err != nil {
+		if errors.Is(err, errReplLost) {
+			return retryResp(req.ReqID, "%v", err)
+		}
+		return errResp(req.ReqID, "%v", err)
+	}
+	s.applySetGenLocked(req)
+	return response{ReqID: req.ReqID}
+}
+
+// applySetGenLocked lands an opSetGen record. Caller holds s.mu.
+func (s *Server) applySetGenLocked(req *request) {
+	for {
+		cur := s.pgen.Load()
+		if req.PGen <= cur || s.pgen.CompareAndSwap(cur, req.PGen) {
+			break
+		}
+	}
+	if p := int(req.Proc); p >= 0 {
+		if s.hosts[p] {
+			s.blocksOut.Add(1)
+		}
+		delete(s.hosts, p)
+		delete(s.frozen, p)
+	}
 }
 
 // SplitProcs assigns nprocs grid blocks contiguously across nservers
