@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race net-test net-smoke net-failover net-elastic ci bench microbench bench-short bench-check bench-ab
+.PHONY: build test vet race net-test net-smoke net-failover net-elastic cache-test ci bench microbench bench-short bench-check bench-ab
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,17 @@ net-failover:
 net-elastic:
 	$(GO) test -race -count=1 -run 'TestElasticChurnBuildMatchesSerial|TestFleet|TestRebalance|TestRouter|TestMembershipChurn' ./internal/net/ ./internal/fault/
 
-ci: build vet race net-smoke net-failover net-elastic
+# Stored-ERI cache and ΔD gate under the race detector: the store unit
+# layer (commit idempotence, budget/spill/drop legs, blob keying), the
+# concurrent density-bound publication test, record/replay equivalence
+# against the serial oracle (including under chaos with exactly-once
+# accounting), the G-linearity property behind ΔD builds, the SCF
+# equivalence of cached ΔD runs, and the blob spill legs over the real
+# transport.
+cache-test:
+	$(GO) test -race -count=1 -run 'TestERIStore|TestUpdateDensityRace|TestStore|TestDelta|TestPerIterationFockStats|TestBlowUpReportedAtProducingIteration|TestBlob|TestSpillE2E' ./internal/integrals/ ./internal/core/ ./internal/scf/ ./internal/net/
+
+ci: build vet race net-smoke net-failover net-elastic cache-test
 
 # Go-testing microbenchmarks (one iteration each; a compile-and-run smoke).
 microbench:

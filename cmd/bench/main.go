@@ -64,12 +64,29 @@ type microCase struct {
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 }
 
+// cacheBench reports the stored-ERI cache tier on one pinned case: the
+// recording build (SCF iteration 1) against the replaying build
+// (iterations 2..N), which skips every integral recomputation. The
+// speedup and hit rate are gated absolutely — replay must be at least
+// 3x faster with every task served from the store — because the ratio
+// cancels machine speed the same way norm_wall does.
+type cacheBench struct {
+	Mol            string  `json:"mol"`
+	RecordNS       int64   `json:"record_ns"` // best of reps, build 1 (record)
+	ReplayNS       int64   `json:"replay_ns"` // best of reps, build 2 (replay)
+	Speedup        float64 `json:"speedup"`   // RecordNS / ReplayNS, gated >= 3
+	HitRate        float64 `json:"hit_rate"`  // replay-build task hit rate, gated == 1
+	QuartetsStored int64   `json:"quartets_stored"`
+	BytesStored    int64   `json:"bytes_stored"`
+}
+
 type benchReport struct {
 	Basis string      `json:"basis"`
 	Grid  string      `json:"grid"`
 	Reps  int         `json:"reps"`
 	Cases []benchCase `json:"cases"`
 	Micro []microCase `json:"micro,omitempty"`
+	Cache *cacheBench `json:"cache,omitempty"`
 }
 
 func main() {
@@ -113,6 +130,11 @@ func main() {
 		if len(base.Micro) > 0 {
 			fresh.Micro = runMicro(base.Basis)
 		}
+		if base.Cache != nil {
+			n, err := strconv.Atoi(strings.TrimPrefix(base.Cache.Mol, "alkane:"))
+			fatalIf(err)
+			fresh.Cache = runCache(n, base.Basis, prow, pcol, *reps)
+		}
 		fatalIf(compareReports(base, fresh, *tol, *mtol))
 		fmt.Printf("bench check passed: %d cases, %d micro within %.0f%%/%.0f%% of %s\n",
 			len(fresh.Cases), len(fresh.Micro), *tol*100, *mtol*100, *check)
@@ -121,6 +143,7 @@ func main() {
 
 	rep := runSeries(sizes, *bname, *grid, prow, pcol, *reps)
 	rep.Micro = runMicro(*bname)
+	rep.Cache = runCache(4, *bname, prow, pcol, *reps)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	fatalIf(err)
 	fatalIf(os.WriteFile(*out, append(data, '\n'), 0o644))
@@ -198,6 +221,48 @@ func runCase(n int, bname string, prow, pcol, reps int) benchCase {
 	c.CommMBPerProc = stats.VolumeAvgMB()
 	c.CallsPerProc = stats.CallsAvg()
 	return c
+}
+
+// runCache measures the stored-ERI cache tier on alkane:n — one
+// recording build (the work SCF iteration 1 does) and one replaying
+// build (what iterations 2..N do) per rep, best-of-reps each. The
+// acceptance gates are absolute, not baseline-relative: replay must be
+// at least 3x faster than record, serve every task from the store, and
+// reproduce the recorded G to 1e-9.
+func runCache(n int, bname string, prow, pcol, reps int) *cacheBench {
+	bs, scr, d := setup(n, bname)
+	cb := &cacheBench{Mol: fmt.Sprintf("alkane:%d", n)}
+	for r := 0; r < reps; r++ {
+		store := integrals.NewERIStore(bs.NumShells(), 0, nil, uint64(r+1), nil)
+		opt := core.Options{Prow: prow, Pcol: pcol, ERIStore: store}
+		rec := core.Build(bs, scr, d, opt)
+		fatalIf(rec.Err)
+		cb.RecordNS = minNZ(cb.RecordNS, rec.Wall.Nanoseconds())
+		pre := store.Stats()
+		rep := core.Build(bs, scr, d, opt)
+		fatalIf(rep.Err)
+		cb.ReplayNS = minNZ(cb.ReplayNS, rep.Wall.Nanoseconds())
+		if diff := linalg.MaxAbsDiff(rec.G, rep.G); diff > 1e-9 {
+			fatalIf(fmt.Errorf("cache %s: |G_replay - G_record| = %g", cb.Mol, diff))
+		}
+		if r == 0 {
+			replay := store.Stats().Sub(pre)
+			cb.HitRate = replay.HitRate()
+			cb.QuartetsStored = pre.QuartetsStored
+			cb.BytesStored = pre.BytesStored
+		}
+	}
+	cb.Speedup = float64(cb.RecordNS) / float64(cb.ReplayNS)
+	fmt.Printf("cache %-9s record %8.1fms  replay %8.1fms  speedup %5.2fx  hit %.1f%%  (%d quartets, %.1f MB)\n",
+		cb.Mol, float64(cb.RecordNS)/1e6, float64(cb.ReplayNS)/1e6,
+		cb.Speedup, cb.HitRate*100, cb.QuartetsStored, float64(cb.BytesStored)/1e6)
+	if cb.Speedup < 3 {
+		fatalIf(fmt.Errorf("cache %s: replay speedup %.2fx below the 3x gate", cb.Mol, cb.Speedup))
+	}
+	if cb.HitRate < 1 {
+		fatalIf(fmt.Errorf("cache %s: replay hit rate %.3f below 100%%", cb.Mol, cb.HitRate))
+	}
+	return cb
 }
 
 // runMicro benchmarks the ERI kernel layer on the pinned alkane:2 system:

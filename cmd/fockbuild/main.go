@@ -36,6 +36,7 @@ import (
 	"gtfock/internal/core"
 	"gtfock/internal/dist"
 	"gtfock/internal/fault"
+	"gtfock/internal/integrals"
 	"gtfock/internal/linalg"
 	"gtfock/internal/metrics"
 	netga "gtfock/internal/net"
@@ -73,6 +74,15 @@ func main() {
 		faultDelayMS    = flag.Int("fault-delay-ms", 1, "op delay in ms")
 		leaseMS         = flag.Int("lease-ms", 200, "worker lease TTL in ms (fault mode)")
 		chaos           = flag.Int("chaos", 0, "run N seeded chaos builds sweeping fault rates and verify each against the serial oracle")
+
+		// Stored-ERI cache (gtfock real mode): build 1 records each task's
+		// surviving integral batch, builds 2..N replay it without touching
+		// the kernel layer. -eri-spill parks over-budget batches on the
+		// shard servers so cache capacity scales with the fleet.
+		eriCache  = flag.Bool("eri-cache", false, "record surviving ERIs on build 1 and replay on later builds (gtfock real mode)")
+		eriBuilds = flag.Int("eri-builds", 2, "total builds with -eri-cache: build 1 records, builds 2..N replay")
+		eriBudget = flag.Int64("eri-cache-budget", 0, "resident stored-ERI bytes; over budget spills (-eri-spill) or drops (0 = unlimited)")
+		eriSpill  = flag.Bool("eri-spill", false, "spill over-budget batches to the shard servers (requires -backend net with -net-servers)")
 
 		// Network backend (gtfock real mode): the global arrays live in
 		// fockd shard servers and every one-sided op is a framed TCP RPC.
@@ -144,6 +154,9 @@ func main() {
 	case "real":
 		prow, pcol, err := parseGrid(*grid)
 		fatalIf(err)
+		if *eriCache && *engine != "gtfock" {
+			fatalIf(fmt.Errorf("-eri-cache requires -engine gtfock"))
+		}
 		d := guessDensity(bs)
 		if *chaos > 0 {
 			if *engine != "gtfock" {
@@ -176,12 +189,12 @@ func main() {
 				})
 				copt.LeaseTTL = time.Duration(*leaseMS) * time.Millisecond
 			}
+			session := *netSession
+			if session == 0 {
+				session = uint64(time.Now().UnixNano())
+			}
 			var rpc *metrics.RPC
 			if *backend == "net" {
-				session := *netSession
-				if session == 0 {
-					session = uint64(time.Now().UnixNano())
-				}
 				rpc = &metrics.RPC{}
 				if *netFleet != "" {
 					copt.Backend = fleetFactory(*netFleet, session, rpc)
@@ -215,10 +228,44 @@ func main() {
 				fatalIf(err)
 				fmt.Printf("debug endpoint: http://%s/debug/vars (expvar) and http://%s/debug/pprof/\n", addr, addr)
 			}
+			var store *integrals.ERIStore
+			var spillClose func()
+			if *eriCache {
+				var spill integrals.BlobStore
+				if *eriSpill {
+					if *backend != "net" || *netServers == "" {
+						fatalIf(fmt.Errorf("-eri-spill requires -backend net with -net-servers"))
+					}
+					// Dedicated blob client: the per-build array clients are
+					// closed after every build, but spilled batches must
+					// survive from the recording build to the replays.
+					bgrid := core.Grid(bs, prow, pcol)
+					addrs := strings.Split(*netServers, ",")
+					assign, _ := netga.SplitProcs(bgrid.NumProcs(), len(addrs))
+					bc, err := netga.Dial(bgrid, dist.NewRunStats(bgrid.NumProcs()), addrs, assign,
+						netga.Config{Array: 0, Session: session, RPC: rpc})
+					fatalIf(err)
+					spill = bc
+					spillClose = func() { bc.Close() }
+				}
+				store = integrals.NewERIStore(bs.NumShells(), *eriBudget, spill, session, nil)
+				copt.ERIStore = store
+				if copt.Backend != nil {
+					wrapped, closeAll := persistentBackend(copt.Backend)
+					copt.Backend = wrapped
+					defer closeAll()
+				}
+			}
 			res := core.Build(bs, scr, d, copt)
 			fatalIf(res.Err)
 			fmt.Printf("wall time: %v,  |G|_max = %.6f\n", res.Wall, res.G.MaxAbs())
 			report(res.Stats, fmt.Sprintf("real, %dx%d grid, %s backend", prow, pcol, *backend))
+			if store != nil {
+				replayCachedBuilds(bs, scr, d, copt, store, res, *eriBuilds)
+				if spillClose != nil {
+					spillClose()
+				}
+			}
 			if rpc != nil {
 				reportRPC(rpc)
 			}
@@ -348,6 +395,73 @@ func runChaos(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix,
 		total.BlocksReassigned, total.OpDrops, total.Rounds)
 	if failures > 0 {
 		fatalIf(fmt.Errorf("%d of %d chaos runs diverged from the serial oracle", failures, n))
+	}
+}
+
+// persistentBackend shares one set of array clients across the repeated
+// cache builds: a fresh per-build client restarts its Acc-token counter,
+// and on the already-installed session the servers' exactly-once dedup
+// would discard the later builds' accumulates as replays of the first.
+// Repeated-build RPC traffic is accounted to the first build's stats.
+func persistentBackend(f func(*dist.Grid2D, *dist.RunStats) (dist.Backend, dist.Backend, func(), error)) (
+	wrapped func(*dist.Grid2D, *dist.RunStats) (dist.Backend, dist.Backend, func(), error),
+	closeAll func()) {
+	var gaD, gaF dist.Backend
+	var cleanup func()
+	wrapped = func(grid *dist.Grid2D, stats *dist.RunStats) (dist.Backend, dist.Backend, func(), error) {
+		if gaD == nil {
+			var err error
+			gaD, gaF, cleanup, err = f(grid, stats)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		return gaD, gaF, nil, nil
+	}
+	closeAll = func() {
+		if cleanup != nil {
+			cleanup()
+		}
+	}
+	return wrapped, closeAll
+}
+
+// replayCachedBuilds re-runs the build against the store populated by
+// the first (recording) build and reports the replay speedup and
+// hit rate per build. Every replayed G is checked against the recorded
+// build's G at the chaos-oracle tolerance.
+func replayCachedBuilds(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix,
+	copt core.Options, store *integrals.ERIStore, first core.Result, n int) {
+	prev := store.Stats()
+	fmt.Printf("stored-ERI cache: %d quartets recorded, %.1f MB resident",
+		prev.QuartetsStored, float64(prev.BytesStored-prev.SpillBytes)/(1<<20))
+	if prev.Spills > 0 {
+		fmt.Printf(", %.1f MB spilled in %d blobs", float64(prev.SpillBytes)/(1<<20), prev.Spills)
+	}
+	if prev.Dropped > 0 {
+		fmt.Printf(", %d tasks dropped over budget", prev.Dropped)
+	}
+	fmt.Println()
+	for b := 2; b <= n; b++ {
+		res := core.Build(bs, scr, d, copt)
+		fatalIf(res.Err)
+		cur := store.Stats()
+		it := cur.Sub(prev)
+		prev = cur
+		diff := linalg.MaxAbsDiff(first.G, res.G)
+		status := "ok"
+		if diff > 1e-9 {
+			status = "MISMATCH"
+		}
+		fmt.Printf("  replay build %d: wall %v (%.2fx vs record), hit rate %.1f%%",
+			b, res.Wall, float64(first.Wall)/float64(res.Wall), 100*it.HitRate())
+		if it.SpillFetches > 0 || it.SpillMisses > 0 {
+			fmt.Printf(", %d spill fetches (%d misses)", it.SpillFetches, it.SpillMisses)
+		}
+		fmt.Printf(", |G-build1| = %.2e  %s\n", diff, status)
+		if diff > 1e-9 {
+			fatalIf(fmt.Errorf("replay build %d diverged from the recorded build", b))
+		}
 	}
 }
 

@@ -34,6 +34,18 @@ type Options struct {
 	// it (the SCF loop) accept the approximation knowingly. No-op unless
 	// the shared PairTable has density bounds.
 	DensityScreen bool
+	// ERIStore, when non-nil, is the stored-ERI cache tier shared across
+	// builds of one geometry (it must be sized for this basis and used
+	// with the same PairTable): tasks with a stored entry replay it
+	// through the contraction path instead of re-entering the kernel
+	// layer, and tasks without one compute, apply, and commit their batch
+	// first-writer-wins. With ERIStore set, the density screen moves from
+	// collection time to apply time — the store always records the full
+	// Schwarz-surviving set (valid for any later density), and both the
+	// recording and replaying paths prune the same quartets per build, so
+	// a replayed task and a recomputed task commit identical
+	// contributions and the exactly-once chaos invariants hold unchanged.
+	ERIStore *integrals.ERIStore
 
 	// Fault enables the fault-tolerant runtime: the injector is consulted
 	// at worker lifecycle points and on one-sided ops, and the build runs
@@ -123,6 +135,9 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 	}
 	ns := bs.NumShells()
 	nprocs := opt.Prow * opt.Pcol
+	if opt.ERIStore != nil && opt.ERIStore.NumTasks() != ns*ns {
+		return Result{Err: fmt.Errorf("core: ERIStore sized for %d tasks, build has %d", opt.ERIStore.NumTasks(), ns*ns)}
+	}
 
 	// Shell-level block cuts and the matching function-level grid.
 	rowShellCuts := dist.UniformCuts(ns, opt.Prow)
@@ -150,6 +165,10 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 			defer cleanup()
 		}
 		gaD.LoadMatrix(d)
+		// An external backend may be a live session that already served a
+		// build (SCF iterations, cache replays): F accumulates, so it must
+		// start from zero — in-process arrays below are born zeroed.
+		gaF.LoadMatrix(linalg.NewMatrix(d.Rows, d.Cols))
 	} else {
 		gd := dist.NewGlobalArray(grid, dist.NewRunStats(nprocs)) // load not accounted
 		gd.LoadMatrix(d)
@@ -358,6 +377,20 @@ type worker struct {
 	visit   func(k int, batch []float64)
 	dscreen bool
 
+	// Stored-ERI cache tier state (nil store = always recompute). The
+	// record closure tees engine batches into recVals/recEnds for a
+	// first-writer-wins CommitTask; the replay closure applies stored
+	// batches with the same apply-time density screen, so both paths
+	// commit identical contributions (see Options.ERIStore).
+	store       *integrals.ERIStore
+	ns          int // shell count; task id = M*ns + N
+	curDscr     bool
+	recVals     []float64
+	recEnds     []int32
+	replayScr   []float64 // spill-fetch scratch
+	recVisit    func(k int, batch []float64)
+	replayVisit func(q integrals.Quartet, p, qq int32, vals []float64)
+
 	// Fault-tolerant runtime state (nil led = plain fast path).
 	led           *ledger
 	inj           *fault.Injector
@@ -389,6 +422,8 @@ func newWorker(rank int, bs *basis.Set, scr *screen.Screening, pt *integrals.Pai
 		gaD: gaD, gaF: gaF, stats: stats, eng: eng,
 		pt:       pt,
 		dscreen:  opt.DensityScreen,
+		store:    opt.ERIStore,
+		ns:       bs.NumShells(),
 		dloc:     make([]float64, bs.NumFuncs*bs.NumFuncs),
 		floc:     make([]float64, bs.NumFuncs*bs.NumFuncs),
 		fp:       NewFootprint(),
@@ -403,7 +438,30 @@ func newWorker(rank int, bs *basis.Set, scr *screen.Screening, pt *integrals.Pai
 		pq := w.bmeta[k]
 		ApplyQuartet(w.bs, w.dloc, w.floc, w.curM, int(pq[0]), w.curN, int(pq[1]), batch)
 	}
+	if w.store != nil {
+		w.recVisit = func(k int, batch []float64) {
+			pq := w.bmeta[k]
+			qt := w.batch[k]
+			w.applyStored(qt.Bra, qt.Ket, pq[0], pq[1], batch)
+			w.recVals = append(w.recVals, batch...)
+			w.recEnds = append(w.recEnds, int32(len(w.recVals)))
+		}
+		w.replayVisit = func(q integrals.Quartet, p, qq int32, vals []float64) {
+			w.applyStored(q.Bra, q.Ket, p, qq, vals)
+		}
+	}
 	return w
+}
+
+// applyStored digests one recorded or replayed quartet into the local
+// accumulators, applying the density screen at apply time (both paths
+// prune identically within a build; see Options.ERIStore).
+func (w *worker) applyStored(bra, ket integrals.PairID, p, q int32, vals []float64) {
+	if w.curDscr &&
+		w.pt.Q(bra)*w.pt.Q(ket)*w.pt.MaxQuartetDensity(w.curM, int(p), w.curN, int(q)) < w.scr.Tau {
+		return
+	}
+	ApplyQuartet(w.bs, w.dloc, w.floc, w.curM, int(p), w.curN, int(q), vals)
 }
 
 // opCtx returns the deadline context bounding one retried operation's
@@ -816,8 +874,19 @@ func (w *worker) doTask(t Task) {
 	if !SymmetryCheck(m, n) {
 		return
 	}
+	w.curM, w.curN = m, n
+	if w.store != nil {
+		// Stored-ERI tier: replay the recorded batch when present; a miss
+		// of any kind (not recorded yet, dropped over budget, spill gone)
+		// falls through to compute-and-commit. The density screen moves to
+		// apply time so the recorded set is the full Schwarz set.
+		w.curDscr = w.dscreen && w.pt.HasDensity()
+		if w.store.ReplayTask(m*w.ns+n, &w.replayScr, w.replayVisit) {
+			return
+		}
+	}
 	tau := w.scr.Tau
-	dscr := w.dscreen && w.pt.HasDensity()
+	dscr := w.store == nil && w.dscreen && w.pt.HasDensity()
 	w.batch = w.batch[:0]
 	w.bmeta = w.bmeta[:0]
 	for _, p := range w.scr.Phi[m] {
@@ -849,8 +918,14 @@ func (w *worker) doTask(t Task) {
 			w.bmeta = append(w.bmeta, [2]int32{int32(p), int32(q)})
 		}
 	}
-	w.curM, w.curN = m, n
-	w.eng.ERIBatch(w.pt, w.batch, w.visit)
+	if w.store == nil {
+		w.eng.ERIBatch(w.pt, w.batch, w.visit)
+		return
+	}
+	w.recVals = w.recVals[:0]
+	w.recEnds = w.recEnds[:0]
+	w.eng.ERIBatch(w.pt, w.batch, w.recVisit)
+	w.store.CommitTask(m*w.ns+n, w.batch, w.bmeta, w.recEnds, w.recVals)
 }
 
 // ApplyQuartet applies the scaled 6-block Fock update for the unique

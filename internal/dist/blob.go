@@ -1,0 +1,57 @@
+package dist
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrBlobMiss reports a GetBlob key the store does not hold. The
+// stored-ERI cache tier treats any fetch error as a miss and recomputes,
+// so implementations may also return transport errors.
+var ErrBlobMiss = errors.New("dist: blob not found")
+
+// MemBlobStore is the in-process spill backend of the stored-ERI cache
+// tier (it satisfies integrals.BlobStore structurally): an immutable
+// put-once/get map of float64 batches. It models the shard-fleet blob
+// ops (netga opPutBlob/opGetBlob) for single-process runs and tests —
+// same semantics, no wire.
+type MemBlobStore struct {
+	mu    sync.Mutex
+	blobs map[uint64][]float64
+}
+
+// NewMemBlobStore creates an empty store.
+func NewMemBlobStore() *MemBlobStore {
+	return &MemBlobStore{blobs: map[uint64][]float64{}}
+}
+
+// PutBlob stores a copy of vals under key; the first write wins and
+// re-puts are ignored (spill blobs are immutable and re-puts from
+// re-executed tasks carry identical data).
+func (s *MemBlobStore) PutBlob(key uint64, vals []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[key]; !ok {
+		s.blobs[key] = append([]float64(nil), vals...)
+	}
+	return nil
+}
+
+// GetBlob copies the blob into dst (reusing its capacity) and returns
+// the filled slice, or ErrBlobMiss.
+func (s *MemBlobStore) GetBlob(key uint64, dst []float64) ([]float64, error) {
+	s.mu.Lock()
+	v, ok := s.blobs[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrBlobMiss
+	}
+	return append(dst[:0], v...), nil
+}
+
+// Len returns the number of stored blobs (test/diagnostic hook).
+func (s *MemBlobStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blobs)
+}

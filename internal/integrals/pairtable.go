@@ -20,6 +20,7 @@ package integrals
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"gtfock/internal/basis"
 )
@@ -32,17 +33,21 @@ type PairID int32
 const NoPair PairID = -1
 
 // PairTable holds the precomputed significant shell pairs of one basis
-// set. Read-only after construction except for UpdateDensity; concurrent
-// readers need no locking, and UpdateDensity must not race with readers
-// of the density bounds (the SCF loop naturally serializes them).
+// set. Read-only after construction except for UpdateDensity, which
+// publishes a fresh immutable bounds snapshot through an atomic pointer:
+// concurrent readers need no locking, and a straggling worker from a
+// previous build reads either the old snapshot or the new one, never a
+// torn mix (see TestUpdateDensityRace).
 type PairTable struct {
 	Basis *basis.Set
 
-	pairs  []ShellPair
-	q      []float64  // Schwarz value per pair, descending
-	mp     [][2]int32 // shell indices (m, p) per pair
-	index  []PairID   // ns*ns ordered-pair index, NoPair if absent
-	dBound []float64  // per-shell-block max |D|; nil until UpdateDensity
+	pairs []ShellPair
+	q     []float64  // Schwarz value per pair, descending
+	mp    [][2]int32 // shell indices (m, p) per pair
+	index []PairID   // ns*ns ordered-pair index, NoPair if absent
+	// dBound is the published per-shell-block max |D| snapshot; nil until
+	// UpdateDensity. The pointed-to slice is immutable once published.
+	dBound atomic.Pointer[[]float64]
 	n      int
 }
 
@@ -135,11 +140,12 @@ func (t *PairTable) KeepQuartet(bra, ket PairID, tau float64) bool {
 // function count): dBound(m,p) = max |d[i][j]| over the (m,p) shell
 // block. Called once per SCF iteration — this is the "cached once per
 // iteration instead of recomputed per quartet" quantity density-weighted
-// screening needs. Must not race with concurrent Fock builds.
+// screening needs. The bounds are computed into a fresh slice and
+// published atomically, so it is safe to call while readers (even
+// stragglers fenced out of a previous build) are still screening — they
+// observe a complete old or new snapshot, never torn values.
 func (t *PairTable) UpdateDensity(d []float64, ld int) {
-	if t.dBound == nil {
-		t.dBound = make([]float64, t.n*t.n)
-	}
+	bound := make([]float64, t.n*t.n)
 	bs := t.Basis
 	for m := 0; m < t.n; m++ {
 		om, nm := bs.Offsets[m], bs.ShellFuncs(m)
@@ -154,23 +160,25 @@ func (t *PairTable) UpdateDensity(d []float64, ld int) {
 					}
 				}
 			}
-			t.dBound[m*t.n+p] = mx
+			bound[m*t.n+p] = mx
 		}
 	}
+	t.dBound.Store(&bound)
 }
 
 // HasDensity reports whether UpdateDensity has been called.
-func (t *PairTable) HasDensity() bool { return t.dBound != nil }
+func (t *PairTable) HasDensity() bool { return t.dBound.Load() != nil }
 
 // DBound returns the cached max |D| over the (m, p) shell block.
-func (t *PairTable) DBound(m, p int) float64 { return t.dBound[m*t.n+p] }
+func (t *PairTable) DBound(m, p int) float64 { return (*t.dBound.Load())[m*t.n+p] }
 
 // MaxQuartetDensity bounds the largest cached |D| block any of the six
 // Fock contributions of quartet (m p | n q) reads; multiplied by the
-// Schwarz product it bounds the quartet's contribution to F.
+// Schwarz product it bounds the quartet's contribution to F. The six
+// reads come from one atomically published snapshot.
 func (t *PairTable) MaxQuartetDensity(m, p, n, q int) float64 {
 	ns := t.n
-	d := t.dBound
+	d := *t.dBound.Load()
 	mx := d[n*ns+q]
 	if v := d[m*ns+p]; v > mx {
 		mx = v

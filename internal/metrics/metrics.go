@@ -474,3 +474,145 @@ func (c *RPC) Snapshot() RPCSnapshot {
 func (c *RPC) MarshalJSON() ([]byte, error) {
 	return json.Marshal(c.Snapshot())
 }
+
+// Cache is the counter set of the stored-ERI tier (integrals.ERIStore).
+// Like RPC it is recorded with direct atomics rather than commit-time
+// merging: a replay/recompute decision happened whether or not the task
+// it served ever commits, and double counts from fenced re-executions
+// are accounting noise, not a correctness hazard (the store itself stays
+// exactly-once via first-writer-wins commits). All methods are
+// nil-receiver safe.
+type Cache struct {
+	taskHits, taskMisses             atomic.Int64
+	quartetsStored, quartetsReplayed atomic.Int64
+	bytesStored                      atomic.Int64
+	spills, spillBytes               atomic.Int64
+	spillFetches, spillMisses        atomic.Int64
+	dropped                          atomic.Int64
+}
+
+// AddTaskHit counts one task served from the store (replayed).
+func (c *Cache) AddTaskHit() {
+	if c != nil {
+		c.taskHits.Add(1)
+	}
+}
+
+// AddTaskMiss counts one task the store could not serve (no entry yet,
+// entry dropped over budget, or spill fetch failed) — the caller
+// recomputes it through the kernel layer.
+func (c *Cache) AddTaskMiss() {
+	if c != nil {
+		c.taskMisses.Add(1)
+	}
+}
+
+// AddStored counts one committed task entry: quartets and value bytes
+// retained (in memory or on a spill shard).
+func (c *Cache) AddStored(quartets, bytes int64) {
+	if c != nil {
+		c.quartetsStored.Add(quartets)
+		c.bytesStored.Add(bytes)
+	}
+}
+
+// AddReplayed counts quartets applied from stored batches.
+func (c *Cache) AddReplayed(quartets int64) {
+	if c != nil {
+		c.quartetsReplayed.Add(quartets)
+	}
+}
+
+// AddSpill counts one task's values pushed to the spill backend.
+func (c *Cache) AddSpill(bytes int64) {
+	if c != nil {
+		c.spills.Add(1)
+		c.spillBytes.Add(bytes)
+	}
+}
+
+// AddSpillFetch counts one spilled batch fetched back for replay.
+func (c *Cache) AddSpillFetch() {
+	if c != nil {
+		c.spillFetches.Add(1)
+	}
+}
+
+// AddSpillMiss counts one spilled batch the backend no longer had (shard
+// restarted, blob evicted) — the task falls back to recompute.
+func (c *Cache) AddSpillMiss() {
+	if c != nil {
+		c.spillMisses.Add(1)
+	}
+}
+
+// AddDropped counts one over-budget task entry dropped instead of
+// spilled (no spill backend, or the spill write failed).
+func (c *Cache) AddDropped() {
+	if c != nil {
+		c.dropped.Add(1)
+	}
+}
+
+// CacheSnapshot is the JSON-facing view of the stored-ERI counters.
+type CacheSnapshot struct {
+	TaskHits         int64 `json:"task_hits"`
+	TaskMisses       int64 `json:"task_misses"`
+	QuartetsStored   int64 `json:"quartets_stored"`
+	QuartetsReplayed int64 `json:"quartets_replayed"`
+	BytesStored      int64 `json:"bytes_stored"`
+	Spills           int64 `json:"spills,omitempty"`
+	SpillBytes       int64 `json:"spill_bytes,omitempty"`
+	SpillFetches     int64 `json:"spill_fetches,omitempty"`
+	SpillMisses      int64 `json:"spill_misses,omitempty"`
+	Dropped          int64 `json:"dropped,omitempty"`
+}
+
+// HitRate returns replayed tasks over replay attempts (0 when none).
+func (s CacheSnapshot) HitRate() float64 {
+	if s.TaskHits+s.TaskMisses == 0 {
+		return 0
+	}
+	return float64(s.TaskHits) / float64(s.TaskHits+s.TaskMisses)
+}
+
+// Sub returns the per-field difference s - b, for per-iteration deltas
+// of a monotonically growing counter set.
+func (s CacheSnapshot) Sub(b CacheSnapshot) CacheSnapshot {
+	return CacheSnapshot{
+		TaskHits:         s.TaskHits - b.TaskHits,
+		TaskMisses:       s.TaskMisses - b.TaskMisses,
+		QuartetsStored:   s.QuartetsStored - b.QuartetsStored,
+		QuartetsReplayed: s.QuartetsReplayed - b.QuartetsReplayed,
+		BytesStored:      s.BytesStored - b.BytesStored,
+		Spills:           s.Spills - b.Spills,
+		SpillBytes:       s.SpillBytes - b.SpillBytes,
+		SpillFetches:     s.SpillFetches - b.SpillFetches,
+		SpillMisses:      s.SpillMisses - b.SpillMisses,
+		Dropped:          s.Dropped - b.Dropped,
+	}
+}
+
+// Snapshot captures the current stored-ERI counters.
+func (c *Cache) Snapshot() CacheSnapshot {
+	if c == nil {
+		return CacheSnapshot{}
+	}
+	return CacheSnapshot{
+		TaskHits:         c.taskHits.Load(),
+		TaskMisses:       c.taskMisses.Load(),
+		QuartetsStored:   c.quartetsStored.Load(),
+		QuartetsReplayed: c.quartetsReplayed.Load(),
+		BytesStored:      c.bytesStored.Load(),
+		Spills:           c.spills.Load(),
+		SpillBytes:       c.spillBytes.Load(),
+		SpillFetches:     c.spillFetches.Load(),
+		SpillMisses:      c.spillMisses.Load(),
+		Dropped:          c.dropped.Load(),
+	}
+}
+
+// MarshalJSON serializes the current snapshot.
+func (c *Cache) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.Snapshot())
+}

@@ -805,6 +805,36 @@ func (c *Client) Checkpoint() error {
 	return nil
 }
 
+// blobProc maps a stored-ERI spill key to the proc whose hosting shard
+// stores the blob, spreading spill capacity across the fleet.
+func (c *Client) blobProc(key uint64) int {
+	return int(key % uint64(c.grid.NumProcs()))
+}
+
+// PutBlob implements the integrals.BlobStore spill surface over the
+// shard fleet: the blob lands on the shard hosting proc key%nprocs, so
+// stored-ERI spill capacity scales with members. Driver-path semantics
+// (bounded retries, per-attempt routing, not fault-injected): blob ops
+// are cache maintenance, not part of the exactly-once commit protocol —
+// a final failure makes the store drop the entry and recompute.
+func (c *Client) PutBlob(key uint64, vals []float64) error {
+	req := request{Op: opPutBlob, Session: c.cfg.Session, Token: key, Proc: -1, Data: vals}
+	_, err := c.driverOpProc(c.blobProc(key), &req)
+	return err
+}
+
+// GetBlob fetches a spill blob into dst. Every failure — a shard that
+// restarted (blobs are volatile by design), a miss, a transport error —
+// surfaces as an error the store maps to a recompute.
+func (c *Client) GetBlob(key uint64, dst []float64) ([]float64, error) {
+	req := request{Op: opGetBlob, Session: c.cfg.Session, Token: key, Proc: -1}
+	resp, err := c.driverOpProc(c.blobProc(key), &req)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst[:0], resp.Data...), nil
+}
+
 // LoadMatrix distributes a dense matrix to the shard servers, one Put
 // per grid block (driver-side: not accounted, not fault-injected).
 func (c *Client) LoadMatrix(m *linalg.Matrix) {

@@ -37,7 +37,18 @@ const (
 	opFreeze  // fleet -> shard: freeze writes to proc (durable), return its D/F state + dedup tokens
 	opMigrate // fleet -> shard: install a migrated block's state + tokens and host its proc
 	opSetGen  // fleet -> shard: adopt placement generation PGen; Proc >= 0 also drops that proc
+
+	// Stored-ERI spill ops (see DESIGN.md §11). Blobs are session-scoped
+	// immutable values keyed by Token; deliberately NOT journaled,
+	// snapshotted, or replicated — they are cache legs, and a miss after a
+	// restart/failover just makes the client recompute the batch.
+	opPutBlob // store a spill blob (key in Token, payload in Data); first write wins
+	opGetBlob // fetch a spill blob by Token; statusErr blobMissMsg = miss
 )
+
+// blobMissMsg marks an opGetBlob statusErr answer as a plain cache miss
+// (recompute), as opposed to a malformed request.
+const blobMissMsg = "blob not found"
 
 // Response statuses.
 const (

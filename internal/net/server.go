@@ -55,6 +55,13 @@ type Server struct {
 	// runtime via opMigrate/opSetGen.
 	frozen map[int]bool
 
+	// Stored-ERI spill blobs (under mu): session-scoped immutable cache
+	// legs keyed by Token, first write wins. Deliberately volatile — not
+	// journaled, snapshotted, or replicated — a blob lost to a restart or
+	// failover is a client-side recompute, never a wrong answer.
+	blobs     map[uint64][]float64
+	blobBytes int64
+
 	// Role and shard fence epoch: written under mu, read lock-free. pgen
 	// is the placement generation this shard serves at (0 = static
 	// placement, no fencing); it moves only forward.
@@ -89,6 +96,7 @@ type Server struct {
 	promotions, checkpoints, tokensEvicted           atomic.Int64
 	fencedOps, replSent, replApplied                 atomic.Int64
 	freezes, blocksIn, blocksOut, placementFenced    atomic.Int64
+	blobsStored, blobHits, blobMisses                atomic.Int64
 }
 
 // Membership is the small cluster map every fockd can serve: the primary
@@ -168,6 +176,12 @@ type ServerStats struct {
 	BlocksIn        int64  `json:"blocks_in,omitempty"`        // blocks installed by opMigrate
 	BlocksOut       int64  `json:"blocks_out,omitempty"`       // blocks dropped after cutover
 	PlacementFenced int64  `json:"placement_fenced,omitempty"` // ops rejected by the placement-gen fence
+
+	// Stored-ERI spill blob counters (cache tier; volatile by design).
+	BlobsStored int64 `json:"blobs_stored,omitempty"`
+	BlobBytes   int64 `json:"blob_bytes,omitempty"`
+	BlobHits    int64 `json:"blob_hits,omitempty"`
+	BlobMisses  int64 `json:"blob_misses,omitempty"`
 }
 
 // NewServer creates a server for the blocks of the given procs. The
@@ -181,6 +195,7 @@ func NewServer(grid *dist.Grid2D, procs []int, opts ...ServerOption) *Server {
 		frozen:   map[int]bool{},
 		seenCur:  map[uint64]bool{},
 		seenPrev: map[uint64]bool{},
+		blobs:    map[uint64][]float64{},
 		locks:    make([]sync.Mutex, grid.NumProcs()),
 		conns:    map[net.Conn]bool{},
 	}
@@ -374,8 +389,10 @@ func (s *Server) applyRecord(req *request) {
 	}
 }
 
-// zeroArraysLocked clears both shard arrays. Caller holds s.mu; the
-// per-proc locks are taken so concurrent Gets never see a torn reset.
+// zeroArraysLocked clears both shard arrays and drops the session's
+// spill blobs (a new session is a new build; its store re-spills).
+// Caller holds s.mu; the per-proc locks are taken so concurrent Gets
+// never see a torn reset.
 func (s *Server) zeroArraysLocked() {
 	for p := range s.locks {
 		s.locks[p].Lock()
@@ -389,6 +406,8 @@ func (s *Server) zeroArraysLocked() {
 	for p := range s.locks {
 		s.locks[p].Unlock()
 	}
+	s.blobs = map[uint64][]float64{}
+	s.blobBytes = 0
 }
 
 // rotateDedupLocked advances the dedup eviction generation: the previous
@@ -604,6 +623,7 @@ func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	live := int64(len(s.seenCur) + len(s.seenPrev))
 	hosted, frozen := len(s.hosts), len(s.frozen)
+	blobBytes := s.blobBytes
 	s.mu.Unlock()
 	return ServerStats{
 		Requests:   s.requests.Load(),
@@ -633,6 +653,11 @@ func (s *Server) Stats() ServerStats {
 		BlocksIn:        s.blocksIn.Load(),
 		BlocksOut:       s.blocksOut.Load(),
 		PlacementFenced: s.placementFenced.Load(),
+
+		BlobsStored: s.blobsStored.Load(),
+		BlobBytes:   blobBytes,
+		BlobHits:    s.blobHits.Load(),
+		BlobMisses:  s.blobMisses.Load(),
 	}
 }
 
@@ -763,6 +788,14 @@ func (s *Server) handle(req *request) response {
 	if !sessionOK {
 		return errResp(req.ReqID, "netga: unknown session %d", req.Session)
 	}
+	// Spill blobs are keyed by Token, not patch coordinates, so they skip
+	// the patch/owner validation below.
+	switch req.Op {
+	case opPutBlob:
+		return s.putBlob(req)
+	case opGetBlob:
+		return s.getBlob(req)
+	}
 	if int(req.Array) >= numArrays {
 		return errResp(req.ReqID, "netga: bad array id %d", req.Array)
 	}
@@ -800,6 +833,44 @@ func (s *Server) handle(req *request) response {
 		return s.applyOp(req, owner)
 	}
 	return errResp(req.ReqID, "netga: unknown op %d", req.Op)
+}
+
+// putBlob stores a stored-ERI spill blob first-writer-wins: re-puts from
+// re-executed tasks carry bit-identical data (the batch is deterministic
+// in the geometry), so duplicates are dropped without comparison. The
+// write path stays off the journal and the replication stream by design
+// — blobs are cache legs, and losing them costs a recompute, not
+// correctness (see DESIGN.md §11).
+func (s *Server) putBlob(req *request) response {
+	if req.Token == 0 {
+		return errResp(req.ReqID, "netga: blob key must be nonzero")
+	}
+	if len(req.Data) == 0 {
+		return errResp(req.ReqID, "netga: empty blob")
+	}
+	s.mu.Lock()
+	if _, ok := s.blobs[req.Token]; !ok {
+		s.blobs[req.Token] = append([]float64(nil), req.Data...)
+		s.blobBytes += int64(8 * len(req.Data))
+		s.blobsStored.Add(1)
+	}
+	s.mu.Unlock()
+	return response{ReqID: req.ReqID}
+}
+
+// getBlob serves a spill blob, or a statusErr tagged blobMissMsg the
+// client maps to a cache miss. The returned slice is shared — blobs are
+// immutable once stored, and the encoder only reads it.
+func (s *Server) getBlob(req *request) response {
+	s.mu.Lock()
+	data := s.blobs[req.Token]
+	s.mu.Unlock()
+	if data == nil {
+		s.blobMisses.Add(1)
+		return errResp(req.ReqID, blobMissMsg)
+	}
+	s.blobHits.Add(1)
+	return response{ReqID: req.ReqID, Data: data}
 }
 
 // notHostedResp answers a request for a block this shard does not host.

@@ -72,6 +72,43 @@ type Options struct {
 	// comparing engines bit-tightly.
 	DensityScreen bool
 
+	// ERICache enables the stored-ERI cache tier (GTFock engine only):
+	// iteration 1 records every task's surviving integral batch into an
+	// integrals.ERIStore shared across the run's builds, and iterations
+	// 2..N replay the stored batches through the contraction path instead
+	// of re-entering the kernel layer. Exact — replay applies the same
+	// values the kernels would recompute.
+	ERICache bool
+	// ERICacheBudget bounds the store's resident value bytes; over-budget
+	// batches spill to ERISpill when set, else are dropped and recomputed
+	// every iteration. 0 = unlimited.
+	ERICacheBudget int64
+	// ERISpill is the optional spill backend for over-budget batches —
+	// dist.NewMemBlobStore for in-process runs, or a netga client so
+	// cache capacity scales with the shard fleet. A spill miss (restarted
+	// shard) falls back to recompute; never a correctness dependency.
+	ERISpill integrals.BlobStore
+	// ERISpillKey salts the store's spill keys so concurrent runs sharing
+	// a fleet do not collide (e.g. the net session id).
+	ERISpillKey uint64
+	// CacheMetrics, when non-nil, is the shared stored-ERI counter sink
+	// (hits, misses, spills); nil gives the store a private one, still
+	// reported through Result and per-iteration Cache snapshots.
+	CacheMetrics *metrics.Cache
+
+	// DeltaD enables incremental density-difference Fock builds: after a
+	// full G(D) build, later iterations build only G(ΔD) with
+	// ΔD = D - D_prev and assemble F = H_core + G(D_prev) + G(ΔD). G is
+	// linear in D, so this telescopes exactly; its payoff comes from
+	// DensityScreen, where the shrinking ΔD prunes quartets the Schwarz
+	// bound alone keeps. Ignored by EngineInCore.
+	DeltaD bool
+	// DeltaDResetEvery forces a full G(D) rebuild after this many
+	// consecutive ΔD builds, bounding the O(tau)-per-build screening
+	// drift the incremental sum accumulates. Default 8; negative
+	// disables resets.
+	DeltaDResetEvery int
+
 	MaxIter int     // default 50
 	ConvTol float64 // energy convergence, default 1e-8
 	DTol    float64 // density max-change convergence, default 1e-5
@@ -117,6 +154,14 @@ type Iteration struct {
 	FockTime    time.Duration
 	DensityTime time.Duration
 	PurifyIters int
+	// FockStats is this iteration's build accounting (every iteration is
+	// kept — Result.FockStats only carries the final build's).
+	FockStats *dist.RunStats
+	// DeltaBuild marks an incremental G(ΔD) build (Options.DeltaD).
+	DeltaBuild bool
+	// Cache is the stored-ERI counter delta of this iteration's build
+	// (zero when Options.ERICache is off).
+	Cache metrics.CacheSnapshot
 }
 
 // Result is a completed SCF calculation.
@@ -130,7 +175,12 @@ type Result struct {
 	Basis      *basis.Set     // working (possibly reordered) basis
 	Reorder    string         // shell ordering of the working basis
 	Screening  *screen.Screening
-	FockStats  *dist.RunStats // accounting of the final Fock build
+	// FockStats is the accounting of the final Fock build; per-iteration
+	// stats live in Iterations[i].FockStats.
+	FockStats *dist.RunStats
+	// CacheStats is the stored-ERI tier's run total (zero when
+	// Options.ERICache is off).
+	CacheStats metrics.CacheSnapshot
 
 	// Canonical molecular orbitals of the final Fock matrix: C columns are
 	// orbitals (AO x MO), OrbitalEnergies ascending, NOcc doubly occupied.
@@ -250,15 +300,35 @@ func RunHF(mol *chem.Molecule, opt Options) (*Result, error) {
 		pt = scr.PairTable(opt.PrimTol)
 	}
 
+	// Stored-ERI cache tier: one store per run, shared by every build of
+	// this geometry (it is keyed off pt's quartet order).
+	var store *integrals.ERIStore
+	if opt.ERICache {
+		if opt.Engine != EngineGTFock {
+			return nil, fmt.Errorf("scf: ERICache requires the gtfock engine (have %q)", opt.Engine)
+		}
+		store = integrals.NewERIStore(bs.NumShells(), opt.ERICacheBudget, opt.ERISpill, opt.ERISpillKey, opt.CacheMetrics)
+	}
+
+	// ΔD incremental state: pPrev is the orbital density the accumulated
+	// gTot = G(pPrev) was built for; sinceFull counts consecutive
+	// incremental builds toward the drift-reset rebuild.
+	useDelta := opt.DeltaD && opt.Engine != EngineInCore
+	resetEvery := opt.DeltaDResetEvery
+	if resetEvery == 0 {
+		resetEvery = 8
+	}
+	var pPrev, gTot *linalg.Matrix
+	sinceFull := 0
+
 	for it := 1; it <= opt.MaxIter; it++ {
 		iter := Iteration{}
 
 		// Numerical blow-up guard: a NaN/Inf in F (bad warm start, DIIS
 		// breakdown, diverging density) would otherwise propagate silently
 		// through eigensolver and energy until MaxIter.
-		if i, j, ok := firstNonFinite(f); ok {
-			return nil, fmt.Errorf("%w at iteration %d: Fock matrix has non-finite entry %g at (%d,%d)",
-				ErrNumericalBlowUp, it, f.At(i, j), i, j)
+		if err := nonFiniteErr(f, it, "Fock matrix"); err != nil {
+			return nil, err
 		}
 
 		// Density from the current Fock matrix (Alg. 1 lines 7-10).
@@ -306,21 +376,66 @@ func RunHF(mol *chem.Molecule, opt Options) (*Result, error) {
 		t1 := time.Now()
 		var g *linalg.Matrix
 		var stats *dist.RunStats
-		if aoTensor != nil {
+		var cacheBefore metrics.CacheSnapshot
+		if store != nil {
+			cacheBefore = store.Stats()
+		}
+		switch {
+		case aoTensor != nil:
 			g = contractInCore(aoTensor, p)
-		} else {
+		case useDelta && gTot != nil && (resetEvery < 0 || sinceFull < resetEvery):
+			// Incremental build: G(p) = G(pPrev) + G(Δp) by linearity. The
+			// density screen sees Δp, so quartets whose contribution no
+			// longer moves F past the Schwarz bound are pruned — the payoff
+			// grows as SCF converges and Δp shrinks.
+			dp := p.Clone()
+			dp.AXPY(-1, pPrev)
 			if pt != nil && opt.DensityScreen {
-				pt.UpdateDensity(p.Data, p.Cols)
+				pt.UpdateDensity(dp.Data, dp.Cols)
 			}
-			g, stats, err = buildG(bs, scr, p, pt, opt)
+			var dg *linalg.Matrix
+			dg, stats, err = buildG(bs, scr, dp, pt, store, opt)
 			if err != nil {
 				return nil, err
 			}
+			gTot.AXPY(1, dg)
+			g = gTot
+			iter.DeltaBuild = true
+			sinceFull++
+		default:
+			// Full build — the first iteration, or the periodic drift reset
+			// that rebases the incremental sum.
+			if pt != nil && opt.DensityScreen {
+				pt.UpdateDensity(p.Data, p.Cols)
+			}
+			g, stats, err = buildG(bs, scr, p, pt, store, opt)
+			if err != nil {
+				return nil, err
+			}
+			gTot = g
+			sinceFull = 0
 		}
+		pPrev = p
 		iter.FockTime = time.Since(t1)
+		iter.FockStats = stats
+		if store != nil {
+			res.CacheStats = store.Stats()
+			iter.Cache = res.CacheStats.Sub(cacheBefore)
+		}
 		res.FockStats = stats
+
+		// A blow-up in the build itself must surface at the iteration that
+		// produced it: a non-finite G (from a non-finite density that
+		// slipped through the eigensolve) would otherwise propagate one
+		// more density step before the top-of-loop F check caught it.
+		if err := nonFiniteErr(g, it, "two-electron matrix"); err != nil {
+			return nil, err
+		}
 		f = hcore.Clone()
 		f.AXPY(1, g)
+		if err := nonFiniteErr(f, it, "freshly built Fock matrix"); err != nil {
+			return nil, err
+		}
 
 		// Energy: E_elec = 1/2 Tr(D (H + F)) = Tr(p (H + F)).
 		hp := hcore.Clone()
@@ -380,6 +495,17 @@ func firstNonFinite(m *linalg.Matrix) (i, j int, found bool) {
 	return 0, 0, false
 }
 
+// nonFiniteErr wraps ErrNumericalBlowUp for the first NaN/Inf entry of
+// m, attributed to the iteration that produced it; nil if m is finite.
+func nonFiniteErr(m *linalg.Matrix, it int, what string) error {
+	i, j, ok := firstNonFinite(m)
+	if !ok {
+		return nil
+	}
+	return fmt.Errorf("%w at iteration %d: %s has non-finite entry %g at (%d,%d)",
+		ErrNumericalBlowUp, it, what, m.At(i, j), i, j)
+}
+
 // finalizeOrbitals diagonalizes the final Fock matrix in the orthogonal
 // basis to expose canonical MOs and orbital energies (used by property
 // and correlation methods), independent of the density scheme used during
@@ -415,16 +541,17 @@ func contractInCore(t []float64, p *linalg.Matrix) *linalg.Matrix {
 }
 
 // buildG dispatches the two-electron build to the selected engine. pt is
-// the run-wide shell-pair table (GTFock only; nil elsewhere).
-func buildG(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, pt *integrals.PairTable, opt Options) (*linalg.Matrix, *dist.RunStats, error) {
+// the run-wide shell-pair table and store the run-wide stored-ERI tier
+// (both GTFock only; nil elsewhere).
+func buildG(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, pt *integrals.PairTable, store *integrals.ERIStore, opt Options) (*linalg.Matrix, *dist.RunStats, error) {
 	switch opt.Engine {
 	case EngineGTFock:
 		r := core.Build(bs, scr, d, core.Options{
 			Prow: opt.Prow, Pcol: opt.Pcol, PrimTol: opt.PrimTol, UseHGP: opt.UseHGP,
-			PairTable: pt, DensityScreen: opt.DensityScreen,
+			PairTable: pt, DensityScreen: opt.DensityScreen, ERIStore: store,
 			Trace: opt.FockTrace, Metrics: opt.FockMetrics,
 		})
-		return r.G, r.Stats, nil
+		return r.G, r.Stats, r.Err
 	case EngineNWChem:
 		r, err := nwchem.Build(bs, scr, d, nwchem.Options{
 			Procs: opt.Prow * opt.Pcol, PrimTol: opt.PrimTol,
