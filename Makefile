@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race net-test net-smoke net-failover net-elastic cache-test ci bench microbench bench-short bench-check bench-ab
+.PHONY: build test vet race net-test net-smoke net-failover net-elastic cache-test serve-test ci bench microbench bench-short bench-check bench-ab
 
 build:
 	$(GO) build ./...
@@ -55,7 +55,17 @@ net-elastic:
 cache-test:
 	$(GO) test -race -count=1 -run 'TestERIStore|TestUpdateDensityRace|TestStore|TestDelta|TestPerIterationFockStats|TestBlowUpReportedAtProducingIteration|TestBlob|TestSpillE2E' ./internal/integrals/ ./internal/core/ ./internal/scf/ ./internal/net/
 
-ci: build vet race net-smoke net-failover net-elastic cache-test
+# Multi-tenant HF service gate under the race detector: the overload +
+# chaos acceptance e2e (burst at 4x admission capacity onto a live
+# 2-shard fleet; every accepted job must match its solo energy to 1e-9,
+# including across an injected mid-SCF shard kill+restart; rejections
+# must be explicit and land in <100ms), plus the multi-session shard
+# layer, the fair-share/quota/shed scheduler, and the job lifecycle
+# unit tests.
+serve-test:
+	$(GO) test -race -count=1 -run 'TestOverloadEndToEnd|TestMultiServer|TestLayoutRoundTrip|TestClassifyFailureCounters|TestFairShare|TestTenantQuotas|TestShedLadder|TestAdmission|TestMemoryBudget|TestDeadline|TestClientCancel|TestPreemption|TestNoPreemption|TestDrain|TestEventStream' ./internal/serve/ ./internal/net/
+
+ci: build vet race net-smoke net-failover net-elastic cache-test serve-test
 
 # Go-testing microbenchmarks (one iteration each; a compile-and-run smoke).
 microbench:

@@ -103,7 +103,7 @@ func main() {
 	)
 	flag.Parse()
 
-	mol, err := parseMolecule(*molSpec)
+	mol, err := chem.ParseSpec(*molSpec)
 	fatalIf(err)
 	bs, err := basis.Build(mol, *bname)
 	fatalIf(err)
@@ -543,6 +543,10 @@ func reportRPC(rpc *metrics.RPC) {
 		fmt.Printf("  injected faults:     %d resets, %d dup sends, %d partitioned\n",
 			s.Resets, s.DupSends, s.Partitioned)
 	}
+	if s.DeadlineExceeded > 0 || s.PeerResets > 0 {
+		fmt.Printf("  failure classes:     %d deadline exceeded, %d peer resets\n",
+			s.DeadlineExceeded, s.PeerResets)
+	}
 	if s.Failovers > 0 || s.StaleRetries > 0 {
 		fmt.Printf("  failover:            %d promotions, %d stale-epoch retries\n",
 			s.Failovers, s.StaleRetries)
@@ -555,25 +559,6 @@ func reportRPC(rpc *metrics.RPC) {
 		fmt.Printf("  latency:             mean %.1fus, p95 %.1fus, max %.1fus\n",
 			s.LatencyNS.Mean/1e3, float64(s.LatencyNS.P95)/1e3,
 			float64(s.LatencyNS.Max)/1e3)
-	}
-}
-
-func parseMolecule(spec string) (*chem.Molecule, error) {
-	switch {
-	case strings.HasPrefix(spec, "alkane:"):
-		n, err := strconv.Atoi(spec[len("alkane:"):])
-		if err != nil {
-			return nil, err
-		}
-		return chem.Alkane(n), nil
-	case strings.HasPrefix(spec, "flake:"):
-		k, err := strconv.Atoi(spec[len("flake:"):])
-		if err != nil {
-			return nil, err
-		}
-		return chem.GrapheneFlake(k), nil
-	default:
-		return chem.PaperMolecule(spec)
 	}
 }
 

@@ -80,13 +80,22 @@ func main() {
 		standby   = flag.String("standby", "", "hot-standby address to advertise to the fleet for -join")
 		leaseTTL  = flag.Duration("lease-ttl", 1500*time.Millisecond, "membership lease TTL (fleet and members must agree)")
 		httpAddr  = flag.String("http", "", "serve /debug/vars and /debug/pprof on this address")
+
+		multiMode     = flag.Bool("multi", false, "serve many job-scoped sessions for hfd (no fixed molecule/grid; each session carries its own)")
+		multiSessions = flag.Int("multi-sessions", 256, "session table cap in -multi mode")
+		multiMemMB    = flag.Int64("multi-mem-mb", 0, "resident memory budget in MiB in -multi mode (0 = unlimited)")
 	)
 	flag.Parse()
+
+	if *multiMode {
+		runMulti(*servers, *index, *multiSessions, *multiMemMB<<20, *listen, *httpAddr)
+		return
+	}
 
 	if !*fleetMode && *joinAddr == "" && (*index < 0 || *index >= *servers) {
 		fatalIf(fmt.Errorf("-index %d outside [0, %d)", *index, *servers))
 	}
-	mol, err := parseMolecule(*molSpec)
+	mol, err := chem.ParseSpec(*molSpec)
 	fatalIf(err)
 	bs, err := basis.Build(mol, *bname)
 	fatalIf(err)
@@ -201,6 +210,34 @@ func main() {
 	}
 }
 
+// runMulti serves the hfd job service's shard role: many concurrent
+// job-scoped sessions, each with its own grid, admitted against a
+// session cap and a memory budget. Volatile by design — a killed shard
+// forgets its sessions and hfd retries the affected jobs from their
+// checkpoints under fresh sessions.
+func runMulti(servers, index, maxSessions int, memBudget int64, listen, httpAddr string) {
+	ms, err := netga.NewMultiServer(servers, index, maxSessions, memBudget)
+	fatalIf(err)
+	addr, err := ms.Start(listen)
+	fatalIf(err)
+	if httpAddr != "" {
+		metrics.PublishFunc("fock_multi", func() any { return ms.Stats() })
+		dbg, err := metrics.StartDebugServer(httpAddr, nil)
+		fatalIf(err)
+		fmt.Printf("fockd: debug endpoint on http://%s/debug/vars\n", dbg)
+	}
+	fmt.Printf("fockd %d/%d (multi-session): serving on %s (cap %d sessions, budget %d MiB)\n",
+		index, servers, addr, maxSessions, memBudget>>20)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	ms.Close()
+	st := ms.Stats()
+	fmt.Printf("fockd %d: %d requests, %d accs applied, %d dedup hits, %d sessions opened, %d session rejects\n",
+		index, st.Requests, st.AccApplied, st.AccDups, st.SessionsOpened, st.SessionRejects)
+}
+
 // runFleet runs the elastic fleet coordinator: membership leases, the
 // versioned placement, and the block-migration engine.
 func runFleet(grid *dist.Grid2D, listen string, ttl time.Duration, httpAddr string) {
@@ -242,25 +279,6 @@ func splitAddrs(s string) []string {
 		parts[i] = strings.TrimSpace(parts[i])
 	}
 	return parts
-}
-
-func parseMolecule(spec string) (*chem.Molecule, error) {
-	switch {
-	case strings.HasPrefix(spec, "alkane:"):
-		n, err := strconv.Atoi(spec[len("alkane:"):])
-		if err != nil {
-			return nil, err
-		}
-		return chem.Alkane(n), nil
-	case strings.HasPrefix(spec, "flake:"):
-		k, err := strconv.Atoi(spec[len("flake:"):])
-		if err != nil {
-			return nil, err
-		}
-		return chem.GrapheneFlake(k), nil
-	default:
-		return chem.PaperMolecule(spec)
-	}
 }
 
 func parseGrid(s string) (int, int, error) {

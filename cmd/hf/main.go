@@ -9,13 +9,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"gtfock/internal/chem"
 	"gtfock/internal/correlate"
@@ -64,10 +67,18 @@ func main() {
 	)
 	flag.Parse()
 
-	mol, err := parseMolecule(*molSpec)
+	mol, err := chem.ParseSpec(*molSpec)
 	fatalIf(err)
 
+	// SIGINT/SIGTERM interrupt the SCF at the next iteration boundary:
+	// the just-finished iteration's checkpoint is already on disk (with
+	// -checkpoint), so an interrupted run resumes with -resume instead
+	// of recomputing. A second signal kills immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	opt := scf.Options{
+		Ctx:              ctx,
 		BasisName:        *bname,
 		Engine:           scf.Engine(*engine),
 		Tau:              *tau,
@@ -128,6 +139,18 @@ func main() {
 		opt.InitialFock = ck.Fock()
 		opt.StartIter = ck.Iter
 		res, err = scf.RunHF(mol, opt)
+	}
+	if err != nil && ctx.Err() != nil && errors.Is(err, context.Canceled) {
+		// Interrupted by SIGINT/SIGTERM at an iteration boundary: the
+		// last completed iteration's checkpoint (with -checkpoint) is
+		// already durably on disk, so exit cleanly instead of crashing.
+		stop()
+		if *ckptPath != "" {
+			fmt.Printf("interrupted; latest checkpoint saved to %s (continue with -resume)\n", *ckptPath)
+		} else {
+			fmt.Println("interrupted (run with -checkpoint to make interruptions resumable)")
+		}
+		return
 	}
 	fatalIf(err)
 
@@ -221,25 +244,6 @@ func loadResumeState(path, formula, basisName, ord string) (*scf.Checkpoint, err
 		return nil, fmt.Errorf("checkpoint uses -reorder %q, this run uses %q", ck.Reorder, ord)
 	}
 	return ck, nil
-}
-
-func parseMolecule(spec string) (*chem.Molecule, error) {
-	switch {
-	case strings.HasPrefix(spec, "alkane:"):
-		n, err := strconv.Atoi(spec[len("alkane:"):])
-		if err != nil {
-			return nil, err
-		}
-		return chem.Alkane(n), nil
-	case strings.HasPrefix(spec, "flake:"):
-		k, err := strconv.Atoi(spec[len("flake:"):])
-		if err != nil {
-			return nil, err
-		}
-		return chem.GrapheneFlake(k), nil
-	default:
-		return chem.PaperMolecule(spec)
-	}
 }
 
 func parseGrid(s string) (int, int, error) {

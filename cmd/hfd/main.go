@@ -1,0 +1,187 @@
+// Command hfd is the multi-tenant HF service daemon: it accepts many
+// concurrent SCF jobs (molecule + basis + options) over HTTP,
+// multiplexes them onto a shared fleet of multi-session fockd shards
+// through job-scoped netga sessions, and streams per-iteration progress.
+//
+// Overload never degrades it into an OOM or unbounded latency: admission
+// control rejects with an explicit 503 once the queue-depth or
+// resident-memory budget is exceeded, tenants get weighted fair shares
+// of the executor, every job can carry a deadline, and under pressure
+// the lowest-priority work is shed or checkpoint-parked first
+// (DESIGN.md §12).
+//
+//	hfd -listen 127.0.0.1:8680 -shards 2 -capacity 2 -max-queue 8
+//	curl -d '{"molecule":"CH4","basis":"sto-3g"}' http://127.0.0.1:8680/v1/jobs
+//	curl http://127.0.0.1:8680/v1/jobs/j-000001/events   # NDJSON stream
+//
+// -shards N starts an embedded in-process shard fleet; -shard-addrs
+// points at externally launched `fockd -multi` shards instead. SIGTERM
+// and SIGINT drain gracefully: admission stops, running jobs checkpoint
+// and park, then the daemon exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"gtfock/internal/fault"
+	"gtfock/internal/metrics"
+	netga "gtfock/internal/net"
+	"gtfock/internal/serve"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:8680", "HTTP address to serve the job API on")
+		ackAddr = flag.String("http", "", "optional /debug/vars address")
+
+		shards        = flag.Int("shards", 2, "embedded multi-session shard servers to start (ignored with -shard-addrs)")
+		shardAddrs    = flag.String("shard-addrs", "", "comma-separated external fockd -multi shard addresses")
+		shardSessions = flag.Int("shard-sessions", 256, "per-shard session table cap (embedded shards)")
+		shardMemMB    = flag.Int64("shard-mem-mb", 512, "per-shard resident memory budget in MiB (embedded shards, 0 = unlimited)")
+
+		capacity  = flag.Int("capacity", 2, "concurrently executing jobs")
+		maxQueue  = flag.Int("max-queue", 0, "admission queue depth bound (0 = 4x capacity)")
+		memMB     = flag.Int64("mem-budget-mb", 256, "admitted-job resident memory budget in MiB (0 = unlimited)")
+		ckptDir   = flag.String("checkpoint-dir", "hfd-ckpt", "per-job SCF checkpoint directory")
+		gridSpec  = flag.String("grid", "2x2", "per-job process grid RxC")
+		tenants   = flag.String("tenants", "", "tenant weights, e.g. 'teamA:3,teamB:1' (unknown tenants get weight 1)")
+		maxQdTen  = flag.Int("tenant-max-queued", 0, "per-tenant queued-job quota (0 = global bound only)")
+		maxRunTen = flag.Int("tenant-max-running", 0, "per-tenant running-job quota (0 = capacity only)")
+		preempt   = flag.Bool("preempt", true, "park the lowest-priority running job for a higher-priority arrival")
+		retryMax  = flag.Int("retry-max", 3, "shard-failure retries per job")
+		opTimeout = flag.Duration("op-timeout", 0, "per-RPC socket deadline (0 = transport default)")
+		drainFor  = flag.Duration("drain", 30*time.Second, "max graceful-drain time on SIGTERM/SIGINT")
+
+		faultReset = flag.Float64("fault-net-reset", 0, "injected connection-reset probability per RPC (chaos)")
+		faultDup   = flag.Float64("fault-net-dup", 0, "injected duplicate-delivery probability per RPC (chaos)")
+		faultDelay = flag.Float64("fault-net-delay", 0, "injected slow-link probability per RPC (chaos)")
+		faultFor   = flag.Duration("fault-net-delay-for", 20*time.Millisecond, "injected slow-link delay")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault injector RNG seed")
+	)
+	flag.Parse()
+
+	prow, pcol, err := parseGrid(*gridSpec)
+	fatalIf(err)
+	fatalIf(os.MkdirAll(*ckptDir, 0o755))
+
+	// Shard fleet: embedded multi-session servers, or an external one.
+	var addrs []string
+	var embedded []*netga.MultiServer
+	if *shardAddrs != "" {
+		addrs = strings.Split(*shardAddrs, ",")
+	} else {
+		for i := 0; i < *shards; i++ {
+			ms, err := netga.NewMultiServer(*shards, i, *shardSessions, *shardMemMB<<20)
+			fatalIf(err)
+			addr, err := ms.Start("127.0.0.1:0")
+			fatalIf(err)
+			embedded = append(embedded, ms)
+			addrs = append(addrs, addr)
+		}
+	}
+
+	rpc := &metrics.RPC{}
+	sm := metrics.NewServe()
+	runner := serve.NewFleetRunner(addrs, *ckptDir)
+	runner.Prow, runner.Pcol = prow, pcol
+	runner.RetryMax = *retryMax
+	runner.OpTimeout = *opTimeout
+	runner.RPC = rpc
+	runner.Serve = sm
+	if *faultReset > 0 || *faultDup > 0 || *faultDelay > 0 {
+		runner.Fault = fault.New(fault.Config{
+			Seed:         *faultSeed,
+			NetResetProb: *faultReset, NetDupProb: *faultDup,
+			NetDelayProb: *faultDelay, NetDelayFor: *faultFor,
+		})
+	}
+
+	cfg := serve.Config{
+		Capacity: *capacity, MaxQueue: *maxQueue, MemBudget: *memMB << 20,
+		DefaultTenant: serve.TenantConfig{Weight: 1, MaxQueued: *maxQdTen, MaxRunning: *maxRunTen},
+		Preempt:       *preempt,
+		Runner:        runner,
+		Metrics:       sm,
+	}
+	if *tenants != "" {
+		cfg.Tenants = map[string]serve.TenantConfig{}
+		for _, ent := range strings.Split(*tenants, ",") {
+			name, wstr, ok := strings.Cut(ent, ":")
+			if !ok {
+				fatalIf(fmt.Errorf("bad -tenants entry %q (want name:weight)", ent))
+			}
+			w, err := strconv.ParseFloat(wstr, 64)
+			fatalIf(err)
+			cfg.Tenants[name] = serve.TenantConfig{Weight: w, MaxQueued: *maxQdTen, MaxRunning: *maxRunTen}
+		}
+	}
+	srv, err := serve.NewServer(cfg)
+	fatalIf(err)
+
+	api := &serve.API{Server: srv, RPC: rpc}
+	hs := &http.Server{Addr: *listen, Handler: api.Handler()}
+	if *ackAddr != "" {
+		metrics.PublishFunc("hfd", func() any { return sm.Snapshot() })
+		dbg, err := metrics.StartDebugServer(*ackAddr, nil)
+		fatalIf(err)
+		fmt.Printf("hfd: debug endpoint on http://%s/debug/vars\n", dbg)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Printf("hfd: %s: draining (stop admission, park running jobs)\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "hfd: %v\n", err)
+		}
+		hs.Shutdown(context.Background())
+	}()
+
+	fmt.Printf("hfd: serving on http://%s (fleet: %s; capacity %d, queue %d)\n",
+		*listen, strings.Join(addrs, ","), srv.Capacity(), srv.MaxQueue())
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatalIf(err)
+	}
+	for _, ms := range embedded {
+		ms.Close()
+	}
+	snap := sm.Snapshot()
+	fmt.Printf("hfd: done: %d admitted, %d completed, %d rejected, %d shed, %d parked\n",
+		snap.Admitted, snap.Completed,
+		snap.RejectedQueue+snap.RejectedQuota+snap.RejectedMem, snap.Shed, snap.Parked)
+}
+
+func parseGrid(s string) (int, int, error) {
+	r, c, ok := strings.Cut(s, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad grid %q (want RxC)", s)
+	}
+	prow, err := strconv.Atoi(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	pcol, err := strconv.Atoi(c)
+	if err != nil {
+		return 0, 0, err
+	}
+	return prow, pcol, nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfd:", err)
+		os.Exit(1)
+	}
+}

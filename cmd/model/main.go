@@ -16,8 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"gtfock/internal/basis"
 	"gtfock/internal/chem"
@@ -35,7 +33,7 @@ func main() {
 	)
 	flag.Parse()
 
-	mol, err := parseMolecule(*molSpec)
+	mol, err := chem.ParseSpec(*molSpec)
 	fatalIf(err)
 	bs, err := basis.Build(mol, "cc-pvdz")
 	fatalIf(err)
@@ -81,39 +79,6 @@ func main() {
 		}
 	default:
 		fatalIf(fmt.Errorf("unknown sweep %q", *sweep))
-	}
-}
-
-func parseMolecule(spec string) (*chem.Molecule, error) {
-	switch {
-	case strings.HasPrefix(spec, "alkane:"):
-		n, err := strconv.Atoi(spec[len("alkane:"):])
-		if err != nil {
-			return nil, err
-		}
-		return chem.Alkane(n), nil
-	case strings.HasPrefix(spec, "flake:"):
-		k, err := strconv.Atoi(spec[len("flake:"):])
-		if err != nil {
-			return nil, err
-		}
-		return chem.GrapheneFlake(k), nil
-	case strings.HasPrefix(spec, "ribbon:"):
-		parts := strings.Split(spec[len("ribbon:"):], "x")
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("ribbon spec must be ribbon:NXxNY")
-		}
-		nx, err := strconv.Atoi(parts[0])
-		if err != nil {
-			return nil, err
-		}
-		ny, err := strconv.Atoi(parts[1])
-		if err != nil {
-			return nil, err
-		}
-		return chem.GrapheneRibbon(nx, ny), nil
-	default:
-		return chem.PaperMolecule(spec)
 	}
 }
 

@@ -1,0 +1,29 @@
+package chem
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a molecule from the command-line spec grammar shared
+// by every driver in this repository: "alkane:N" (the paper's linear
+// alkane series), "flake:K" (hexagonal graphene flakes), or a named
+// formula from the paper's test set (CH4, C6H6, ...).
+func ParseSpec(spec string) (*Molecule, error) {
+	switch {
+	case strings.HasPrefix(spec, "alkane:"):
+		n, err := strconv.Atoi(spec[len("alkane:"):])
+		if err != nil {
+			return nil, err
+		}
+		return Alkane(n), nil
+	case strings.HasPrefix(spec, "flake:"):
+		k, err := strconv.Atoi(spec[len("flake:"):])
+		if err != nil {
+			return nil, err
+		}
+		return GrapheneFlake(k), nil
+	default:
+		return PaperMolecule(spec)
+	}
+}

@@ -21,6 +21,14 @@ type Options struct {
 	PrimTol    float64 // primitive prescreening threshold for the ERI engine
 	UseHGP     bool    // Head-Gordon-Pople ERI algorithm instead of McMurchie-Davidson
 
+	// Ctx, when non-nil, cancels the build: workers observe the
+	// cancellation between tasks and abandon their incarnations, in-flight
+	// retried operations abort early (always before an accumulate's point
+	// of no return, so nothing half-lands), and Build returns with
+	// Result.Err wrapping the context's cause. A canceled build never
+	// produces a usable G — callers resume from their own checkpoints.
+	Ctx context.Context
+
 	// PairTable, when non-nil, is the precomputed shell-pair table all
 	// workers share (read-only). Pass the table across SCF iterations so
 	// pair data is built once per geometry instead of once per build; it
@@ -164,11 +172,15 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 		if cleanup != nil {
 			defer cleanup()
 		}
-		gaD.LoadMatrix(d)
+		if err := loadMatrix(gaD, d); err != nil {
+			return Result{Stats: stats, Err: fmt.Errorf("core: load density: %w", err)}
+		}
 		// An external backend may be a live session that already served a
 		// build (SCF iterations, cache replays): F accumulates, so it must
 		// start from zero — in-process arrays below are born zeroed.
-		gaF.LoadMatrix(linalg.NewMatrix(d.Rows, d.Cols))
+		if err := loadMatrix(gaF, linalg.NewMatrix(d.Rows, d.Cols)); err != nil {
+			return Result{Stats: stats, Err: fmt.Errorf("core: zero F: %w", err)}
+		}
 	} else {
 		gd := dist.NewGlobalArray(grid, dist.NewRunStats(nprocs)) // load not accounted
 		gd.LoadMatrix(d)
@@ -278,6 +290,12 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 		for pid, q := range queues {
 			stats.Per[pid].QueueOps += q.Ops
 		}
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			// Canceled builds never respawn: whatever the workers abandoned
+			// stays unfinished, and the caller sees the cause, not a wrong G.
+			buildErr = fmt.Errorf("core: build canceled: %w", context.Cause(opt.Ctx))
+			break
+		}
 		if led == nil || !led.sweep() {
 			break
 		}
@@ -306,10 +324,39 @@ func Build(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opt Options) 
 		}
 	}
 
-	g2e := gaF.ToMatrix()
+	g2e, gerr := toMatrix(gaF)
+	if gerr != nil {
+		if buildErr == nil {
+			buildErr = fmt.Errorf("core: gather G: %w", gerr)
+		}
+		return Result{Stats: stats, Wall: wall, Err: buildErr}
+	}
 	g := g2e.Clone()
 	g.AXPY(1, g2e.T()) // G = acc + acc^T completes the 8-fold symmetry
 	return Result{G: g, Stats: stats, Wall: wall, Err: buildErr}
+}
+
+// loadMatrix and toMatrix prefer a backend's error-returning bulk ops
+// when it has them (the network client does): a fleet lost mid-build
+// then fails the build — which the serving layer retries — instead of
+// panicking a process that hosts other tenants' jobs.
+func loadMatrix(ga dist.Backend, m *linalg.Matrix) error {
+	if l, ok := ga.(interface {
+		LoadMatrixErr(*linalg.Matrix) error
+	}); ok {
+		return l.LoadMatrixErr(m)
+	}
+	ga.LoadMatrix(m)
+	return nil
+}
+
+func toMatrix(ga dist.Backend) (*linalg.Matrix, error) {
+	if g, ok := ga.(interface {
+		ToMatrixErr() (*linalg.Matrix, error)
+	}); ok {
+		return g.ToMatrixErr()
+	}
+	return ga.ToMatrix(), nil
 }
 
 // mapOpKind translates the dist op taxonomy into the injector's.
@@ -392,6 +439,7 @@ type worker struct {
 	replayVisit func(q integrals.Quartet, p, qq int32, vals []float64)
 
 	// Fault-tolerant runtime state (nil led = plain fast path).
+	ctx           context.Context // build cancellation (nil = never canceled)
 	led           *ledger
 	inj           *fault.Injector
 	epoch         int64
@@ -428,6 +476,7 @@ func newWorker(rank int, bs *basis.Set, scr *screen.Screening, pt *integrals.Pai
 		floc:     make([]float64, bs.NumFuncs*bs.NumFuncs),
 		fp:       NewFootprint(),
 		nf:       bs.NumFuncs,
+		ctx:      opt.Ctx,
 		inj:      opt.Fault,
 		fallible: gaD.Fallible() || gaF.Fallible(),
 		victims:  map[int]bool{},
@@ -465,12 +514,18 @@ func (w *worker) applyStored(bra, ket integrals.PairID, p, q int32, vals []float
 }
 
 // opCtx returns the deadline context bounding one retried operation's
-// total wall time (Options.RetryWallCap); without a cap it is free.
+// total wall time (Options.RetryWallCap), derived from the build context
+// so a job-level cancellation also aborts an in-flight retry loop (the
+// accumulate path honors it only before its point of no return).
 func (w *worker) opCtx() (context.Context, context.CancelFunc) {
-	if w.retryWallCap <= 0 {
-		return context.Background(), func() {}
+	base := w.ctx
+	if base == nil {
+		base = context.Background()
 	}
-	return context.WithTimeout(context.Background(), w.retryWallCap)
+	if w.retryWallCap <= 0 {
+		return base, func() {}
+	}
+	return context.WithTimeout(base, w.retryWallCap)
 }
 
 // obsNow reads the clock only when an observability sink is attached; the
@@ -709,6 +764,12 @@ func (w *worker) drain(my *Queue, queues []*Queue, opt Options, st *dist.ProcSta
 	for {
 		if w.led != nil && !w.led.valid(w.rank, w.epoch) {
 			return drainFenced
+		}
+		if w.ctx != nil && w.ctx.Err() != nil {
+			// Job-level cancellation: abandon between tasks, exactly like a
+			// prefetch failure — claimed blocks stay with the ledger, and
+			// Build's round loop turns the cancellation into Result.Err.
+			return drainAbandoned
 		}
 		t, ok := my.Pop()
 		if !ok {

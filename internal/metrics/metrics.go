@@ -323,6 +323,13 @@ type RPC struct {
 	placementRetries         atomic.Int64
 	viewRefreshes            atomic.Int64
 	blocksMigrated           atomic.Int64
+
+	// Failure-cause split: a deadline that expired (overload — the peer
+	// is slow or we are) versus a connection the peer tore down (faults,
+	// restarts, kills). Reports that lump them together cannot tell a
+	// saturated service from a dying one.
+	deadlineExceeded atomic.Int64
+	peerResets       atomic.Int64
 }
 
 // ObserveCall records one completed RPC (success or final failure) with
@@ -387,6 +394,24 @@ func (c *RPC) AddPartitioned() {
 	}
 }
 
+// AddDeadlineExceeded counts one RPC attempt that failed because an op
+// deadline or retry wall cap expired — the overload signature, as opposed
+// to a torn connection (AddPeerReset).
+func (c *RPC) AddDeadlineExceeded() {
+	if c != nil {
+		c.deadlineExceeded.Add(1)
+	}
+}
+
+// AddPeerReset counts one RPC attempt that failed because the peer reset
+// or closed the connection mid-exchange (server kill, restart, injected
+// reset) — the fault signature, as opposed to an expired deadline.
+func (c *RPC) AddPeerReset() {
+	if c != nil {
+		c.peerResets.Add(1)
+	}
+}
+
 // AddFailover counts one completed shard failover (standby promoted and
 // routing swapped).
 func (c *RPC) AddFailover() {
@@ -445,6 +470,10 @@ type RPCSnapshot struct {
 	PlacementRetries int64 `json:"placement_retries,omitempty"`
 	ViewRefreshes    int64 `json:"view_refreshes,omitempty"`
 	BlocksMigrated   int64 `json:"blocks_migrated,omitempty"`
+	// Failure-cause split: expired deadlines (overload) vs peer-torn
+	// connections (faults/restarts).
+	DeadlineExceeded int64 `json:"deadline_exceeded,omitempty"`
+	PeerResets       int64 `json:"peer_resets,omitempty"`
 }
 
 // Snapshot captures the current transport counters.
@@ -467,6 +496,8 @@ func (c *RPC) Snapshot() RPCSnapshot {
 		PlacementRetries: c.placementRetries.Load(),
 		ViewRefreshes:    c.viewRefreshes.Load(),
 		BlocksMigrated:   c.blocksMigrated.Load(),
+		DeadlineExceeded: c.deadlineExceeded.Load(),
+		PeerResets:       c.peerResets.Load(),
 	}
 }
 

@@ -5,9 +5,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"gtfock/internal/dist"
@@ -19,6 +21,29 @@ import (
 // ErrPartitioned reports an RPC failed fast inside an injected partition
 // window: nothing was sent, so the failure is provably clean.
 var ErrPartitioned = errors.New("netga: partitioned from peer")
+
+// errInjectedReset marks the ambiguous injected-reset outcome: the frame
+// was sent and the conn torn down before the response. It classifies as a
+// peer reset in the failure-cause counters, like the real thing.
+var errInjectedReset = errors.New("netga: connection reset mid-RPC (injected)")
+
+// classifyFailure splits a transport failure by cause so overload
+// (expired deadlines) is distinguishable from faults (peer-torn conns) in
+// reports. Socket deadline expiries surface as net.Error timeouts;
+// peer-side kills surface as ECONNRESET/EPIPE on write or (unexpected)
+// EOF on the response read.
+func classifyFailure(rpc *metrics.RPC, err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		rpc.AddDeadlineExceeded()
+		return
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, errInjectedReset) {
+		rpc.AddPeerReset()
+	}
+}
 
 // Config tunes a Client.
 type Config struct {
@@ -113,6 +138,7 @@ func Dial(grid *dist.Grid2D, stats *dist.RunStats, addrs []string, assign []int,
 		hello := request{
 			Op: opHello, Session: cfg.Session, ReqID: c.reqID.Add(1),
 			R0: int32(grid.Rows), C0: int32(grid.Cols),
+			Msg: layoutMsg(grid),
 		}
 		resp, _, err := c.doRPC(-1, pool, &hello)
 		if err == nil && resp.Status != statusOK {
@@ -234,6 +260,7 @@ func (c *Client) helloSlot(slot int, pool *connPool) error {
 	hello := request{
 		Op: opHello, Session: c.cfg.Session, ReqID: c.reqID.Add(1),
 		R0: int32(c.grid.Rows), C0: int32(c.grid.Cols),
+		Msg: layoutMsg(c.grid),
 	}
 	resp, _, err := c.doRPC(-1, pool, &hello)
 	if err != nil {
@@ -432,7 +459,7 @@ func (c *Client) doRPC(rank int, pool *connPool, req *request) (resp *response, 
 			if werr != nil {
 				return nil, false, werr
 			}
-			return nil, true, errors.New("netga: connection reset mid-RPC (injected)")
+			return nil, true, errInjectedReset
 		}
 	}
 	conn, derr := pool.get()
@@ -518,6 +545,7 @@ func (c *Client) noteFailure(pool *connPool, err error) {
 	if err == nil || errors.Is(err, ErrPartitioned) || errors.Is(err, errShardRetry) {
 		return
 	}
+	classifyFailure(c.cfg.RPC, err)
 	if !c.router.failure(pool.slot) {
 		return
 	}
@@ -805,6 +833,21 @@ func (c *Client) Checkpoint() error {
 	return nil
 }
 
+// Bye releases this client's session on every shard (multi-session
+// servers free the session's arrays and dedup state; single-session
+// servers reject the op, which is harmless). Callers invoke it once per
+// job, after the last build of the session, before Close.
+func (c *Client) Bye() error {
+	req := request{Op: opBye, Session: c.cfg.Session, Proc: -1}
+	var firstErr error
+	for _, pool := range c.pools {
+		if _, err := c.driverOp(pool, &req); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // blobProc maps a stored-ERI spill key to the proc whose hosting shard
 // stores the blob, spreading spill capacity across the fleet.
 func (c *Client) blobProc(key uint64) int {
@@ -837,9 +880,21 @@ func (c *Client) GetBlob(key uint64, dst []float64) ([]float64, error) {
 
 // LoadMatrix distributes a dense matrix to the shard servers, one Put
 // per grid block (driver-side: not accounted, not fault-injected).
+// Callers that can recover from a dead fleet — a multi-tenant daemon
+// that must not crash on one job's shard loss — use LoadMatrixErr.
 func (c *Client) LoadMatrix(m *linalg.Matrix) {
+	if err := c.LoadMatrixErr(m); err != nil {
+		panic(fmt.Sprintf("netga: LoadMatrix: %v", err))
+	}
+}
+
+// LoadMatrixErr is LoadMatrix with the transport failure surfaced as an
+// error instead of a panic; core.Build prefers it when the backend
+// provides it, turning a shard lost mid-build into a failed (retryable)
+// build rather than a crashed process.
+func (c *Client) LoadMatrixErr(m *linalg.Matrix) error {
 	if m.Rows != c.grid.Rows || m.Cols != c.grid.Cols {
-		panic("netga: LoadMatrix shape mismatch")
+		return fmt.Errorf("netga: LoadMatrix shape %dx%d, grid %dx%d", m.Rows, m.Cols, c.grid.Rows, c.grid.Cols)
 	}
 	for _, p := range c.grid.Patches(0, c.grid.Rows, 0, c.grid.Cols) {
 		w := p.C1 - p.C0
@@ -853,14 +908,25 @@ func (c *Client) LoadMatrix(m *linalg.Matrix) {
 			Data: data,
 		}
 		if _, err := c.driverOpProc(p.Proc, &req); err != nil {
-			panic(fmt.Sprintf("netga: LoadMatrix: %v", err))
+			return err
 		}
 	}
+	return nil
 }
 
 // ToMatrix gathers the full array from the shard servers, one Get per
-// grid block (driver-side; see LoadMatrix).
+// grid block (driver-side; see LoadMatrix and ToMatrixErr).
 func (c *Client) ToMatrix() *linalg.Matrix {
+	m, err := c.ToMatrixErr()
+	if err != nil {
+		panic(fmt.Sprintf("netga: ToMatrix: %v", err))
+	}
+	return m
+}
+
+// ToMatrixErr is ToMatrix with failures surfaced as errors (see
+// LoadMatrixErr).
+func (c *Client) ToMatrixErr() (*linalg.Matrix, error) {
 	m := linalg.NewMatrix(c.grid.Rows, c.grid.Cols)
 	for _, p := range c.grid.Patches(0, c.grid.Rows, 0, c.grid.Cols) {
 		req := request{
@@ -869,12 +935,12 @@ func (c *Client) ToMatrix() *linalg.Matrix {
 		}
 		resp, err := c.driverOpProc(p.Proc, &req)
 		if err != nil {
-			panic(fmt.Sprintf("netga: ToMatrix: %v", err))
+			return nil, err
 		}
 		w := p.C1 - p.C0
 		for r := p.R0; r < p.R1; r++ {
 			copy(m.Data[r*m.Cols+p.C0:r*m.Cols+p.C1], resp.Data[(r-p.R0)*w:(r-p.R0)*w+w])
 		}
 	}
-	return m
+	return m, nil
 }

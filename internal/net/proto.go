@@ -44,6 +44,11 @@ const (
 	// restart/failover just makes the client recompute the batch.
 	opPutBlob // store a spill blob (key in Token, payload in Data); first write wins
 	opGetBlob // fetch a spill blob by Token; statusErr blobMissMsg = miss
+
+	// Multi-session op (job-scoped sessions; see session.go). A session's
+	// last client says goodbye so the shard frees its arrays and dedup
+	// state immediately instead of waiting for an eviction.
+	opBye // release this request's session (multi-session servers only)
 )
 
 // blobMissMsg marks an opGetBlob statusErr answer as a plain cache miss

@@ -1,6 +1,7 @@
 package scf
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"math"
@@ -349,5 +350,98 @@ func TestCheckpointRecordsReorder(t *testing.T) {
 	}
 	if ck.Reorder != "cell" {
 		t.Fatalf("checkpoint Reorder = %q, want cell", ck.Reorder)
+	}
+}
+
+// Satellite coverage for the double-fault case: when BOTH the primary
+// checkpoint and its .prev generation are corrupt, the fallback must
+// fail loudly — a non-nil error, no checkpoint object, and not the
+// cold-start ErrNotExist signal a caller would silently start over on.
+func TestLoadCheckpointFallbackBothCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "both.ckpt")
+	n := 4
+	ck := Checkpoint{
+		Version: checkpointVersion, Formula: "CH4", BasisName: "sto-3g",
+		NumFuncs: n, Iter: 3, Energy: -40.0,
+		FData: make([]float64, n*n), DData: make([]float64, n*n),
+	}
+	// Two healthy generations first, so both files exist.
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ck.Iter = 4
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt them in different ways: garbage primary, truncated prev.
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path + PrevSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+PrevSuffix, raw[:len(raw)/4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadCheckpointFallback(path)
+	if err == nil {
+		t.Fatal("both generations corrupt: want a loud error, got nil")
+	}
+	if got != nil {
+		t.Fatalf("both generations corrupt: got checkpoint %+v, want nil", got)
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("double corruption must not masquerade as a cold start: %v", err)
+	}
+}
+
+// Canceling the run's context stops the SCF at the next iteration
+// boundary with the cause in the error chain and the last completed
+// iteration's checkpoint intact on disk.
+func TestRunHFCanceledMidRun(t *testing.T) {
+	mol := chem.Methane()
+	path := filepath.Join(t.TempDir(), "cancel.ckpt")
+	cause := errors.New("park for test")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	stopAt := 2
+	res, err := RunHF(mol, Options{
+		BasisName:      "sto-3g",
+		Ctx:            ctx,
+		CheckpointPath: path,
+		OnIteration: func(iter int, _ Iteration) {
+			if iter >= stopAt {
+				cancel(cause)
+			}
+		},
+	})
+	if err == nil {
+		t.Fatalf("canceled run returned no error (res=%+v)", res)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("error %v does not carry the cancellation cause", err)
+	}
+	ck, lerr := LoadCheckpointFallback(path)
+	if lerr != nil {
+		t.Fatalf("checkpoint after cancel: %v", lerr)
+	}
+	if ck.Iter < stopAt {
+		t.Fatalf("checkpoint at iter %d, want >= %d", ck.Iter, stopAt)
+	}
+	// The canceled run resumes from the checkpoint to the same answer a
+	// cold run reaches.
+	cold, err := RunHF(mol, Options{BasisName: "sto-3g"})
+	if err != nil || !cold.Converged {
+		t.Fatal("cold reference failed")
+	}
+	warm, err := RunHF(mol, Options{
+		BasisName: "sto-3g", InitialFock: ck.Fock(), StartIter: ck.Iter,
+	})
+	if err != nil || !warm.Converged {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	if d := math.Abs(warm.Energy - cold.Energy); d > 1e-9 {
+		t.Fatalf("resumed energy off by %g", d)
 	}
 }

@@ -8,6 +8,7 @@
 package scf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -59,6 +60,14 @@ type Options struct {
 	BasisName string  // default "cc-pvdz"
 	Tau       float64 // screening tolerance, default screen.DefaultTau
 	PrimTol   float64 // primitive prescreening, default 0 (off)
+
+	// Ctx, when non-nil, cancels the run at well-defined points: the top
+	// of each iteration (after the previous iteration's checkpoint is on
+	// disk) and inside the GTFock build's worker loops. RunHF returns an
+	// error wrapping the context's cause, so a caller that canceled with
+	// context.CancelCauseFunc (deadline, park, shutdown) can errors.Is the
+	// reason back out and resume later from CheckpointPath.
+	Ctx context.Context
 
 	Engine     Engine // default EngineGTFock
 	Prow, Pcol int    // process grid (GTFock) / Prow*Pcol processes (NWChem)
@@ -144,6 +153,27 @@ type Options struct {
 	// and registry accumulate across SCF iterations; nil disables them.
 	FockTrace   *dist.Trace
 	FockMetrics *metrics.Registry
+
+	// FockBackend, when non-nil, supplies the distributed D and F arrays
+	// for every GTFock build of the run (see core.Options.Backend) — the
+	// hook the HF service uses to run each job's builds over a shared
+	// shard fleet. The factory is called once per build; callers that keep
+	// live sessions across builds (they must, or Acc dedup tokens restart
+	// and eat later iterations' accumulates) return the same clients each
+	// time and advance the dedup generation in OnIteration.
+	FockBackend func(grid *dist.Grid2D, stats *dist.RunStats) (gaD, gaF dist.Backend, cleanup func(), err error)
+
+	// TuneFock, when non-nil, adjusts the assembled core.Options of every
+	// GTFock build just before it runs (lease TTLs, retry budgets, fault
+	// injection) without scf needing a field per knob.
+	TuneFock func(*core.Options)
+
+	// OnIteration, when non-nil, is called after every completed SCF
+	// iteration (checkpoint already saved when CheckpointPath is set) with
+	// the global iteration number (StartIter offset included). The HF
+	// service streams these to clients and checkpoints its net sessions
+	// here; the callback runs on the SCF goroutine, so it must be quick.
+	OnIteration func(iter int, it Iteration)
 }
 
 // Iteration records one SCF cycle.
@@ -324,6 +354,14 @@ func RunHF(mol *chem.Molecule, opt Options) (*Result, error) {
 	for it := 1; it <= opt.MaxIter; it++ {
 		iter := Iteration{}
 
+		// Cancellation boundary: the previous iteration's checkpoint is on
+		// disk (when checkpointing), so stopping here loses nothing — a
+		// parked or deadline-killed run resumes from exactly this state.
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			return nil, fmt.Errorf("scf: canceled before iteration %d: %w",
+				opt.StartIter+it, context.Cause(opt.Ctx))
+		}
+
 		// Numerical blow-up guard: a NaN/Inf in F (bad warm start, DIIS
 		// breakdown, diverging density) would otherwise propagate silently
 		// through eigensolver and energy until MaxIter.
@@ -467,6 +505,9 @@ func RunHF(mol *chem.Molecule, opt Options) (*Result, error) {
 				return nil, fmt.Errorf("scf: checkpoint at iteration %d: %w", it, err)
 			}
 		}
+		if opt.OnIteration != nil {
+			opt.OnIteration(opt.StartIter+it, iter)
+		}
 		if conv {
 			res.Converged = true
 			res.F, res.D = f, d
@@ -546,11 +587,16 @@ func contractInCore(t []float64, p *linalg.Matrix) *linalg.Matrix {
 func buildG(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, pt *integrals.PairTable, store *integrals.ERIStore, opt Options) (*linalg.Matrix, *dist.RunStats, error) {
 	switch opt.Engine {
 	case EngineGTFock:
-		r := core.Build(bs, scr, d, core.Options{
+		copt := core.Options{
 			Prow: opt.Prow, Pcol: opt.Pcol, PrimTol: opt.PrimTol, UseHGP: opt.UseHGP,
 			PairTable: pt, DensityScreen: opt.DensityScreen, ERIStore: store,
 			Trace: opt.FockTrace, Metrics: opt.FockMetrics,
-		})
+			Ctx: opt.Ctx, Backend: opt.FockBackend,
+		}
+		if opt.TuneFock != nil {
+			opt.TuneFock(&copt)
+		}
+		r := core.Build(bs, scr, d, copt)
 		return r.G, r.Stats, r.Err
 	case EngineNWChem:
 		r, err := nwchem.Build(bs, scr, d, nwchem.Options{

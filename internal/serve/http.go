@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"gtfock/internal/metrics"
+)
+
+// API exposes a Server over HTTP (the hfd wire surface):
+//
+//	POST /v1/jobs             submit; 202 {"id"} | 503 reject | 400 bad spec
+//	GET  /v1/jobs/{id}        status snapshot
+//	GET  /v1/jobs/{id}/events NDJSON progress stream until terminal
+//	POST /v1/jobs/{id}/cancel explicit cancellation
+//	GET  /v1/stats            admission/queue/RPC counter snapshot
+//	GET  /healthz             liveness
+type API struct {
+	Server *Server
+	// RPC, when non-nil, is included in /v1/stats next to the serve
+	// counters.
+	RPC *metrics.RPC
+}
+
+// Handler builds the route table.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", a.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", a.events)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", a.cancel)
+	mux.HandleFunc("GET /v1/stats", a.stats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errBody struct {
+	Error string `json:"error"`
+	Cause string `json:"cause,omitempty"`
+}
+
+func (a *API) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	j, err := a.Server.Submit(spec)
+	if err != nil {
+		var re *RejectError
+		if errors.As(err, &re) {
+			// Explicit overload refusal: the client must back off or
+			// shed load itself; the server will not absorb it.
+			cause := "queue_full"
+			switch re.Cause {
+			case metrics.RejectQuota:
+				cause = "tenant_quota"
+			case metrics.RejectMemory:
+				cause = "memory_budget"
+			}
+			writeJSON(w, http.StatusServiceUnavailable, errBody{Error: re.Msg, Cause: cause})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID})
+}
+
+func (a *API) job(w http.ResponseWriter, r *http.Request) *Job {
+	j := a.Server.Job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errBody{Error: "unknown job"})
+	}
+	return j
+}
+
+func (a *API) status(w http.ResponseWriter, r *http.Request) {
+	if j := a.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (a *API) cancel(w http.ResponseWriter, r *http.Request) {
+	if j := a.job(w, r); j != nil {
+		j.Cancel()
+		writeJSON(w, http.StatusOK, map[string]string{"state": j.State().String()})
+	}
+}
+
+// events streams the job's progress as NDJSON, one Event per line,
+// blocking until the job reaches a terminal state or the client leaves.
+func (a *API) events(w http.ResponseWriter, r *http.Request) {
+	j := a.job(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for from := 0; ; {
+		evs, ok := j.EventsSince(from)
+		if !ok {
+			return
+		}
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		from += len(evs)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+}
+
+// StatsBody is the /v1/stats response.
+type StatsBody struct {
+	Serve metrics.ServeSnapshot `json:"serve"`
+	RPC   *metrics.RPCSnapshot  `json:"rpc,omitempty"`
+}
+
+func (a *API) stats(w http.ResponseWriter, _ *http.Request) {
+	body := StatsBody{Serve: a.Server.met.Snapshot()}
+	if a.RPC != nil {
+		s := a.RPC.Snapshot()
+		body.RPC = &s
+	}
+	writeJSON(w, http.StatusOK, body)
+}

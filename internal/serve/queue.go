@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"sort"
+)
+
+// tenantQ is one tenant's slice of the scheduler: its pending jobs, its
+// live running count, and its fair-share accounting.
+type tenantQ struct {
+	name    string
+	weight  float64
+	queued  []*Job // priority-descending, FIFO within a priority
+	running int
+	// served is the tenant's virtual service time (stride scheduling):
+	// each dispatched job advances it by 1/weight, and the scheduler
+	// always picks the eligible tenant with the smallest value, so over
+	// time tenants receive executor slots proportional to their weights
+	// regardless of how fast they submit.
+	served float64
+
+	maxQueued  int // per-tenant queue quota; 0 = no per-tenant bound
+	maxRunning int // per-tenant concurrency quota; 0 = unbounded
+}
+
+// fairQueue is the admission queue: bounded in depth, weighted
+// fair-share across tenants, priority-aware within a tenant, with an
+// explicit shedding ladder for overload. It is not self-locking — the
+// Server serializes access under its own mutex so queue transitions and
+// job state changes stay atomic.
+type fairQueue struct {
+	tenants  map[string]*tenantQ
+	depth    int // total queued jobs
+	maxDepth int
+}
+
+func newFairQueue(maxDepth int) *fairQueue {
+	return &fairQueue{tenants: map[string]*tenantQ{}, maxDepth: maxDepth}
+}
+
+func (q *fairQueue) tenant(name string, weight float64, maxQueued, maxRunning int) *tenantQ {
+	t := q.tenants[name]
+	if t == nil {
+		if weight <= 0 {
+			weight = 1
+		}
+		t = &tenantQ{name: name, weight: weight, maxQueued: maxQueued, maxRunning: maxRunning}
+		// A tenant appearing mid-flight starts at the current minimum
+		// virtual time, not zero — otherwise a newcomer would monopolize
+		// the executor until it "caught up" with tenants that have been
+		// served all along.
+		minServed := -1.0
+		for _, o := range q.tenants {
+			if minServed < 0 || o.served < minServed {
+				minServed = o.served
+			}
+		}
+		if minServed > 0 {
+			t.served = minServed
+		}
+		q.tenants[name] = t
+	}
+	return t
+}
+
+// admitErr describes why the queue refused a job.
+type admitErr struct {
+	cause string // "queue_full" | "tenant_quota"
+	msg   string
+}
+
+func (e *admitErr) Error() string { return e.msg }
+
+// push enqueues an admitted job, applying the degradation ladder when
+// the global queue is full: the lowest-priority queued job (across all
+// tenants) is shed to make room iff it is strictly lower priority than
+// the arrival; otherwise the arrival itself is refused. The caller
+// finalizes the returned shed job (it has already left the queue).
+func (q *fairQueue) push(t *tenantQ, j *Job) (shed *Job, err *admitErr) {
+	if t.maxQueued > 0 && len(t.queued) >= t.maxQueued {
+		return nil, &admitErr{cause: "tenant_quota",
+			msg: "serve: tenant " + t.name + " queue quota exceeded"}
+	}
+	if q.depth >= q.maxDepth {
+		victim := q.lowestPriority()
+		if victim == nil || victim.Spec.Priority >= j.Spec.Priority {
+			return nil, &admitErr{cause: "queue_full", msg: "serve: queue full"}
+		}
+		q.remove(victim)
+		shed = victim
+	}
+	// Insert priority-descending, FIFO within equal priority.
+	i := sort.Search(len(t.queued), func(i int) bool {
+		return t.queued[i].Spec.Priority < j.Spec.Priority
+	})
+	t.queued = append(t.queued, nil)
+	copy(t.queued[i+1:], t.queued[i:])
+	t.queued[i] = j
+	q.depth++
+	return shed, nil
+}
+
+// pop dispatches the next job under weighted fair share: among tenants
+// with pending work and headroom under their running quota, the one with
+// the least virtual service time wins, and its best-priority job runs.
+// Returns nil when nothing is eligible.
+func (q *fairQueue) pop() *Job {
+	var best *tenantQ
+	for _, t := range q.tenants {
+		if len(t.queued) == 0 {
+			continue
+		}
+		if t.maxRunning > 0 && t.running >= t.maxRunning {
+			continue
+		}
+		if best == nil || t.served < best.served ||
+			(t.served == best.served && t.name < best.name) {
+			best = t
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	j := best.queued[0]
+	best.queued = best.queued[1:]
+	q.depth--
+	best.running++
+	best.served += 1 / best.weight
+	return j
+}
+
+// requeue re-inserts an already-admitted parked job: ahead of its
+// equal-priority peers (it has made progress; finish it first) but
+// still behind strictly higher-priority work. Admission bounds do not
+// apply — the job's slot in the system was granted at Submit.
+func (q *fairQueue) requeue(t *tenantQ, j *Job) {
+	i := sort.Search(len(t.queued), func(i int) bool {
+		return t.queued[i].Spec.Priority <= j.Spec.Priority
+	})
+	t.queued = append(t.queued, nil)
+	copy(t.queued[i+1:], t.queued[i:])
+	t.queued[i] = j
+	q.depth++
+}
+
+// release returns a finished (or parked) job's executor slot to its
+// tenant's accounting.
+func (q *fairQueue) release(t *tenantQ) {
+	if t.running > 0 {
+		t.running--
+	}
+}
+
+// lowestPriority finds the shed candidate: the queued job with the
+// lowest priority, breaking ties toward the most recently queued one
+// (freshest work is the cheapest to lose).
+func (q *fairQueue) lowestPriority() *Job {
+	var victim *Job
+	for _, t := range q.tenants {
+		for _, j := range t.queued {
+			if victim == nil || j.Spec.Priority <= victim.Spec.Priority {
+				victim = j
+			}
+		}
+	}
+	return victim
+}
+
+// remove deletes a specific job from its tenant's queue.
+func (q *fairQueue) remove(j *Job) bool {
+	t := q.tenants[tenantName(j.Spec.Tenant)]
+	if t == nil {
+		return false
+	}
+	for i, cand := range t.queued {
+		if cand == j {
+			t.queued = append(t.queued[:i], t.queued[i+1:]...)
+			q.depth--
+			return true
+		}
+	}
+	return false
+}
+
+// drainQueued empties the queue, returning every pending job.
+func (q *fairQueue) drainQueued() []*Job {
+	var out []*Job
+	for _, t := range q.tenants {
+		out = append(out, t.queued...)
+		t.queued = nil
+	}
+	q.depth = 0
+	return out
+}
+
+func tenantName(s string) string {
+	if s == "" {
+		return "default"
+	}
+	return s
+}

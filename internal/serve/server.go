@@ -1,0 +1,451 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gtfock/internal/metrics"
+)
+
+// TenantConfig sets one tenant's scheduling parameters.
+type TenantConfig struct {
+	// Weight is the tenant's fair-share weight; slots are granted
+	// proportionally to weights over time. Default 1.
+	Weight float64 `json:"weight,omitempty"`
+	// MaxQueued bounds the tenant's pending jobs (quota); 0 = bounded
+	// only by the global queue.
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxRunning bounds the tenant's concurrently executing jobs;
+	// 0 = bounded only by server capacity.
+	MaxRunning int `json:"max_running,omitempty"`
+}
+
+// Runner executes one admitted job to completion. Implementations own
+// the retry-across-shard-failure loop (FleetRunner); the server owns
+// scheduling, deadlines and parking, delivered through ctx causes.
+type Runner interface {
+	Run(ctx context.Context, j *Job) (*JobResult, error)
+}
+
+// RunnerFunc adapts a closure to Runner (stub runners in tests).
+type RunnerFunc func(ctx context.Context, j *Job) (*JobResult, error)
+
+func (f RunnerFunc) Run(ctx context.Context, j *Job) (*JobResult, error) { return f(ctx, j) }
+
+// Config parameterizes a Server.
+type Config struct {
+	// Capacity is the number of concurrently executing jobs (default 2).
+	Capacity int
+	// MaxQueue bounds the admission queue depth (default 4x capacity).
+	// Admissions beyond it are shed-or-rejected, never absorbed.
+	MaxQueue int
+	// MemBudget bounds the summed resident-memory estimates of admitted
+	// jobs; submissions that would exceed it are rejected. 0 = unlimited.
+	MemBudget int64
+	// Tenants maps tenant name to its quota/weight config; unknown
+	// tenants get DefaultTenant.
+	Tenants       map[string]TenantConfig
+	DefaultTenant TenantConfig
+	// Preempt enables the priority ladder's last rung: when every slot
+	// is busy and a strictly higher-priority job arrives, the
+	// lowest-priority running job is checkpointed and parked back into
+	// the queue.
+	Preempt bool
+	// Runner executes jobs (required). Estimate validates a spec and
+	// returns its basis-function count for memory admission; default
+	// EstimateSpec.
+	Runner   Runner
+	Estimate func(JobSpec) (int, error)
+	// Metrics, when non-nil, collects the admission/queue/shed counters.
+	Metrics *metrics.Serve
+}
+
+// RejectError is an explicit 503-style admission refusal: the job was
+// never admitted and holds no server resources. Returned synchronously
+// from Submit so rejection latency is bounded by admission bookkeeping,
+// not by the queue.
+type RejectError struct {
+	Cause metrics.RejectCause
+	Msg   string
+}
+
+func (e *RejectError) Error() string { return e.Msg }
+
+// IsReject reports whether err is an admission rejection.
+func IsReject(err error) bool {
+	var re *RejectError
+	return errors.As(err, &re)
+}
+
+// Server is the overload-safe multi-tenant HF job server.
+type Server struct {
+	cfg Config
+	met *metrics.Serve
+
+	mu       sync.Mutex
+	q        *fairQueue
+	jobs     map[string]*Job
+	running  map[*Job]context.CancelCauseFunc
+	memUsed  int64
+	draining bool
+	drained  chan struct{} // closed when the last running job exits during drain
+	nextID   int64
+}
+
+// NewServer builds a Server over cfg; Start is implicit (the executor
+// is event-driven, no background goroutines until jobs arrive).
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Runner == nil {
+		return nil, errors.New("serve: Config.Runner is required")
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 2
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.Capacity
+	}
+	if cfg.Estimate == nil {
+		cfg.Estimate = EstimateSpec
+	}
+	return &Server{
+		cfg:     cfg,
+		met:     cfg.Metrics,
+		q:       newFairQueue(cfg.MaxQueue),
+		jobs:    map[string]*Job{},
+		running: map[*Job]context.CancelCauseFunc{},
+	}, nil
+}
+
+// Capacity and MaxQueue report the effective (defaulted) admission
+// bounds.
+func (s *Server) Capacity() int { return s.cfg.Capacity }
+func (s *Server) MaxQueue() int { return s.cfg.MaxQueue }
+
+func (s *Server) tenantConfig(name string) TenantConfig {
+	if tc, ok := s.cfg.Tenants[name]; ok {
+		return tc
+	}
+	return s.cfg.DefaultTenant
+}
+
+// jobBytes estimates one job's resident footprint in the daemon: the
+// SCF working set is a handful of nbf x nbf matrices (F, D, S, X, H,
+// DIIS history of up to 8 F/error pairs) plus slack for the build's
+// local blocks. Deliberately generous — admission control errs toward
+// refusing work, never toward OOM.
+func jobBytes(nbf int) int64 {
+	const matrices = 24
+	return int64(nbf) * int64(nbf) * 8 * matrices
+}
+
+// Submit runs admission control and either enqueues the job or returns
+// an explicit rejection. The error is a *RejectError for overload
+// refusals (503) and a plain error for malformed specs (400).
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	s.met.AddSubmitted()
+	spec.Tenant = tenantName(spec.Tenant)
+	if spec.Basis == "" {
+		spec.Basis = "sto-3g"
+	}
+	if spec.MaxIter <= 0 {
+		spec.MaxIter = 30
+	}
+	nbf, err := s.cfg.Estimate(spec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: bad job spec: %w", err)
+	}
+	bytes := jobBytes(nbf)
+	tc := s.tenantConfig(spec.Tenant)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, &RejectError{Cause: metrics.RejectQueueFull, Msg: ErrDraining.Error()}
+	}
+	if s.cfg.MemBudget > 0 && s.memUsed+bytes > s.cfg.MemBudget {
+		s.met.AddRejected(metrics.RejectMemory)
+		return nil, &RejectError{Cause: metrics.RejectMemory,
+			Msg: fmt.Sprintf("serve: memory budget exceeded (%d + %d > %d bytes)", s.memUsed, bytes, s.cfg.MemBudget)}
+	}
+
+	s.nextID++
+	id := fmt.Sprintf("j-%06d", s.nextID)
+	ctx := context.Background()
+	var cancel context.CancelCauseFunc
+	if spec.DeadlineMs > 0 {
+		ctx, cancel = withDeadlineCause(ctx, time.Duration(spec.DeadlineMs)*time.Millisecond, ErrDeadline)
+	} else {
+		ctx, cancel = context.WithCancelCause(ctx)
+	}
+	j := newJob(id, spec, nbf, bytes, tc.Weight, ctx, cancel)
+
+	t := s.q.tenant(spec.Tenant, tc.Weight, tc.MaxQueued, tc.MaxRunning)
+	shed, aerr := s.q.push(t, j)
+	if aerr != nil {
+		cancel(nil)
+		cause := metrics.RejectQueueFull
+		if aerr.cause == "tenant_quota" {
+			cause = metrics.RejectQuota
+		}
+		s.met.AddRejected(cause)
+		return nil, &RejectError{Cause: cause, Msg: aerr.msg}
+	}
+	s.jobs[id] = j
+	s.memUsed += bytes
+	s.met.AddAdmitted()
+	j.appendQueued()
+	if shed != nil {
+		s.finalizeShedLocked(shed, j)
+	}
+	s.met.SetQueueDepth(s.q.depth)
+	if s.cfg.Preempt {
+		s.maybePreemptLocked(j)
+	}
+	s.scheduleLocked()
+	return j, nil
+}
+
+func (j *Job) appendQueued() {
+	j.mu.Lock()
+	j.appendLocked(Event{Type: "queued", State: StateQueued})
+	j.mu.Unlock()
+}
+
+// withDeadlineCause is context.WithDeadlineCause wrapped to also return
+// a CancelCauseFunc usable for client cancellation; calling it releases
+// the deadline timer too.
+func withDeadlineCause(parent context.Context, d time.Duration, cause error) (context.Context, context.CancelCauseFunc) {
+	dctx, dcancel := context.WithDeadlineCause(parent, time.Now().Add(d), cause)
+	ctx, ccancel := context.WithCancelCause(dctx)
+	return ctx, func(err error) {
+		ccancel(err)
+		dcancel()
+	}
+}
+
+// finalizeShedLocked terminates a job the degradation ladder dropped
+// from the queue to make room for by.
+func (s *Server) finalizeShedLocked(victim, by *Job) {
+	s.memUsed -= victim.Bytes
+	s.met.AddShed()
+	victim.mu.Lock()
+	victim.state = StateShed
+	victim.err = fmt.Errorf("serve: shed from queue by higher-priority job %s", by.ID)
+	victim.finished = time.Now()
+	victim.appendLocked(Event{Type: "shed", State: StateShed, Msg: victim.err.Error()})
+	victim.cond.Broadcast()
+	victim.mu.Unlock()
+	victim.cancel(ErrCanceled)
+}
+
+// maybePreemptLocked parks the lowest-priority running job when every
+// slot is busy and arrival outranks it — the checkpointed job re-queues
+// and resumes later from its last completed iteration.
+func (s *Server) maybePreemptLocked(arrival *Job) {
+	if len(s.running) < s.cfg.Capacity {
+		return
+	}
+	var victim *Job
+	for j := range s.running {
+		if victim == nil || j.Spec.Priority < victim.Spec.Priority {
+			victim = j
+		}
+	}
+	if victim != nil && victim.Spec.Priority < arrival.Spec.Priority {
+		s.running[victim](ErrParked)
+	}
+}
+
+// scheduleLocked fills free executor slots from the fair-share queue.
+func (s *Server) scheduleLocked() {
+	for len(s.running) < s.cfg.Capacity && !s.draining {
+		j := s.q.pop()
+		if j == nil {
+			break
+		}
+		s.met.SetQueueDepth(s.q.depth)
+		// A job whose deadline expired while queued is canceled without
+		// consuming a slot (its tenant's accounting is rolled back).
+		if j.ctx.Err() != nil {
+			s.q.release(s.q.tenant(j.Spec.Tenant, 1, 0, 0))
+			s.finishLocked(j, nil, context.Cause(j.ctx))
+			continue
+		}
+		runCtx, runCancel := context.WithCancelCause(j.ctx)
+		s.running[j] = runCancel
+		s.met.SetRunning(len(s.running))
+		go s.runJob(j, runCtx)
+	}
+}
+
+func (s *Server) runJob(j *Job, runCtx context.Context) {
+	j.mu.Lock()
+	first := j.started.IsZero()
+	if first {
+		j.started = time.Now()
+		s.met.ObserveQueueWait(j.started.Sub(j.submitted).Nanoseconds())
+	} else {
+		s.met.AddResumed()
+	}
+	j.state = StateRunning
+	j.appendLocked(Event{Type: "running", State: StateRunning, Iter: j.resumeAt})
+	j.mu.Unlock()
+
+	res, err := s.cfg.Runner.Run(runCtx, j)
+	if err == nil && res == nil {
+		err = errors.New("serve: runner returned no result")
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	runCancel := s.running[j]
+	delete(s.running, j)
+	s.met.SetRunning(len(s.running))
+	if runCancel != nil {
+		runCancel(nil)
+	}
+	s.q.release(s.q.tenant(j.Spec.Tenant, 1, 0, 0))
+
+	// A parked run is not terminal: re-queue (preemption) or leave
+	// parked with its checkpoint on disk (drain).
+	cause := context.Cause(runCtx)
+	if err != nil && (errors.Is(cause, ErrParked) || errors.Is(err, ErrParked)) && !s.draining {
+		s.met.AddParked()
+		j.setState(StateParked, "preempted")
+		j.setState(StateQueued, "requeued after park")
+		tc := s.tenantConfig(j.Spec.Tenant)
+		t := s.q.tenant(j.Spec.Tenant, tc.Weight, tc.MaxQueued, tc.MaxRunning)
+		// Depth may transiently exceed MaxQueue by at most Capacity
+		// parked jobs; the admission bound applies to Submit, not to
+		// re-entry of already-admitted work.
+		s.q.requeue(t, j)
+		s.met.SetQueueDepth(s.q.depth)
+		s.scheduleLocked()
+		return
+	}
+	if err != nil && (errors.Is(cause, ErrDraining) || errors.Is(err, ErrDraining)) {
+		s.met.AddParked()
+		j.mu.Lock()
+		j.state = StateParked
+		j.err = ErrDraining
+		j.appendLocked(Event{Type: "parked", State: StateParked, Msg: "server draining"})
+		j.mu.Unlock()
+		s.memUsed -= j.Bytes
+		s.noteDrainedLocked()
+		return
+	}
+	s.finishLocked(j, res, err)
+	s.scheduleLocked()
+}
+
+// finishLocked applies a terminal outcome. Caller holds s.mu.
+func (s *Server) finishLocked(j *Job, res *JobResult, err error) {
+	s.memUsed -= j.Bytes
+	j.mu.Lock()
+	j.finished = time.Now()
+	if !j.started.IsZero() {
+		s.met.ObserveRunTime(j.finished.Sub(j.started).Nanoseconds())
+	}
+	if res != nil {
+		res.Retries = j.retries
+	}
+	j.result = res
+	j.err = err
+	switch {
+	case err == nil:
+		j.state = StateDone
+		s.met.AddCompleted()
+		j.appendLocked(Event{Type: "done", State: StateDone, Energy: res.Energy})
+	case errors.Is(err, ErrDeadline) || errors.Is(err, ErrCanceled) ||
+		errors.Is(context.Cause(j.ctx), ErrDeadline) || errors.Is(context.Cause(j.ctx), ErrCanceled):
+		j.state = StateCanceled
+		s.met.AddCanceled()
+		j.appendLocked(Event{Type: "canceled", State: StateCanceled, Msg: err.Error()})
+	default:
+		j.state = StateFailed
+		s.met.AddFailed()
+		j.appendLocked(Event{Type: "failed", State: StateFailed, Msg: err.Error()})
+	}
+	j.mu.Unlock()
+	j.cancel(nil)
+	s.noteDrainedLocked()
+}
+
+func (s *Server) noteDrainedLocked() {
+	if s.draining && len(s.running) == 0 && s.drained != nil {
+		close(s.drained)
+		s.drained = nil
+	}
+}
+
+// Job looks up an admitted job by id.
+func (s *Server) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Jobs snapshots all admitted jobs.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+// MemUsed returns the resident-memory estimate currently admitted.
+func (s *Server) MemUsed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memUsed
+}
+
+// Drain gracefully shuts the server down: admission stops immediately,
+// queued jobs are parked where they stand, and running jobs are
+// canceled with ErrDraining — each saves its per-iteration checkpoint
+// and parks, so a restarted daemon (or the same jobs resubmitted) can
+// resume rather than recompute. Blocks until running jobs have parked
+// or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	var done chan struct{}
+	if len(s.running) > 0 {
+		done = make(chan struct{})
+		s.drained = done
+	}
+	for _, j := range s.q.drainQueued() {
+		s.met.AddParked()
+		s.memUsed -= j.Bytes
+		j.mu.Lock()
+		j.state = StateParked
+		j.err = ErrDraining
+		j.appendLocked(Event{Type: "parked", State: StateParked, Msg: "server draining"})
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	}
+	s.met.SetQueueDepth(0)
+	for _, cancel := range s.running {
+		cancel(ErrDraining)
+	}
+	s.mu.Unlock()
+	if done == nil {
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain timed out: %w", context.Cause(ctx))
+	}
+}
