@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race net-test net-smoke net-failover net-elastic cache-test serve-test ci bench microbench bench-short bench-check bench-ab
+.PHONY: build test vet race generate-check net-test net-smoke net-failover net-elastic cache-test serve-test ci bench microbench bench-short bench-check bench-ab
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,13 @@ vet:
 # fault-tolerant build's concurrency hardest.
 race:
 	$(GO) test -race ./...
+
+# Regenerate the d-class ERI kernels and fail if the committed
+# kernels_gen.go drifted from what cmd/kernelgen emits — edits belong in
+# the generator, never in the generated file.
+generate-check:
+	$(GO) generate ./internal/integrals
+	git diff --exit-code -- internal/integrals/kernels_gen.go
 
 # Transport-focused gate: race-detector run of the network and
 # global-array packages.
@@ -65,7 +72,7 @@ cache-test:
 serve-test:
 	$(GO) test -race -count=1 -run 'TestOverloadEndToEnd|TestMultiServer|TestLayoutRoundTrip|TestClassifyFailureCounters|TestFairShare|TestTenantQuotas|TestShedLadder|TestAdmission|TestMemoryBudget|TestDeadline|TestClientCancel|TestPreemption|TestNoPreemption|TestDrain|TestEventStream' ./internal/serve/ ./internal/net/
 
-ci: build vet race net-smoke net-failover net-elastic cache-test serve-test
+ci: build vet generate-check race net-smoke net-failover net-elastic cache-test serve-test
 
 # Go-testing microbenchmarks (one iteration each; a compile-and-run smoke).
 microbench:

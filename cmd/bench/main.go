@@ -11,6 +11,12 @@
 //	bench                          # full series -> BENCH_fock.json
 //	bench -short -check BENCH_fock.json   # CI smoke: pinned case vs baseline
 //	bench -ab 5                    # interleaved observability-overhead A/B
+//	bench -kernel-delta FILE       # d-kernel before/after report -> FILE
+//
+// Series entries are either bare alkane chain lengths ("2,4,6", using
+// -basis) or mol:basis specs ("ch4:cc-pvdz"), so the series can mix the
+// s/p-only sto-3g chain with a d-bearing case that exercises the
+// generated kernels.
 //
 // The regression check compares walls normalized by the serial
 // calibration (wall_ns / serial_ns), so a uniformly slower CI machine
@@ -52,6 +58,15 @@ type benchCase struct {
 	StealsTotal   int64   `json:"steals_total"`
 	CommMBPerProc float64 `json:"comm_mb_per_proc"`
 	CallsPerProc  float64 `json:"calls_per_proc"`
+
+	// ERI dispatch split of one metered build (outside the timed reps):
+	// quartets served by the hand s/p kernels, by the generated d-class
+	// kernels, and by the general MD fallback. GeneralFrac is the leak
+	// rate to the general path — 0 for every built-in basis up to d.
+	QuartetsFastSP  int64   `json:"quartets_fast_sp"`
+	QuartetsFastGen int64   `json:"quartets_fast_gen"`
+	QuartetsGeneral int64   `json:"quartets_general"`
+	GeneralFrac     float64 `json:"quartets_general_frac"`
 }
 
 // microCase is one ERI-layer microbenchmark: per-quartet time for a
@@ -92,7 +107,7 @@ type benchReport struct {
 func main() {
 	var (
 		out    = flag.String("out", "BENCH_fock.json", "output file for the benchmark report")
-		series = flag.String("series", "2,4,6", "comma-separated alkane chain lengths")
+		series = flag.String("series", "2,4,6,ch4:cc-pvdz", "comma-separated cases: alkane chain lengths and/or mol:basis specs")
 		bname  = flag.String("basis", "sto-3g", "basis set for every case")
 		grid   = flag.String("grid", "2x2", "process grid RxC")
 		reps   = flag.Int("reps", 3, "repetitions per configuration; the minimum wall is reported")
@@ -101,22 +116,28 @@ func main() {
 		tol    = flag.Float64("tol", 0.15, "allowed fractional regression of norm_wall in -check mode")
 		mtol   = flag.Float64("mtol", 0.35, "allowed fractional regression of calibrated micro ns/quartet in -check mode")
 		ab     = flag.Int("ab", 0, "run N interleaved A/B pairs measuring observability overhead, then exit")
+		delta  = flag.String("kernel-delta", "", "write a before/after d-kernel report (markdown) to this file, then exit")
 	)
 	flag.Parse()
 
-	sizes, err := parseSeries(*series)
+	specs, err := parseSeries(*series)
 	fatalIf(err)
 	prow, pcol, err := parseGrid(*grid)
 	fatalIf(err)
 	if *short {
-		sizes = sizes[:1]
+		specs = specs[:1]
 		if *reps > 2 {
 			*reps = 2
 		}
 	}
 
 	if *ab > 0 {
-		runAB(sizes[0], *bname, prow, pcol, *ab)
+		runAB(specs[0], *bname, prow, pcol, *ab)
+		return
+	}
+
+	if *delta != "" {
+		runKernelDelta(*delta, *reps)
 		return
 	}
 
@@ -126,7 +147,7 @@ func main() {
 		// apples to apples even if the flags drifted.
 		prow, pcol, err = parseGrid(base.Grid)
 		fatalIf(err)
-		fresh := runSeries(sizesOf(base, sizes), base.Basis, base.Grid, prow, pcol, *reps)
+		fresh := runSeries(specsOf(base, specs), base.Basis, base.Grid, prow, pcol, *reps)
 		if len(base.Micro) > 0 {
 			fresh.Micro = runMicro(base.Basis)
 		}
@@ -141,7 +162,7 @@ func main() {
 		return
 	}
 
-	rep := runSeries(sizes, *bname, *grid, prow, pcol, *reps)
+	rep := runSeries(specs, *bname, *grid, prow, pcol, *reps)
 	rep.Micro = runMicro(*bname)
 	rep.Cache = runCache(4, *bname, prow, pcol, *reps)
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -150,37 +171,35 @@ func main() {
 	fmt.Printf("report written to %s\n", *out)
 }
 
-// sizesOf restricts the run to baseline cases, keeping at most as many as
+// specsOf restricts the run to baseline cases, keeping at most as many as
 // the requested series (so -short checks only the pinned first case).
-func sizesOf(base benchReport, requested []int) []int {
-	var sizes []int
+func specsOf(base benchReport, requested []string) []string {
+	var specs []string
 	for _, c := range base.Cases {
-		n, err := strconv.Atoi(strings.TrimPrefix(c.Mol, "alkane:"))
-		fatalIf(err)
-		sizes = append(sizes, n)
-		if len(sizes) >= len(requested) {
+		specs = append(specs, c.Mol)
+		if len(specs) >= len(requested) {
 			break
 		}
 	}
-	return sizes
+	return specs
 }
 
-func runSeries(sizes []int, bname, grid string, prow, pcol, reps int) benchReport {
+func runSeries(specs []string, bname, grid string, prow, pcol, reps int) benchReport {
 	rep := benchReport{Basis: bname, Grid: grid, Reps: reps}
-	for _, n := range sizes {
-		c := runCase(n, bname, prow, pcol, reps)
-		fmt.Printf("%-10s %3d shells: serial %8.1fms  wall %8.1fms  norm %5.2f  fault x%.3f  l=%.3f  steals=%d\n",
+	for _, spec := range specs {
+		c := runCase(spec, bname, prow, pcol, reps)
+		fmt.Printf("%-12s %3d shells: serial %8.1fms  wall %8.1fms  norm %5.2f  fault x%.3f  l=%.3f  steals=%d  gen=%.0f%%\n",
 			c.Mol, c.NShells, float64(c.SerialNS)/1e6, float64(c.WallNS)/1e6,
-			c.NormWall, c.FaultOverhead, c.LoadBalance, c.StealsTotal)
+			c.NormWall, c.FaultOverhead, c.LoadBalance, c.StealsTotal, c.GeneralFrac*100)
 		rep.Cases = append(rep.Cases, c)
 	}
 	return rep
 }
 
-func runCase(n int, bname string, prow, pcol, reps int) benchCase {
-	bs, scr, d := setup(n, bname)
+func runCase(spec, bname string, prow, pcol, reps int) benchCase {
+	bs, scr, d := setupSpec(spec, bname)
 	c := benchCase{
-		Mol:     fmt.Sprintf("alkane:%d", n),
+		Mol:     spec,
 		NShells: bs.NumShells(),
 		NFuncs:  bs.NumFuncs,
 		Tasks:   int64(bs.NumShells()) * int64(bs.NumShells()),
@@ -220,6 +239,16 @@ func runCase(n int, bname string, prow, pcol, reps int) benchCase {
 	}
 	c.CommMBPerProc = stats.VolumeAvgMB()
 	c.CallsPerProc = stats.CallsAvg()
+
+	// One metered build outside the timed reps records the ERI dispatch
+	// split without perturbing the walls above.
+	reg := metrics.NewRegistry(prow * pcol)
+	fatalIf(core.Build(bs, scr, d, core.Options{Prow: prow, Pcol: pcol, Metrics: reg}).Err)
+	snap := reg.Snapshot()
+	c.QuartetsFastSP = snap.QuartetsFastSP
+	c.QuartetsFastGen = snap.QuartetsFastGen
+	c.QuartetsGeneral = snap.QuartetsGeneral
+	c.GeneralFrac = snap.QuartetsGeneralFrac
 	return c
 }
 
@@ -265,53 +294,82 @@ func runCache(n int, bname string, prow, pcol, reps int) *cacheBench {
 	return cb
 }
 
-// runMicro benchmarks the ERI kernel layer on the pinned alkane:2 system:
-// ns/quartet for every specialized s/p kernel class, the general MD path
-// on ss|ss and pp|pp for reference, and the batched ERIBatch path over
-// the fattest real task's surviving quartet list (whose steady state must
-// not allocate). Times are machine-absolute; the -check gate calibrates
-// them by the serial-oracle ratio before comparing.
+// shellsOfL finds two shells of angular momentum l on distinct centers,
+// so benchmark quartets have generic geometry.
+func shellsOfL(bs *basis.Set, bname string, l int) (int, int) {
+	first := -1
+	for i := range bs.Shells {
+		if bs.Shells[i].L != l {
+			continue
+		}
+		if first < 0 {
+			first = i
+		} else if bs.Shells[i].Atom != bs.Shells[first].Atom {
+			return first, i
+		}
+	}
+	fatalIf(fmt.Errorf("micro: basis %s lacks two centered shells with L=%d", bname, l))
+	return 0, 0
+}
+
+// microOne times eng.ERI on one pinned quartet; general=true forces the
+// general MD path on the same quartet for the kernel-vs-general ratio.
+func microOne(bs *basis.Set, name string, general bool, ba, bb, ka, kb int) microCase {
+	eng := integrals.NewEngine()
+	eng.DisableFastKernels = general
+	bra := eng.Pair(&bs.Shells[ba], &bs.Shells[bb])
+	ket := eng.Pair(&bs.Shells[ka], &bs.Shells[kb])
+	eng.ERI(bra, ket) // warm scratch
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.ERI(bra, ket)
+		}
+	})
+	return microCase{
+		Name: name, Quartets: 1,
+		NsPerQuartet: float64(r.NsPerOp()),
+		AllocsPerOp:  r.AllocsPerOp(),
+	}
+}
+
+// microD builds the d-class micro cases on ethane in cc-pVDZ (each
+// carbon carries the uncontracted d shell, so d pairs span two centers):
+// one case per generated-kernel shape in the cc-pVDZ hot path plus the
+// general-path twin on the identical quartet.
+func microD() []microCase {
+	dbs, err := basis.Build(chem.Alkane(2), "cc-pvdz")
+	fatalIf(err)
+	d1, d2 := shellsOfL(dbs, "cc-pvdz", 2)
+	p1, _ := shellsOfL(dbs, "cc-pvdz", 1)
+	s1, s2 := shellsOfL(dbs, "cc-pvdz", 0)
+	return []microCase{
+		microOne(dbs, "ds_ss", false, d1, s1, s1, s2),
+		microOne(dbs, "pd_ps", false, p1, d1, p1, s1),
+		microOne(dbs, "dd_dd", false, d1, d2, d1, d2),
+		microOne(dbs, "ds_ss_general", true, d1, s1, s1, s2),
+		microOne(dbs, "pd_ps_general", true, p1, d1, p1, s1),
+		microOne(dbs, "dd_dd_general", true, d1, d2, d1, d2),
+	}
+}
+
+// runMicro benchmarks the ERI kernel layer: ns/quartet for every
+// specialized s/p kernel class on the pinned alkane:2 system (with the
+// general MD path on ss|ss and pp|pp for reference), the generated
+// d-class kernels on ethane/cc-pVDZ with their general twins, and the
+// batched ERIBatch path over the fattest real task's surviving quartet
+// list (whose steady state must not allocate). Times are
+// machine-absolute; the -check gate calibrates them by the serial-oracle
+// ratio before comparing.
 func runMicro(bname string) []microCase {
 	bs, scr, _ := setup(2, bname)
 	pt := scr.PairTable(0)
 
-	// Two shells of each angular momentum on distinct centers, so the
-	// benchmark quartets have generic geometry.
-	shellsOfL := func(l int) (int, int) {
-		first := -1
-		for i := range bs.Shells {
-			if bs.Shells[i].L != l {
-				continue
-			}
-			if first < 0 {
-				first = i
-			} else if bs.Shells[i].Atom != bs.Shells[first].Atom {
-				return first, i
-			}
-		}
-		fatalIf(fmt.Errorf("micro: basis %s lacks two centered shells with L=%d", bname, l))
-		return 0, 0
-	}
-	s1, s2 := shellsOfL(0)
-	p1, p2 := shellsOfL(1)
+	s1, s2 := shellsOfL(bs, bname, 0)
+	p1, p2 := shellsOfL(bs, bname, 1)
 
 	one := func(name string, general bool, ba, bb, ka, kb int) microCase {
-		eng := integrals.NewEngine()
-		eng.DisableFastKernels = general
-		bra := eng.Pair(&bs.Shells[ba], &bs.Shells[bb])
-		ket := eng.Pair(&bs.Shells[ka], &bs.Shells[kb])
-		eng.ERI(bra, ket) // warm scratch
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				eng.ERI(bra, ket)
-			}
-		})
-		return microCase{
-			Name: name, Quartets: 1,
-			NsPerQuartet: float64(r.NsPerOp()),
-			AllocsPerOp:  r.AllocsPerOp(),
-		}
+		return microOne(bs, name, general, ba, bb, ka, kb)
 	}
 
 	// The fattest (M,N) task's surviving quartets, exactly as the workers
@@ -373,8 +431,9 @@ func runMicro(bname string) []microCase {
 		one("pp_pp", false, p1, p2, p1, p2),
 		one("ss_ss_general", true, s1, s2, s1, s2),
 		one("pp_pp_general", true, p1, p2, p1, p2),
-		batch(),
 	}
+	micro = append(micro, microD()...)
+	micro = append(micro, batch())
 	for _, m := range micro {
 		fmt.Printf("micro %-14s %9.1f ns/quartet  %d allocs/op  (%d quartets)\n",
 			m.Name, m.NsPerQuartet, m.AllocsPerOp, m.Quartets)
@@ -382,12 +441,64 @@ func runMicro(bname string) []microCase {
 	return micro
 }
 
+// runKernelDelta writes the before/after evidence for the generated
+// d-class kernels: per-quartet kernel-vs-general times on identical d
+// quartets, and the serial-oracle wall on methane/cc-pVDZ with the
+// specialized layer off ("before": every quartet on the general MD path)
+// and on ("after"). Both halves run back-to-back in one process, so the
+// comparison needs no cross-machine calibration.
+func runKernelDelta(out string, reps int) {
+	micro := microD()
+	byName := map[string]microCase{}
+	for _, m := range micro {
+		byName[m.Name] = m
+	}
+
+	bs, scr, d := setupMol(chem.Methane(), "cc-pvdz")
+	var offNS, onNS int64
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		core.BuildSerial(bs, scr, d, core.Options{DisableFastKernels: true})
+		offNS = minNZ(offNS, time.Since(t0).Nanoseconds())
+		t0 = time.Now()
+		core.BuildSerial(bs, scr, d)
+		onNS = minNZ(onNS, time.Since(t0).Nanoseconds())
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Generated d-kernel before/after (`cmd/bench -kernel-delta`, same machine, one process)\n\n")
+	fmt.Fprintf(&b, "Evidence for the DESIGN.md §8 generated kernels (`cmd/kernelgen` →\n")
+	fmt.Fprintf(&b, "`internal/integrals/kernels_gen.go`): the \"before\" column forces every\n")
+	fmt.Fprintf(&b, "quartet onto the general MD path (`DisableFastKernels`), the \"after\"\n")
+	fmt.Fprintf(&b, "column is the default dispatch. Identical quartets, identical process.\n\n")
+	fmt.Fprintf(&b, "## Per-quartet kernel classes (ethane, cc-pVDZ shells)\n\n")
+	fmt.Fprintf(&b, "| class | general ns/quartet | kernel ns/quartet | speedup | allocs/op |\n")
+	fmt.Fprintf(&b, "|-------|-------------------:|------------------:|--------:|----------:|\n")
+	for _, name := range []string{"ds_ss", "pd_ps", "dd_dd"} {
+		k, g := byName[name], byName[name+"_general"]
+		fmt.Fprintf(&b, "| %s | %.0f | %.0f | **%.1f×** | %d |\n",
+			name, g.NsPerQuartet, k.NsPerQuartet, g.NsPerQuartet/k.NsPerQuartet, k.AllocsPerOp)
+	}
+	fmt.Fprintf(&b, "\n## Serial Fock build, methane cc-pVDZ (best of %d)\n\n", reps)
+	fmt.Fprintf(&b, "| path | wall | reduction |\n")
+	fmt.Fprintf(&b, "|------|-----:|----------:|\n")
+	fmt.Fprintf(&b, "| general MD only (before) | %.1f ms | — |\n", float64(offNS)/1e6)
+	fmt.Fprintf(&b, "| specialized kernels (after) | %.1f ms | **%.1f×** |\n",
+		float64(onNS)/1e6, float64(offNS)/float64(onNS))
+	fmt.Fprintf(&b, "\nThe dispatch coverage gate (`TestCCPVDZDispatchCoverage`,\n")
+	fmt.Fprintf(&b, "`TestObservedBuildReportsDispatchSplit`) asserts 0%% of cc-pVDZ quartets\n")
+	fmt.Fprintf(&b, "reach the general path; `TestGenKernelsZeroAlloc` pins 0 allocs/op.\n")
+	fatalIf(os.WriteFile(out, []byte(b.String()), 0o644))
+	fmt.Printf("kernel-delta report written to %s (serial %.1fms -> %.1fms, %.1fx)\n",
+		out, float64(offNS)/1e6, float64(onNS)/1e6, float64(offNS)/float64(onNS))
+}
+
 // runAB measures the overhead of the observability layer with n
 // interleaved A/B pairs on the pinned case: A builds with no sinks, B
 // with tracing and metrics attached. Alternating the order within each
 // pair cancels thermal and cache drift.
-func runAB(size int, bname string, prow, pcol, n int) {
-	bs, scr, d := setup(size, bname)
+func runAB(spec, bname string, prow, pcol, n int) {
+	bs, scr, d := setupSpec(spec, bname)
 	build := func(observed bool) time.Duration {
 		opt := core.Options{Prow: prow, Pcol: pcol}
 		if observed {
@@ -408,8 +519,8 @@ func runAB(size int, bname string, prow, pcol, n int) {
 		}
 	}
 	over := float64(b)/float64(a) - 1
-	fmt.Printf("A/B x%d on alkane:%d %s (%dx%d): disabled %.1fms, enabled %.1fms, overhead %+.2f%%\n",
-		n, size, bname, prow, pcol,
+	fmt.Printf("A/B x%d on %s %s (%dx%d): disabled %.1fms, enabled %.1fms, overhead %+.2f%%\n",
+		n, spec, bname, prow, pcol,
 		float64(a.Milliseconds())/float64(n), float64(b.Milliseconds())/float64(n), over*100)
 }
 
@@ -471,7 +582,31 @@ func compareReports(base, fresh benchReport, tol, mtol float64) error {
 }
 
 func setup(n int, bname string) (*basis.Set, *screen.Screening, *linalg.Matrix) {
-	bs, err := basis.Build(chem.Alkane(n), bname)
+	return setupMol(chem.Alkane(n), bname)
+}
+
+// setupSpec resolves a series entry: "alkane:N" (any N, using the -basis
+// flag) or "ch4:BASIS" (methane in the named basis — the pinned d-bearing
+// case for the generated kernels).
+func setupSpec(spec, bname string) (*basis.Set, *screen.Screening, *linalg.Matrix) {
+	name, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		fatalIf(fmt.Errorf("bad case spec %q", spec))
+	}
+	switch name {
+	case "alkane":
+		n, err := strconv.Atoi(arg)
+		fatalIf(err)
+		return setup(n, bname)
+	case "ch4":
+		return setupMol(chem.Methane(), arg)
+	}
+	fatalIf(fmt.Errorf("unknown molecule in case spec %q", spec))
+	return nil, nil, nil
+}
+
+func setupMol(mol *chem.Molecule, bname string) (*basis.Set, *screen.Screening, *linalg.Matrix) {
+	bs, err := basis.Build(mol, bname)
 	fatalIf(err)
 	scr := screen.Compute(bs, screen.DefaultTau)
 	d := linalg.Identity(bs.NumFuncs).Scale(0.5)
@@ -493,14 +628,23 @@ func minNZ(cur, v int64) int64 {
 	return cur
 }
 
-func parseSeries(s string) ([]int, error) {
-	var out []int
+// parseSeries normalizes the series flag to mol:basis case specs; bare
+// integers are alkane chain lengths ("4" -> "alkane:4").
+func parseSeries(s string) ([]string, error) {
+	var out []string
 	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
+		part = strings.TrimSpace(part)
+		if n, err := strconv.Atoi(part); err == nil {
+			if n < 1 {
+				return nil, fmt.Errorf("bad series entry %q", part)
+			}
+			out = append(out, fmt.Sprintf("alkane:%d", n))
+			continue
+		}
+		if !strings.Contains(part, ":") {
 			return nil, fmt.Errorf("bad series entry %q", part)
 		}
-		out = append(out, n)
+		out = append(out, part)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("empty series")

@@ -65,6 +65,26 @@ func TestObservedBuildMatchesSerialAndCountsTasks(t *testing.T) {
 	}
 }
 
+// A metered build on a d-bearing basis must surface the ERI dispatch
+// split: every quartet served by a specialized kernel (s/p hand or
+// generated d-class), none by the general path.
+func TestObservedBuildReportsDispatchSplit(t *testing.T) {
+	bs, scr, d := buildSetup(t, chem.Methane(), "cc-pvdz")
+	reg := metrics.NewRegistry(4)
+	res := Build(bs, scr, d, Options{Prow: 2, Pcol: 2, Metrics: reg})
+	ref := BuildSerial(bs, scr, d)
+	if err := linalg.MaxAbsDiff(ref, res.G); err > 1e-10 {
+		t.Fatalf("cc-pVDZ build diverged from serial: %g", err)
+	}
+	snap := reg.Snapshot()
+	if snap.QuartetsFastSP == 0 || snap.QuartetsFastGen == 0 {
+		t.Fatalf("dispatch split not recorded: %+v", snap)
+	}
+	if snap.QuartetsGeneral != 0 || snap.QuartetsGeneralFrac != 0 {
+		t.Fatalf("cc-pVDZ quartets leaked to the general path: %+v", snap)
+	}
+}
+
 // Satellite (d): chaos runs with tracing and metrics attached. Recovered
 // G must still match the serial oracle; fenced incarnations' spans must
 // be marked discarded rather than silently counted; and the metric

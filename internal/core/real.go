@@ -20,6 +20,10 @@ type Options struct {
 	Prow, Pcol int     // process grid (defaults 1x1)
 	PrimTol    float64 // primitive prescreening threshold for the ERI engine
 	UseHGP     bool    // Head-Gordon-Pople ERI algorithm instead of McMurchie-Davidson
+	// DisableFastKernels forces every quartet through the general MD
+	// recursion instead of the specialized s/p and generated d-class
+	// kernels — the A/B knob behind the kernel-delta benchmarks.
+	DisableFastKernels bool
 
 	// Ctx, when non-nil, cancels the build: workers observe the
 	// cancellation between tasks and abandon their incarnations, in-flight
@@ -458,6 +462,10 @@ type worker struct {
 	clock0 time.Time
 	samp   metrics.Sample
 	spans  []dist.Span
+
+	// Last-seen engine dispatch counters, so per-task deltas can flow
+	// into the sample (engine Stats are monotonic across episodes).
+	lastFastSP, lastFastGen, lastGeneral int64
 }
 
 func newWorker(rank int, bs *basis.Set, scr *screen.Screening, pt *integrals.PairTable,
@@ -465,6 +473,7 @@ func newWorker(rank int, bs *basis.Set, scr *screen.Screening, pt *integrals.Pai
 	eng := integrals.NewEngine()
 	eng.PrimTol = opt.PrimTol
 	eng.UseHGP = opt.UseHGP
+	eng.DisableFastKernels = opt.DisableFastKernels
 	w := &worker{
 		rank: rank, bs: bs, scr: scr, grid: grid,
 		gaD: gaD, gaF: gaF, stats: stats, eng: eng,
@@ -846,6 +855,12 @@ func (w *worker) drain(my *Queue, queues []*Queue, opt Options, st *dist.ProcSta
 		w.comp += dt
 		if w.reg != nil {
 			w.samp.Tasks.Observe(dt.Nanoseconds())
+			es := &w.eng.Stats
+			w.samp.QuartetsFastSP += es.FastSP - w.lastFastSP
+			w.samp.QuartetsFastGen += es.FastGen - w.lastFastGen
+			w.samp.QuartetsGeneral += es.GeneralQuartets - w.lastGeneral
+			w.lastFastSP, w.lastFastGen, w.lastGeneral =
+				es.FastSP, es.FastGen, es.GeneralQuartets
 		}
 		w.span(dist.SpanCompute, c0)
 		st.TasksRun++

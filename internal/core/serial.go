@@ -15,11 +15,21 @@ import (
 //
 // Screening is applied with the same Cauchy-Schwarz rule as the parallel
 // code so that results agree to the screening tolerance.
-func BuildSerial(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix) *linalg.Matrix {
+//
+// The optional opts (at most one is honored) carries the ERI engine
+// knobs — PrimTol, UseHGP, DisableFastKernels — so A/B measurements
+// (e.g. the kernel-delta benchmarks) can run the oracle with and
+// without the specialized kernel layer.
+func BuildSerial(bs *basis.Set, scr *screen.Screening, d *linalg.Matrix, opts ...Options) *linalg.Matrix {
 	n := bs.NumFuncs
 	ns := bs.NumShells()
 	g := linalg.NewMatrix(n, n)
 	eng := integrals.NewEngine()
+	if len(opts) > 0 {
+		eng.PrimTol = opts[0].PrimTol
+		eng.UseHGP = opts[0].UseHGP
+		eng.DisableFastKernels = opts[0].DisableFastKernels
+	}
 	pt := scr.PairTable(0)
 
 	for m := 0; m < ns; m++ {

@@ -38,7 +38,26 @@ func NumSph(l int) int { return 2*l + 1 }
 // x for p, xy for d), making contracted spherical functions unit-norm.
 //
 // Supported through l=2 (the basis sets here go up to d); higher l panics.
+//
+// Matrices through d are cached at init: the transform layer calls this
+// per tensor slab, which used to dominate the allocation profile of
+// d-quartet batches (the generated kernels themselves are zero-alloc).
 func sphMatrix(l int) [][]float64 {
+	if l < len(sphMatCache) {
+		return sphMatCache[l]
+	}
+	return buildSphMatrix(l)
+}
+
+var sphMatCache [3][][]float64
+
+func init() {
+	for l := range sphMatCache {
+		sphMatCache[l] = buildSphMatrix(l)
+	}
+}
+
+func buildSphMatrix(l int) [][]float64 {
 	switch l {
 	case 0:
 		return [][]float64{{1}}

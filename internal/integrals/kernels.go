@@ -16,11 +16,17 @@ package integrals
 //     two phases through a small g intermediate, mirroring eriCart's
 //     structure without its inner branching.
 //
+// d-bearing classes are handled by the generated kernels in
+// kernels_gen.go (see cmd/kernelgen), which extend the same two-phase
+// scheme with every offset constant-folded at generation time.
+//
 // Mirror classes reuse the same cores: because R_{tuv}(-PQ) =
 // (-1)^{t+u+v} R_{tuv}(PQ), an (ss|X) quartet equals the (X|ss) kernel
 // evaluated with PQ taken from the X side, with the identical flat output
-// layout. Dispatch lives in eriCartAuto; every kernel is cross-checked
-// against the general MD path and the Obara-Saika oracle in kernels_test.
+// layout — and more generally a (Y|X) quartet is the transpose of the
+// (X|Y) kernel called with the sides swapped. Dispatch lives in
+// eriCartAuto; every kernel is cross-checked against the general MD path
+// and the Obara-Saika oracle in kernels_test and kernels_gen_test.
 
 import (
 	"math"
@@ -28,28 +34,104 @@ import (
 	"gtfock/internal/chem"
 )
 
-// eriCartAuto dispatches a quartet to a specialized low angular-momentum
-// kernel when one applies, falling back to the general MD path.
+// Shell-pair classes for kernel dispatch and per-class statistics: the
+// seven distinct L<=2 pair layouts. sp and sd pairs are served by the
+// ClassPS and ClassDS kernels because their flat E-table offsets and
+// component-pair orders coincide numerically; pd and dp do not alias
+// (their component-pair orders diverge) and are distinct classes.
+const (
+	ClassSS = iota
+	ClassPS
+	ClassPP
+	ClassDS
+	ClassPD
+	ClassDP
+	ClassDD
+	// NumPairClasses counts the specialized pair classes above.
+	NumPairClasses
+)
+
+// ClassHi buckets any pair carrying a shell beyond d; such quartets
+// always take the general MD path.
+const ClassHi = NumPairClasses
+
+// pairClassTab maps la*3+lb (la, lb <= 2) to the pair class.
+var pairClassTab = [9]int8{
+	ClassSS, ClassPS, ClassDS,
+	ClassPS, ClassPP, ClassPD,
+	ClassDS, ClassDP, ClassDD,
+}
+
+var pairClassNames = [NumPairClasses + 1]string{
+	"ss", "ps", "pp", "ds", "pd", "dp", "dd", "hi",
+}
+
+// PairClassName returns a short label for a pair-class index
+// (ClassSS.."dd", with ClassHi as "hi").
+func PairClassName(c int) string {
+	if c < 0 || c > ClassHi {
+		return "??"
+	}
+	return pairClassNames[c]
+}
+
+func pairClass(sp *ShellPair) int {
+	if sp.LA > 2 || sp.LB > 2 {
+		return ClassHi
+	}
+	return int(pairClassTab[sp.LA*3+sp.LB])
+}
+
+// eriCartAuto dispatches a quartet to a specialized kernel when one
+// applies — the hand-written s/p kernels below or the generated
+// d-class kernels in kernels_gen.go — falling back to the general MD
+// path for anything beyond d.
 func (e *Engine) eriCartAuto(bra, ket *ShellPair) []float64 {
-	if e.DisableFastKernels ||
-		bra.LA > 1 || bra.LB > 1 || ket.LA > 1 || ket.LB > 1 {
+	bc, kc := pairClass(bra), pairClass(ket)
+	e.Stats.ByClass[bc][kc]++
+	if e.DisableFastKernels || bc == ClassHi || kc == ClassHi {
+		e.Stats.GeneralQuartets++
 		return e.eriCart(bra, ket)
 	}
 	e.Stats.FastQuartets++
-	switch (bra.LA+bra.LB)<<2 | (ket.LA + ket.LB) {
-	case 0:
-		return e.eriSSSS(bra, ket)
-	case 1 << 2:
-		return e.eriP100(bra, ket)
-	case 1:
-		return e.eriP100(ket, bra)
-	case 2 << 2:
-		return e.eriPP00(bra, ket)
-	case 2:
-		return e.eriPP00(ket, bra)
-	default:
-		return e.eriLowL(bra, ket)
+	if bc <= ClassPP && kc <= ClassPP {
+		e.Stats.FastSP++
+		switch (bra.LA+bra.LB)<<2 | (ket.LA + ket.LB) {
+		case 0:
+			return e.eriSSSS(bra, ket)
+		case 1 << 2:
+			return e.eriP100(bra, ket)
+		case 1:
+			return e.eriP100(ket, bra)
+		case 2 << 2:
+			return e.eriPP00(bra, ket)
+		case 2:
+			return e.eriPP00(ket, bra)
+		default:
+			return e.eriLowL(bra, ket)
+		}
 	}
+	e.Stats.FastGen++
+	if fn := genKernels[bc][kc]; fn != nil {
+		return fn(e, bra, ket)
+	}
+	// Non-canonical d-bearing class (bra class < ket class): bra-ket
+	// symmetry makes the swapped kernel's output exactly the [ket][bra]
+	// layout of this quartet (within MD this is the R(-PQ) parity
+	// identity), so transpose it into separate scratch — cart would be
+	// clobbered in place.
+	e.Stats.MirrorGen++
+	swapped := genKernels[kc][bc](e, ket, bra)
+	nb := NumCart(bra.LA) * NumCart(bra.LB)
+	nk := NumCart(ket.LA) * NumCart(ket.LB)
+	out := e.ensure(&e.genCartT, nb*nk)
+	for i := 0; i < nk; i++ {
+		col := swapped[i*nb : i*nb+nb]
+		for j, v := range col {
+			out[j*nk+i] = v
+		}
+	}
+	return out
 }
 
 // eriSSSS computes an (ss|ss) quartet: one F_0 evaluation per primitive
@@ -274,6 +356,52 @@ func hermiteR5(l int, alpha float64, pq chem.Vec3, boys []float64, r *[125]float
 		}
 	}
 	copy(r[:], aux[:125])
+}
+
+//go:generate go run gtfock/cmd/kernelgen -out kernels_gen.go
+
+// hermiteR9 computes the Hermite Coulomb integrals R^0_{tuv} for
+// t+u+v <= l (l <= 8) into the m = 0 plane aux[:729] of the stride-9
+// recursion scratch — the stride-9 analogue of hermiteR5, used by the
+// generated d-class kernels: the fixed stride keeps the generation-time
+// R offsets valid across every class sharing the cube, and reading the
+// m = 0 plane in place saves the copy-out. Entries of order > l are
+// left stale and must not be read.
+func hermiteR9(l int, alpha float64, pq chem.Vec3, boys []float64, aux *[6561]float64) {
+	at := func(m, t, u, v int) int { return m*729 + t*81 + u*9 + v }
+	f := 1.0
+	for m := 0; m <= l; m++ {
+		aux[at(m, 0, 0, 0)] = f * boys[m]
+		f *= -2 * alpha
+	}
+	for ord := 1; ord <= l; ord++ {
+		for m := 0; m <= l-ord; m++ {
+			for t := 0; t <= ord; t++ {
+				for u := 0; u <= ord-t; u++ {
+					v := ord - t - u
+					var val float64
+					switch {
+					case t > 0:
+						if t > 1 {
+							val += float64(t-1) * aux[at(m+1, t-2, u, v)]
+						}
+						val += pq.X * aux[at(m+1, t-1, u, v)]
+					case u > 0:
+						if u > 1 {
+							val += float64(u-1) * aux[at(m+1, t, u-2, v)]
+						}
+						val += pq.Y * aux[at(m+1, t, u-1, v)]
+					default:
+						if v > 1 {
+							val += float64(v-1) * aux[at(m+1, t, u, v-2)]
+						}
+						val += pq.Z * aux[at(m+1, t, u, v-1)]
+					}
+					aux[at(m, t, u, v)] = val
+				}
+			}
+		}
+	}
 }
 
 // eriLowL computes any all-s/p quartet not covered by a closed-form

@@ -106,8 +106,9 @@ func TestKernelsCoincidentCenters(t *testing.T) {
 	}
 }
 
-// The dispatcher must route d shells to the general path and every
-// s/p-only quartet to a specialized kernel.
+// The dispatcher must route every L<=2-per-shell quartet to a
+// specialized kernel — the hand s/p set or the generated d-class set —
+// and anything with an f shell to the general path.
 func TestKernelDispatchCoverage(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	e := NewEngine()
@@ -116,12 +117,22 @@ func TestKernelDispatchCoverage(t *testing.T) {
 	}
 	e.eriCartAuto(sp(0), sp(0))
 	e.eriCartAuto(sp(1), sp(1))
-	if e.Stats.FastQuartets != 2 {
-		t.Fatalf("s/p quartets not dispatched to kernels: %+v", e.Stats)
+	if e.Stats.FastSP != 2 || e.Stats.FastQuartets != 2 {
+		t.Fatalf("s/p quartets not dispatched to hand kernels: %+v", e.Stats)
 	}
 	e.eriCartAuto(sp(2), sp(0))
-	if e.Stats.FastQuartets != 2 {
-		t.Fatal("d quartet took the fast path")
+	if e.Stats.FastGen != 1 || e.Stats.FastQuartets != 3 {
+		t.Fatalf("d quartet not dispatched to a generated kernel: %+v", e.Stats)
+	}
+	if e.Stats.ByClass[ClassDS][ClassSS] != 1 {
+		t.Fatalf("ByClass miscounted: %+v", e.Stats.ByClass)
+	}
+	e.eriCartAuto(sp(3), sp(0))
+	if e.Stats.GeneralQuartets != 1 || e.Stats.FastQuartets != 3 {
+		t.Fatalf("f quartet did not take the general path: %+v", e.Stats)
+	}
+	if e.Stats.ByClass[ClassHi][ClassSS] != 1 {
+		t.Fatalf("ByClass missed the beyond-d bucket: %+v", e.Stats.ByClass)
 	}
 }
 

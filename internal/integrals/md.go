@@ -178,7 +178,32 @@ type Stats struct {
 	Quartets     int64 // shell quartets computed
 	Integrals    int64 // basis-function ERIs produced (spherical)
 	PrimQuartets int64 // primitive quartets surviving prescreening
-	FastQuartets int64 // quartets served by a specialized low-L kernel
+	FastQuartets int64 // quartets served by any specialized kernel
+
+	// FastQuartets split by kernel family: FastSP counts the hand-written
+	// s/p kernels, FastGen the generated d-class kernels (kernels_gen.go;
+	// FastQuartets = FastSP + FastGen), and MirrorGen the subset of
+	// FastGen served through the swap-and-transpose mirror wrapper.
+	// GeneralQuartets took the general MD recursion (L > 2 on some shell,
+	// or DisableFastKernels); Quartets = FastQuartets + GeneralQuartets.
+	FastSP          int64
+	FastGen         int64
+	MirrorGen       int64
+	GeneralQuartets int64
+
+	// ByClass[bc][kc] counts quartets by bra and ket pair class
+	// (ClassSS..ClassDD, with ClassHi for pairs beyond d), regardless of
+	// which path served them.
+	ByClass [NumPairClasses + 1][NumPairClasses + 1]int64
+}
+
+// GeneralFraction reports the fraction of quartets that took the general
+// MD path (0 when no quartets were computed).
+func (s *Stats) GeneralFraction() float64 {
+	if s.Quartets == 0 {
+		return 0
+	}
+	return float64(s.GeneralQuartets) / float64(s.Quartets)
 }
 
 // Engine computes ERI shell-quartet batches and one-electron integrals.
@@ -213,6 +238,17 @@ type Engine struct {
 	g10      [10][9]float64
 	braTerms lowTerms
 	ketTerms []lowTerms
+
+	// Generated d-class kernel scratch (kernels_gen.go): the stride-9
+	// Hermite recursion cube (its m = 0 plane holds the final R values),
+	// the g[braHermite][ketComp] two-phase intermediate, the per-
+	// primitive-pair folded bra terms (336 = the dd slot count), and the
+	// growable ket-term and mirror-transpose buffers.
+	kraux9   [6561]float64
+	genG     [35][36]float64
+	genBra   [336]float64
+	genKet   []float64
+	genCartT []float64
 }
 
 // NewEngine returns an Engine with prescreening disabled.
@@ -240,7 +276,8 @@ const DefaultScratchBudget = 256 << 10
 // Engine struct itself).
 func (e *Engine) ScratchBytes() int {
 	n := cap(e.raux) + cap(e.rtab) + cap(e.gtab) + cap(e.cart) +
-		cap(e.sphScr[0]) + cap(e.sphScr[1]) + cap(e.out)
+		cap(e.sphScr[0]) + cap(e.sphScr[1]) + cap(e.out) +
+		cap(e.genKet) + cap(e.genCartT)
 	return n*8 + cap(e.ketTerms)*int(unsafe.Sizeof(lowTerms{}))
 }
 
@@ -260,6 +297,7 @@ func (e *Engine) TrimScratch(budget int) {
 	e.raux, e.rtab, e.gtab, e.cart = nil, nil, nil, nil
 	e.sphScr[0], e.sphScr[1], e.out = nil, nil, nil
 	e.ketTerms = nil
+	e.genKet, e.genCartT = nil, nil
 }
 
 // ERI computes the contracted, spherical shell-quartet batch

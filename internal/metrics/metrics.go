@@ -159,13 +159,22 @@ type Sample struct {
 	AccRetries    int64
 	LeaseRenewals int64
 	StealFails    int64 // steal scans that came up dry
+
+	// ERI dispatch split (from integrals.Stats deltas per task): quartets
+	// served by the hand s/p kernels, by the generated d-class kernels,
+	// and by the general MD recursion, so bench/serve output can report
+	// what fraction of the integral work still takes the general path.
+	QuartetsFastSP  int64
+	QuartetsFastGen int64
+	QuartetsGeneral int64
 }
 
 // empty reports whether the sample holds no observations at all.
 func (s *Sample) empty() bool {
 	return s.Tasks.N == 0 && s.Steals.N == 0 && s.Flushes.N == 0 &&
 		s.GetCalls == 0 && s.AccCalls == 0 && s.GetRetries == 0 &&
-		s.AccRetries == 0 && s.LeaseRenewals == 0 && s.StealFails == 0
+		s.AccRetries == 0 && s.LeaseRenewals == 0 && s.StealFails == 0 &&
+		s.QuartetsFastSP == 0 && s.QuartetsFastGen == 0 && s.QuartetsGeneral == 0
 }
 
 // Reset clears the sample for the next commit episode.
@@ -180,6 +189,10 @@ type worker struct {
 	leaseRenewals          atomic.Int64
 	stealFails             atomic.Int64
 	merges                 atomic.Int64
+
+	quartetsFastSP  atomic.Int64
+	quartetsFastGen atomic.Int64
+	quartetsGeneral atomic.Int64
 }
 
 // Registry aggregates committed samples per worker rank. All methods are
@@ -221,6 +234,9 @@ func (r *Registry) Merge(rank int, s *Sample) {
 	w.accRetries.Add(s.AccRetries)
 	w.leaseRenewals.Add(s.LeaseRenewals)
 	w.stealFails.Add(s.StealFails)
+	w.quartetsFastSP.Add(s.QuartetsFastSP)
+	w.quartetsFastGen.Add(s.QuartetsFastGen)
+	w.quartetsGeneral.Add(s.QuartetsGeneral)
 	w.merges.Add(1)
 }
 
@@ -250,6 +266,10 @@ type WorkerSnapshot struct {
 	LeaseRenewals int64        `json:"lease_renewals,omitempty"`
 	StealFails    int64        `json:"steal_fails,omitempty"`
 	Commits       int64        `json:"commits"`
+
+	QuartetsFastSP  int64 `json:"quartets_fast_sp,omitempty"`
+	QuartetsFastGen int64 `json:"quartets_fast_gen,omitempty"`
+	QuartetsGeneral int64 `json:"quartets_general,omitempty"`
 }
 
 // Snapshot is the JSON-facing registry view.
@@ -260,6 +280,13 @@ type Snapshot struct {
 	BytesTotal       int64            `json:"bytes_total"`
 	DiscardedSamples int64            `json:"discarded_samples"`
 	DroppedObs       int64            `json:"dropped_observations"`
+
+	// ERI dispatch totals across ranks; QuartetsGeneralFrac is the
+	// general-path fraction (0 when no quartets were recorded).
+	QuartetsFastSP      int64   `json:"quartets_fast_sp,omitempty"`
+	QuartetsFastGen     int64   `json:"quartets_fast_gen,omitempty"`
+	QuartetsGeneral     int64   `json:"quartets_general,omitempty"`
+	QuartetsGeneralFrac float64 `json:"quartets_general_frac,omitempty"`
 }
 
 // Snapshot captures the current committed totals.
@@ -288,11 +315,21 @@ func (r *Registry) Snapshot() Snapshot {
 			LeaseRenewals: w.leaseRenewals.Load(),
 			StealFails:    w.stealFails.Load(),
 			Commits:       w.merges.Load(),
+
+			QuartetsFastSP:  w.quartetsFastSP.Load(),
+			QuartetsFastGen: w.quartetsFastGen.Load(),
+			QuartetsGeneral: w.quartetsGeneral.Load(),
 		}
 		out.Workers[i] = ws
 		out.TasksTotal += ws.TaskNS.Count
 		out.StealsTotal += ws.StealNS.Count
 		out.BytesTotal += ws.GetBytes + ws.AccBytes
+		out.QuartetsFastSP += ws.QuartetsFastSP
+		out.QuartetsFastGen += ws.QuartetsFastGen
+		out.QuartetsGeneral += ws.QuartetsGeneral
+	}
+	if total := out.QuartetsFastSP + out.QuartetsFastGen + out.QuartetsGeneral; total > 0 {
+		out.QuartetsGeneralFrac = float64(out.QuartetsGeneral) / float64(total)
 	}
 	return out
 }

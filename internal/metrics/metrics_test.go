@@ -96,6 +96,30 @@ func TestRegistryMergeAndDiscard(t *testing.T) {
 	}
 }
 
+// The ERI dispatch split must merge per rank, total across ranks, and
+// produce the general-path fraction; a sample holding only dispatch
+// counters must not count as empty (it would be silently droppable).
+func TestRegistryQuartetDispatchSplit(t *testing.T) {
+	r := NewRegistry(2)
+	a := Sample{QuartetsFastSP: 60, QuartetsFastGen: 30, QuartetsGeneral: 0}
+	if a.empty() {
+		t.Fatal("sample with only dispatch counters reported empty")
+	}
+	b := Sample{QuartetsFastSP: 0, QuartetsFastGen: 5, QuartetsGeneral: 5}
+	r.Merge(0, &a)
+	r.Merge(1, &b)
+	snap := r.Snapshot()
+	if snap.QuartetsFastSP != 60 || snap.QuartetsFastGen != 35 || snap.QuartetsGeneral != 5 {
+		t.Fatalf("dispatch totals wrong: %+v", snap)
+	}
+	if got, want := snap.QuartetsGeneralFrac, 0.05; got != want {
+		t.Fatalf("QuartetsGeneralFrac = %v, want %v", got, want)
+	}
+	if w := snap.Workers[1]; w.QuartetsFastGen != 5 || w.QuartetsGeneral != 5 {
+		t.Fatalf("worker 1 dispatch split wrong: %+v", w)
+	}
+}
+
 func TestRegistryNilIsSafe(t *testing.T) {
 	var r *Registry
 	var s Sample
