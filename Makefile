@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race generate-check net-test net-smoke net-failover net-elastic cache-test serve-test ci bench microbench bench-short bench-check bench-ab
+.PHONY: build test vet race generate-check net-test net-smoke net-failover net-elastic cache-test serve-test serve-ha ci bench microbench bench-short bench-check bench-ab
 
 build:
 	$(GO) build ./...
@@ -72,7 +72,19 @@ cache-test:
 serve-test:
 	$(GO) test -race -count=1 -run 'TestOverloadEndToEnd|TestMultiServer|TestLayoutRoundTrip|TestClassifyFailureCounters|TestFairShare|TestTenantQuotas|TestShedLadder|TestAdmission|TestMemoryBudget|TestDeadline|TestClientCancel|TestPreemption|TestNoPreemption|TestDrain|TestEventStream' ./internal/serve/ ./internal/net/
 
-ci: build vet generate-check race net-smoke net-failover net-elastic cache-test serve-test
+# HA service-tier gate under the race detector: the daemon-kill chaos
+# e2e (3 peers sharing a lease registry over a live 2-shard fleet, one
+# peer SIGKILLed mid-burst; survivors must adopt its leases and resume
+# from checkpoint, every accepted job finishing with its solo energy to
+# 1e-9 and clients seeing at most one retriable error), plus the
+# fake-clock lease unit suite (acquire/renew/expiry, incarnation
+# fencing, double-adopt race with exactly one winner), registry WAL
+# recovery, readiness drain transitions, cross-peer owner redirects,
+# and the deterministic daemon-kill schedule.
+serve-ha:
+	$(GO) test -race -count=1 -run 'TestHAEndToEnd|TestReadyzDrainTransition|TestOwnerRedirect|TestKilledPeerLosesLeasesAndSurvivorAdopts|TestLeaseAcquireRenewExpiry|TestIncarnationFencing|TestDoubleAdoptOneWinner|TestReleaseMakesImmediatelyAdoptable|TestRegistryRecovery|TestDaemonKillPlanDeterministic|TestRunDaemonKillsExecutesSchedule' ./internal/serve/ ./internal/fault/
+
+ci: build vet generate-check race net-smoke net-failover net-elastic cache-test serve-test serve-ha
 
 # Go-testing microbenchmarks (one iteration each; a compile-and-run smoke).
 microbench:

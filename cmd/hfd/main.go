@@ -18,6 +18,22 @@
 // points at externally launched `fockd -multi` shards instead. SIGTERM
 // and SIGINT drain gracefully: admission stops, running jobs checkpoint
 // and park, then the daemon exits.
+//
+// HA mode (DESIGN.md §13): N hfd peers share one job registry and one
+// shard fleet. One peer hosts the registry with -registry-listen (add
+// -registry-dir for crash-durable state); the others point at it with
+// -registry. Each peer executes only under a heartbeat-refreshed,
+// incarnation-fenced lease and adopts jobs whose owner stopped
+// heartbeating, resuming from the last SCF checkpoint — the checkpoint
+// directory must be shared storage across peers. /readyz reports
+// false while draining or before the first registry sync, and
+// status/event queries for a job owned by another peer answer 307 with
+// the owner's address.
+//
+//	hfd -listen 127.0.0.1:8680 -registry-listen 127.0.0.1:8690 \
+//	    -registry-dir hfd-reg -checkpoint-dir /shared/ckpt
+//	hfd -listen 127.0.0.1:8681 -registry 127.0.0.1:8690 \
+//	    -shard-addrs <same fleet> -checkpoint-dir /shared/ckpt
 package main
 
 import (
@@ -60,6 +76,14 @@ func main() {
 		retryMax  = flag.Int("retry-max", 3, "shard-failure retries per job")
 		opTimeout = flag.Duration("op-timeout", 0, "per-RPC socket deadline (0 = transport default)")
 		drainFor  = flag.Duration("drain", 30*time.Second, "max graceful-drain time on SIGTERM/SIGINT")
+
+		regAddr   = flag.String("registry", "", "shared job-registry address (HA mode, peer of a registry-hosting daemon)")
+		regListen = flag.String("registry-listen", "", "host an embedded job registry on this address (HA mode)")
+		regDir    = flag.String("registry-dir", "", "embedded registry durability directory ('' = in-memory)")
+		advertise = flag.String("advertise", "", "job-API address other peers redirect clients to (default -listen)")
+		peerID    = flag.String("peer-id", "", "stable peer identity in the registry (default -advertise)")
+		leaseTTL  = flag.Duration("lease-ttl", 1500*time.Millisecond, "embedded registry lease TTL")
+		scanEvery = flag.Duration("scan-every", time.Second, "adoption scanner cadence (HA mode)")
 
 		faultReset = flag.Float64("fault-net-reset", 0, "injected connection-reset probability per RPC (chaos)")
 		faultDup   = flag.Float64("fault-net-dup", 0, "injected duplicate-delivery probability per RPC (chaos)")
@@ -124,13 +148,65 @@ func main() {
 			cfg.Tenants[name] = serve.TenantConfig{Weight: w, MaxQueued: *maxQdTen, MaxRunning: *maxRunTen}
 		}
 	}
-	srv, err := serve.NewServer(cfg)
-	fatalIf(err)
+	// HA mode: host and/or join a shared job registry, and run the
+	// scheduler behind an ownership lease via a Peer.
+	var (
+		srv  *serve.Server
+		peer *serve.Peer
+		reg  *serve.Registry
+	)
+	if *regAddr != "" || *regListen != "" {
+		regTarget := *regAddr
+		if *regListen != "" {
+			rcfg := serve.RegistryConfig{LeaseTTL: *leaseTTL, Metrics: sm}
+			if *regDir != "" {
+				reg, err = serve.OpenRegistry(*regDir, rcfg)
+				fatalIf(err)
+			} else {
+				reg = serve.NewRegistry(rcfg)
+			}
+			rhs := &http.Server{Addr: *regListen, Handler: (&serve.RegistryAPI{Reg: reg}).Handler()}
+			go func() {
+				if err := rhs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+					fatalIf(fmt.Errorf("registry: %w", err))
+				}
+			}()
+			fmt.Printf("hfd: job registry on http://%s (lease TTL %s)\n", *regListen, *leaseTTL)
+			if regTarget == "" {
+				regTarget = *regListen
+			}
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = *listen
+		}
+		id := *peerID
+		if id == "" {
+			id = adv
+		}
+		peer, err = serve.NewPeer(serve.PeerConfig{
+			ID: id, Addr: adv,
+			Registry:       serve.NewRegistryClient(regTarget, 0),
+			CheckpointDir:  *ckptDir,
+			Server:         cfg,
+			HeartbeatEvery: *leaseTTL / 3,
+			ScanEvery:      *scanEvery,
+		})
+		fatalIf(err)
+		srv = peer.Server()
+		fmt.Printf("hfd: HA peer %q (incarnation %d) against registry %s\n", id, peer.Incarnation(), regTarget)
+	} else {
+		srv, err = serve.NewServer(cfg)
+		fatalIf(err)
+	}
 
-	api := &serve.API{Server: srv, RPC: rpc}
+	api := &serve.API{Server: srv, RPC: rpc, Peer: peer}
 	hs := &http.Server{Addr: *listen, Handler: api.Handler()}
 	if *ackAddr != "" {
 		metrics.PublishFunc("hfd", func() any { return sm.Snapshot() })
+		metrics.PublishFunc("serve_jobs_adopted", func() any { return sm.Adopted() })
+		metrics.PublishFunc("serve_lease_expiries", func() any { return sm.LeaseExpiries() })
+		metrics.PublishFunc("serve_owner_redirects", func() any { return sm.OwnerRedirects() })
 		dbg, err := metrics.StartDebugServer(*ackAddr, nil)
 		fatalIf(err)
 		fmt.Printf("hfd: debug endpoint on http://%s/debug/vars\n", dbg)
@@ -140,10 +216,14 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		sig := <-sigc
-		fmt.Printf("hfd: %s: draining (stop admission, park running jobs)\n", sig)
+		fmt.Printf("hfd: %s: draining (stop admission, park running jobs, release leases)\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
 		defer cancel()
-		if err := srv.Drain(ctx); err != nil {
+		drain := srv.Drain
+		if peer != nil {
+			drain = peer.Drain // parks, then releases every lease for instant adoption
+		}
+		if err := drain(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "hfd: %v\n", err)
 		}
 		hs.Shutdown(context.Background())
@@ -156,6 +236,9 @@ func main() {
 	}
 	for _, ms := range embedded {
 		ms.Close()
+	}
+	if reg != nil {
+		reg.Close() // final snapshot of the embedded registry
 	}
 	snap := sm.Snapshot()
 	fmt.Printf("hfd: done: %d admitted, %d completed, %d rejected, %d shed, %d parked\n",

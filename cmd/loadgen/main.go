@@ -10,6 +10,13 @@
 //	loadgen -addr 127.0.0.1:8680 -jobs 200 -concurrency 32 \
 //	        -tenants teamA:3,teamB:1 -molecules CH4,NH3 -deadline-frac 0.3
 //
+// Against an HA deployment, -addr takes a comma-separated endpoint
+// list: each request starts at the job's home endpoint and fails over
+// with jittered retries to the others on connection errors, drains and
+// overload rejections; event streams follow 307 owner redirects and
+// re-attach across peer death and job adoption. The report carries
+// per-endpoint submission counts and retries_total.
+//
 // Exit status is nonzero when an SLO verdict fails, so CI can gate on
 // overload behavior the same way it gates on correctness.
 package main
@@ -66,13 +73,53 @@ type report struct {
 	EnergyJobs  int     `json:"energy_checked_jobs"`
 	WallSeconds float64 `json:"wall_seconds"`
 
+	// EndpointSubmits counts accepted submissions per endpoint;
+	// RetriesTotal counts every client-side failover retry (submit and
+	// stream re-attach) across all endpoints.
+	EndpointSubmits map[string]int64 `json:"endpoint_submits,omitempty"`
+	RetriesTotal    int64            `json:"retries_total"`
+
 	SLO map[string]bool `json:"slo"`
 	OK  bool            `json:"ok"`
 }
 
+// endpoints is the client-side view of an HA deployment: one or more
+// hfd addresses, per-endpoint submission counters and a global retry
+// counter, shared by all submitter goroutines.
+type endpoints struct {
+	bases   []string // "http://host:port"
+	submits []atomic.Int64
+	retries atomic.Int64
+}
+
+func newEndpoints(addrs string) *endpoints {
+	var e endpoints
+	for _, a := range strings.Split(addrs, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.HasPrefix(a, "http://") {
+			a = "http://" + a
+		}
+		e.bases = append(e.bases, a)
+	}
+	e.submits = make([]atomic.Int64, len(e.bases))
+	return &e
+}
+
+// jitter sleeps a randomized backoff between failover attempts so N
+// clients retrying a dead peer do not stampede the survivors in phase.
+func jitter(rng *rand.Rand, mu *sync.Mutex) {
+	mu.Lock()
+	d := 25 + rng.Intn(75)
+	mu.Unlock()
+	time.Sleep(time.Duration(d) * time.Millisecond)
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8680", "hfd address")
+		addr    = flag.String("addr", "127.0.0.1:8680", "hfd address, or comma-separated HA endpoint list")
 		njobs   = flag.Int("jobs", 100, "total jobs to submit")
 		conc    = flag.Int("concurrency", 16, "concurrent submitters")
 		tenants = flag.String("tenants", "teamA:3,teamB:1", "tenant traffic weights name:w,...")
@@ -90,6 +137,7 @@ func main() {
 
 		sloP99Ms    = flag.Float64("slo-p99-ms", 0, "accepted-job p99 latency SLO (0 = don't grade)")
 		sloRejectMs = flag.Float64("slo-reject-ms", 100, "rejection latency SLO")
+		jobTimeout  = flag.Duration("job-timeout", 5*time.Minute, "per-job cap on stream-following and failover retries")
 		out         = flag.String("out", "BENCH_serve.json", "JSON report path ('' = stdout only)")
 	)
 	flag.Parse()
@@ -129,7 +177,13 @@ func main() {
 		}
 	}
 
-	base := "http://" + *addr
+	eps := newEndpoints(*addr)
+	if len(eps.bases) == 0 {
+		fatalIf(fmt.Errorf("no endpoints in -addr %q", *addr))
+	}
+	var jmu sync.Mutex
+	jrng := rand.New(rand.NewSource(*seed + 1))
+	retrySleep := func() { jitter(jrng, &jmu) }
 	outcomes := make([]outcome, *njobs)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -143,7 +197,7 @@ func main() {
 				if i >= *njobs {
 					return
 				}
-				outcomes[i] = driveJob(base, specs[i])
+				outcomes[i] = driveJob(eps, i%len(eps.bases), specs[i], retrySleep, *jobTimeout)
 			}
 		}()
 	}
@@ -152,6 +206,11 @@ func main() {
 
 	rep := grade(outcomes, refs, *tol, *sloP99Ms, *sloRejectMs)
 	rep.WallSeconds = wall.Seconds()
+	rep.RetriesTotal = eps.retries.Load()
+	rep.EndpointSubmits = map[string]int64{}
+	for i, b := range eps.bases {
+		rep.EndpointSubmits[strings.TrimPrefix(b, "http://")] = eps.submits[i].Load()
+	}
 	blob, _ := json.MarshalIndent(rep, "", "  ")
 	fmt.Println(string(blob))
 	if *out != "" {
@@ -162,55 +221,127 @@ func main() {
 	}
 }
 
-// driveJob submits one job and follows its event stream to a terminal
-// state, falling back to status polling if the stream drops.
-func driveJob(base string, spec serve.JobSpec) outcome {
+// driveJob submits one job — failing over across endpoints — and
+// follows its event stream to a terminal state, re-attaching (through
+// 307 owner redirects) when the stream breaks because the owning peer
+// died and the job was adopted elsewhere.
+func driveJob(eps *endpoints, home int, spec serve.JobSpec, retrySleep func(), timeout time.Duration) outcome {
 	o := outcome{spec: spec}
 	body, _ := json.Marshal(spec)
+	deadline := time.Now().Add(timeout)
+	n := len(eps.bases)
+
+	// Submit with per-request failover: a connection error, a draining
+	// 503 or an overload rejection moves to the next endpoint after a
+	// jittered backoff. Only when every endpoint refused is the job
+	// counted rejected.
+	var id string
 	t0 := time.Now()
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		o.err = err.Error()
-		return o
-	}
-	submitMs := float64(time.Since(t0).Nanoseconds()) / 1e6
-	var idBody struct {
-		ID    string `json:"id"`
-		Error string `json:"error"`
-		Cause string `json:"cause"`
-	}
-	dec := json.NewDecoder(resp.Body)
-	dec.Decode(&idBody)
-	resp.Body.Close()
-	if resp.StatusCode == http.StatusServiceUnavailable {
-		o.state = "rejected"
-		o.rejectMs = submitMs
-		o.err = idBody.Error
-		return o
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		o.state = "error"
-		o.err = fmt.Sprintf("submit: HTTP %d: %s", resp.StatusCode, idBody.Error)
-		return o
+	var lastReject string
+	for attempt := 0; id == ""; attempt++ {
+		if attempt >= 3*n || !time.Now().Before(deadline) {
+			o.state = "rejected"
+			o.rejectMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+			o.err = lastReject
+			return o
+		}
+		ep := (home + attempt) % n
+		if attempt > 0 {
+			eps.retries.Add(1)
+			retrySleep()
+		}
+		resp, err := http.Post(eps.bases[ep]+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastReject = err.Error()
+			continue
+		}
+		var idBody struct {
+			ID    string `json:"id"`
+			Error string `json:"error"`
+			Cause string `json:"cause"`
+		}
+		json.NewDecoder(resp.Body).Decode(&idBody)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			id = idBody.ID
+			eps.submits[ep].Add(1)
+			home = ep // stream from the endpoint that accepted
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			lastReject = idBody.Error
+		default:
+			o.state = "error"
+			o.err = fmt.Sprintf("submit: HTTP %d: %s", resp.StatusCode, idBody.Error)
+			return o
+		}
 	}
 	o.accepted = true
 
-	// Follow the NDJSON event stream to the end.
-	ev, err := http.Get(base + "/v1/jobs/" + idBody.ID + "/events")
-	if err == nil {
-		sc := bufio.NewScanner(ev.Body)
-		for sc.Scan() {
+	// Follow the NDJSON event stream to a terminal event. A broken
+	// stream or dead endpoint rotates to the next one; the API there
+	// answers 307 with the current owner (followed transparently) or
+	// 503 while the adoption is in flight. Terminal events that only
+	// reflect the dying owner's teardown are retriable: the adopter
+	// will finish the job.
+	terminal := ""
+	for ep := home; terminal == "" && time.Now().Before(deadline); {
+		resp, err := http.Get(eps.bases[ep%n] + "/v1/jobs/" + id + "/events")
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if resp != nil {
+				resp.Body.Close()
+			}
+			eps.retries.Add(1)
+			retrySleep()
+			ep++
+			continue
 		}
-		ev.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() && terminal == "" {
+			var ev struct {
+				Type string `json:"type"`
+				Msg  string `json:"msg"`
+			}
+			if json.Unmarshal(sc.Bytes(), &ev) != nil {
+				continue
+			}
+			switch ev.Type {
+			case "done", "failed", "canceled", "shed":
+				if ev.Type != "done" &&
+					(strings.Contains(ev.Msg, "lease lost") || strings.Contains(ev.Msg, "peer killed")) {
+					continue
+				}
+				terminal = ev.Type
+			}
+		}
+		resp.Body.Close()
+		if terminal == "" {
+			eps.retries.Add(1)
+			retrySleep()
+			ep++
+		}
 	}
-	st, err := http.Get(base + "/v1/jobs/" + idBody.ID)
-	if err != nil {
-		o.err = err.Error()
+
+	// Terminal status, with the same failover: any peer redirects to
+	// the owner, and a finished job's outcome survives in the registry.
+	var status serve.Status
+	got := false
+	for attempt := 0; attempt < 3*n && !got; attempt++ {
+		st, err := http.Get(eps.bases[(home+attempt)%n] + "/v1/jobs/" + id)
+		if err != nil || st.StatusCode != http.StatusOK {
+			if st != nil {
+				st.Body.Close()
+			}
+			eps.retries.Add(1)
+			retrySleep()
+			continue
+		}
+		got = json.NewDecoder(st.Body).Decode(&status) == nil
+		st.Body.Close()
+	}
+	if !got {
+		o.err = "status: no endpoint answered"
 		return o
 	}
-	var status serve.Status
-	json.NewDecoder(st.Body).Decode(&status)
-	st.Body.Close()
 	o.latencyMs = float64(time.Since(t0).Nanoseconds()) / 1e6
 	o.state = status.State
 	o.retries = status.Retries

@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// DaemonKill is one scheduled SIGKILL of an hfd front-end peer (as
+// opposed to ServerKill, which targets shard servers). Triggers are
+// either progress based (kill once the peer's jobs have emitted at
+// least AfterEvents SCF-iteration events — the deterministic way to
+// land mid-SCF with real checkpoints on disk) or wall-clock based.
+// There is no restart: the HA tier's recovery path is adoption by the
+// surviving peers, not resurrection of the dead one.
+type DaemonKill struct {
+	Peer        int           // peer slot index
+	AfterEvents int64         // iteration-event trigger; 0 = use After
+	After       time.Duration // wall-clock trigger when AfterEvents == 0
+}
+
+// DaemonKillPlan draws a deterministic kill schedule from seed: kills
+// entries spread round-robin over npeers slots, each triggered at an
+// iteration-event count uniform in [minEvents, maxEvents). The schedule
+// depends only on (seed, npeers, kills, minEvents, maxEvents), so a
+// chaos run is reproducible per fault seed.
+func DaemonKillPlan(seed int64, npeers, kills int, minEvents, maxEvents int64) []DaemonKill {
+	if npeers <= 0 || kills <= 0 {
+		return nil
+	}
+	if maxEvents <= minEvents {
+		maxEvents = minEvents + 1
+	}
+	s := seed*-0x61c8864680b583eb + -0x61c8864680b583eb>>1
+	s ^= s >> 31
+	r := rand.New(rand.NewSource(s))
+	plan := make([]DaemonKill, kills)
+	for i := range plan {
+		plan[i] = DaemonKill{
+			Peer:        i % npeers,
+			AfterEvents: minEvents + r.Int63n(maxEvents-minEvents),
+		}
+	}
+	return plan
+}
+
+// RunDaemonKills executes a kill schedule. events reports the
+// cumulative SCF-iteration count across the jobs running on a peer
+// slot, and kill SIGKILLs that peer — abrupt teardown: no drain, no
+// lease release, no goodbye. The runner returns when every kill has
+// fired or stop closes. Callbacks run on this goroutine, so callers
+// usually invoke RunDaemonKills from a dedicated one.
+func RunDaemonKills(plan []DaemonKill, events func(slot int) int64, kill func(slot int), stop <-chan struct{}) {
+	start := time.Now()
+	for _, k := range plan {
+		for {
+			fire := false
+			if k.AfterEvents > 0 {
+				fire = events(k.Peer) >= k.AfterEvents
+			} else {
+				fire = time.Since(start) >= k.After
+			}
+			if fire {
+				break
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		kill(k.Peer)
+	}
+}

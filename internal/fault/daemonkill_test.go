@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDaemonKillPlanDeterministic(t *testing.T) {
+	a := DaemonKillPlan(7, 3, 6, 5, 50)
+	b := DaemonKillPlan(7, 3, 6, 5, 50)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different kill schedules")
+	}
+	c := DaemonKillPlan(8, 3, 6, 5, 50)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical kill schedules")
+	}
+	slotSeen := map[int]int{}
+	for i, k := range a {
+		if k.Peer != i%3 {
+			t.Fatalf("kill %d targets peer %d, want round-robin %d", i, k.Peer, i%3)
+		}
+		if k.AfterEvents < 5 || k.AfterEvents >= 50 {
+			t.Fatalf("kill %d trigger %d outside [5,50)", i, k.AfterEvents)
+		}
+		slotSeen[k.Peer]++
+	}
+	if len(slotSeen) != 3 {
+		t.Fatalf("6 kills over 3 peers covered only %d peers", len(slotSeen))
+	}
+	if DaemonKillPlan(7, 0, 4, 1, 2) != nil || DaemonKillPlan(7, 2, 0, 1, 2) != nil {
+		t.Fatal("degenerate plans must be empty")
+	}
+}
+
+func TestRunDaemonKillsExecutesSchedule(t *testing.T) {
+	plan := []DaemonKill{
+		{Peer: 0, AfterEvents: 5},
+		{Peer: 1, AfterEvents: 3},
+	}
+	var events [2]atomic.Int64
+	var mu sync.Mutex
+	var killed []int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunDaemonKills(plan,
+			func(slot int) int64 { return events[slot].Load() },
+			func(slot int) { mu.Lock(); killed = append(killed, slot); mu.Unlock() },
+			nil)
+	}()
+	for i := 0; i < 10; i++ {
+		events[0].Add(1)
+		events[1].Add(1)
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunDaemonKills did not finish")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(killed, []int{0, 1}) {
+		t.Fatalf("killed %v, want [0 1]", killed)
+	}
+}

@@ -25,6 +25,13 @@ type Serve struct {
 	failed    atomic.Int64
 	canceled  atomic.Int64 // deadline-exceeded or client-canceled jobs
 
+	// HA service-tier counters (DESIGN.md §13): jobs this peer adopted
+	// from a crashed owner, job-ownership leases the registry expired,
+	// and status/event queries answered with a 307 to the owning peer.
+	adopted        atomic.Int64
+	leaseExpiries  atomic.Int64
+	ownerRedirects atomic.Int64
+
 	queueDepth     atomic.Int64
 	queueHighWater atomic.Int64
 	running        atomic.Int64
@@ -115,6 +122,47 @@ func (s *Serve) AddCanceled() {
 	}
 }
 
+func (s *Serve) AddAdopted() {
+	if s != nil {
+		s.adopted.Add(1)
+	}
+}
+
+func (s *Serve) AddLeaseExpiry() {
+	if s != nil {
+		s.leaseExpiries.Add(1)
+	}
+}
+
+func (s *Serve) AddOwnerRedirect() {
+	if s != nil {
+		s.ownerRedirects.Add(1)
+	}
+}
+
+// Adopted, LeaseExpiries and OwnerRedirects read the HA counters (the
+// expvar surface publishes them individually by name).
+func (s *Serve) Adopted() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.adopted.Load()
+}
+
+func (s *Serve) LeaseExpiries() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.leaseExpiries.Load()
+}
+
+func (s *Serve) OwnerRedirects() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.ownerRedirects.Load()
+}
+
 // SetQueueDepth records the instantaneous queue depth and maintains the
 // high-water mark (the bound the overload test asserts on).
 func (s *Serve) SetQueueDepth(d int) {
@@ -166,6 +214,9 @@ type ServeSnapshot struct {
 	Completed      int64        `json:"completed"`
 	Failed         int64        `json:"failed"`
 	Canceled       int64        `json:"canceled"`
+	Adopted        int64        `json:"adopted,omitempty"`
+	LeaseExpiries  int64        `json:"lease_expiries,omitempty"`
+	OwnerRedirects int64        `json:"owner_redirects,omitempty"`
 	QueueDepth     int64        `json:"queue_depth"`
 	QueueHighWater int64        `json:"queue_high_water"`
 	Running        int64        `json:"running"`
@@ -191,6 +242,9 @@ func (s *Serve) Snapshot() ServeSnapshot {
 		Completed:      s.completed.Load(),
 		Failed:         s.failed.Load(),
 		Canceled:       s.canceled.Load(),
+		Adopted:        s.adopted.Load(),
+		LeaseExpiries:  s.leaseExpiries.Load(),
+		OwnerRedirects: s.ownerRedirects.Load(),
 		QueueDepth:     s.queueDepth.Load(),
 		QueueHighWater: s.queueHighWater.Load(),
 		Running:        s.running.Load(),

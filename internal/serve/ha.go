@@ -1,0 +1,444 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gtfock/internal/metrics"
+)
+
+// Peer is one hfd front end of the HA service tier. N peers share one
+// shard fleet and one job registry; each runs the PR 8 scheduler
+// locally, but a job is executed only under a registry lease that the
+// peer acquired at submission (or by adoption) and renews by heartbeat.
+// When a peer dies — SIGKILL, no drain — its heartbeats stop, its
+// leases expire, and the surviving peers' adoption scanners acquire the
+// orphaned jobs and resume them from their last SCF checkpoint through
+// the FleetRunner's fresh-session path, so a dead attempt's accumulates
+// can never merge with a live one (DESIGN.md §13).
+//
+// At-most-once execution does not depend on the failure detector being
+// right: a falsely-expired owner keeps executing only until its next
+// heartbeat, whose response lists the job as lost (the fence moved), at
+// which point the peer cancels the run; and every registry write the
+// superseded session attempts — checkpoint pointer, terminal outcome —
+// is rejected by the incarnation fence.
+type Peer struct {
+	cfg   PeerConfig
+	reg   *RegistryClient
+	srv   *Server
+	inner Runner
+	met   *metrics.Serve
+
+	mu      sync.Mutex
+	owned   map[string]uint64 // job id -> lease fence
+	cancels map[string]context.CancelCauseFunc
+
+	synced atomic.Bool // first successful registry round-trip done
+	dead   atomic.Bool // simulated SIGKILL: sever everything, report nothing
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// PeerConfig parameterizes a Peer.
+type PeerConfig struct {
+	// ID is the peer's stable identity in the registry (e.g. its job-API
+	// host:port). Required.
+	ID string
+	// Incarnation fences this process lifetime; 0 derives one from the
+	// clock, so a restarted peer never writes under its dead self's
+	// incarnation.
+	Incarnation uint64
+	// Addr is the advertised job-API address other peers redirect
+	// status/event queries to. Required.
+	Addr string
+	// Registry is the shared job registry. Required.
+	Registry *RegistryClient
+	// CheckpointDir is the fleet-shared per-job checkpoint directory; it
+	// must be the same directory the runner checkpoints into, on storage
+	// every peer can read (that is what makes adoption a resume instead
+	// of a recompute).
+	CheckpointDir string
+	// Server is the local scheduler's config. Runner must be set (the
+	// FleetRunner); the Peer wraps it with lease acquisition and wires
+	// OnTerminal to the registry.
+	Server Config
+	// HeartbeatEvery is the lease-renewal cadence (default 500ms; keep it
+	// at most a third of the registry's LeaseTTL).
+	HeartbeatEvery time.Duration
+	// ScanEvery is the adoption scanner's cadence (default 1s).
+	ScanEvery time.Duration
+}
+
+// NewPeer builds a peer and starts its heartbeat and adoption loops.
+func NewPeer(cfg PeerConfig) (*Peer, error) {
+	if cfg.ID == "" || cfg.Addr == "" {
+		return nil, errors.New("serve: PeerConfig.ID and Addr are required")
+	}
+	if cfg.Registry == nil {
+		return nil, errors.New("serve: PeerConfig.Registry is required")
+	}
+	if cfg.Server.Runner == nil {
+		return nil, errors.New("serve: PeerConfig.Server.Runner is required")
+	}
+	if cfg.Incarnation == 0 {
+		cfg.Incarnation = uint64(time.Now().UnixNano())
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if cfg.ScanEvery <= 0 {
+		cfg.ScanEvery = time.Second
+	}
+	p := &Peer{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		inner:   cfg.Server.Runner,
+		met:     cfg.Server.Metrics,
+		owned:   map[string]uint64{},
+		cancels: map[string]context.CancelCauseFunc{},
+		stop:    make(chan struct{}),
+	}
+	cfg.Server.Runner = RunnerFunc(p.runLeased)
+	cfg.Server.OnTerminal = p.onTerminal
+	srv, err := NewServer(cfg.Server)
+	if err != nil {
+		return nil, err
+	}
+	p.srv = srv
+	if fr, ok := p.inner.(*FleetRunner); ok && fr.OnCheckpoint == nil {
+		fr.OnCheckpoint = p.onCheckpoint
+	}
+	p.wg.Add(2)
+	go p.heartbeatLoop()
+	go p.scanLoop()
+	return p, nil
+}
+
+// Server exposes the peer's local scheduler (HTTP API, stats).
+func (p *Peer) Server() *Server { return p.srv }
+
+// ID and Incarnation identify the peer in the registry.
+func (p *Peer) ID() string          { return p.cfg.ID }
+func (p *Peer) Incarnation() uint64 { return p.cfg.Incarnation }
+
+// Ready implements the /readyz contract: true once the first registry
+// round-trip succeeded and until the peer starts draining (or dies), so
+// an external load balancer stops routing to a dying peer before its
+// jobs are gone.
+func (p *Peer) Ready() (bool, string) {
+	switch {
+	case p.dead.Load():
+		return false, "peer killed"
+	case !p.synced.Load():
+		return false, "registry sync pending"
+	case p.srv.Draining():
+		return false, "draining"
+	}
+	return true, "ok"
+}
+
+// Submit registers the job in the shared registry (taking its lease),
+// then admits it into the local scheduler. Registration-first means an
+// accepted job is adoptable from the instant the client hears 202; a
+// job the local scheduler then refuses is finished in the registry as
+// rejected, so nothing dangles.
+func (p *Peer) Submit(spec JobSpec) (*Job, error) {
+	spec.Tenant = tenantName(spec.Tenant)
+	if spec.Basis == "" {
+		spec.Basis = "sto-3g"
+	}
+	if spec.MaxIter <= 0 {
+		spec.MaxIter = 30
+	}
+	// Validate before registering: malformed specs must not litter the
+	// registry (and the 400-vs-503 split the HTTP layer makes relies on
+	// estimate errors being plain, not RejectError).
+	if _, err := p.estimate(spec); err != nil {
+		return nil, fmt.Errorf("serve: bad job spec: %w", err)
+	}
+	id, fence, err := p.reg.Create(spec, p.cfg.ID, p.cfg.Addr, p.cfg.Incarnation, p.cfg.CheckpointDir)
+	if err != nil {
+		return nil, &RejectError{Cause: metrics.RejectQueueFull,
+			Msg: "serve: job registry unavailable: " + err.Error()}
+	}
+	p.mu.Lock()
+	p.owned[id] = fence
+	p.mu.Unlock()
+	j, err := p.srv.SubmitID(id, spec)
+	if err != nil {
+		p.mu.Lock()
+		delete(p.owned, id)
+		p.mu.Unlock()
+		_ = p.reg.Finish(id, p.cfg.ID, p.cfg.Incarnation, fence, RecRejected, nil, err.Error())
+		return nil, err
+	}
+	return j, nil
+}
+
+func (p *Peer) estimate(spec JobSpec) (int, error) {
+	est := p.cfg.Server.Estimate
+	if est == nil {
+		est = EstimateSpec
+	}
+	return est(spec)
+}
+
+// runLeased wraps the inner runner: execution happens only while the
+// lease is held, under a context the heartbeat loop cancels the moment
+// the registry says the lease moved.
+func (p *Peer) runLeased(ctx context.Context, j *Job) (*JobResult, error) {
+	p.mu.Lock()
+	_, held := p.owned[j.ID]
+	if !held {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("serve: job %s: %w", j.ID, ErrLeaseLost)
+	}
+	runCtx, cancel := context.WithCancelCause(ctx)
+	p.cancels[j.ID] = cancel
+	p.mu.Unlock()
+
+	res, err := p.inner.Run(runCtx, j)
+
+	p.mu.Lock()
+	delete(p.cancels, j.ID)
+	p.mu.Unlock()
+	cancel(nil)
+	if err != nil && errors.Is(context.Cause(runCtx), ErrLeaseLost) {
+		return nil, fmt.Errorf("serve: job %s: %w", j.ID, ErrLeaseLost)
+	}
+	return res, err
+}
+
+// onCheckpoint pushes the job's checkpoint pointer to the registry.
+// Best-effort: a registry blip must never stall the SCF.
+func (p *Peer) onCheckpoint(j *Job, iter int) {
+	if p.dead.Load() {
+		return
+	}
+	p.mu.Lock()
+	fence, held := p.owned[j.ID]
+	p.mu.Unlock()
+	if !held {
+		return
+	}
+	_ = p.reg.UpdateCkpt(j.ID, p.cfg.ID, p.cfg.Incarnation, fence, iter)
+}
+
+// onTerminal records a job's terminal outcome in the registry and drops
+// its lease. Runs on its own goroutine (the scheduler fired it post-
+// transition); transient registry failures are retried while the
+// heartbeat keeps the lease alive, fence losses mean another peer owns
+// the truth now and this outcome is correctly discarded.
+func (p *Peer) onTerminal(j *Job) {
+	if p.dead.Load() {
+		return
+	}
+	p.mu.Lock()
+	fence, held := p.owned[j.ID]
+	p.mu.Unlock()
+	if !held {
+		return
+	}
+	state := RecFailed
+	switch j.State() {
+	case StateDone:
+		state = RecDone
+	case StateCanceled:
+		state = RecCanceled
+	case StateShed:
+		state = RecShed
+	}
+	res, jerr := j.Result()
+	msg := ""
+	if jerr != nil {
+		msg = jerr.Error()
+	}
+	for attempt := 0; attempt < 5; attempt++ {
+		err := p.reg.Finish(j.ID, p.cfg.ID, p.cfg.Incarnation, fence, state, res, msg)
+		if err == nil || errors.Is(err, ErrFenceLost) || errors.Is(err, ErrTerminal) || errors.Is(err, ErrUnknownJob) {
+			break
+		}
+		select {
+		case <-p.stop:
+			return
+		case <-time.After(200 * time.Millisecond << uint(attempt)):
+		}
+	}
+	p.mu.Lock()
+	delete(p.owned, j.ID)
+	p.mu.Unlock()
+}
+
+// heartbeatLoop renews every held lease in one batch. Jobs the registry
+// reports lost are canceled locally: their fence moved, so continuing
+// would only waste the executor — nothing they write can land anywhere.
+func (p *Peer) heartbeatLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		if p.dead.Load() {
+			return
+		}
+		p.mu.Lock()
+		held := make(map[string]uint64, len(p.owned))
+		for id, fence := range p.owned {
+			held[id] = fence
+		}
+		p.mu.Unlock()
+		if len(held) == 0 {
+			continue
+		}
+		lost, err := p.reg.Heartbeat(p.cfg.ID, p.cfg.Incarnation, held)
+		if err != nil {
+			continue // registry blip; next tick retries
+		}
+		p.synced.Store(true)
+		for _, id := range lost {
+			p.mu.Lock()
+			delete(p.owned, id)
+			cancel := p.cancels[id]
+			p.mu.Unlock()
+			if cancel != nil {
+				cancel(ErrLeaseLost)
+			} else if j := p.srv.Job(id); j != nil {
+				j.Cancel() // still queued locally; cancel before it runs
+			}
+		}
+	}
+}
+
+// scanLoop is the adoption scanner: it polls the registry for orphaned
+// jobs (lease expired or released) and adopts what fits locally. The
+// headroom check happens BEFORE acquiring, so a peer never takes a lease
+// it would immediately have to give back.
+func (p *Peer) scanLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.ScanEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		if p.dead.Load() {
+			return
+		}
+		orphans, err := p.reg.Orphans()
+		if err != nil {
+			continue
+		}
+		p.synced.Store(true)
+		if p.srv.Draining() {
+			continue
+		}
+		for _, rec := range orphans {
+			p.mu.Lock()
+			_, mine := p.owned[rec.ID]
+			p.mu.Unlock()
+			if mine || p.srv.Job(rec.ID) != nil {
+				continue
+			}
+			nbf, err := p.estimate(rec.Spec)
+			if err != nil {
+				continue
+			}
+			if b := p.cfg.Server.MemBudget; b > 0 && p.srv.MemUsed()+jobBytes(nbf) > b {
+				continue // no headroom; another peer or a later scan takes it
+			}
+			got, err := p.reg.Acquire(rec.ID, p.cfg.ID, p.cfg.Addr, p.cfg.Incarnation)
+			if err != nil {
+				continue // lost the race, or the job finished meanwhile
+			}
+			p.mu.Lock()
+			p.owned[rec.ID] = got.Fence
+			p.mu.Unlock()
+			if _, err := p.srv.Adopt(rec.ID, got.Spec); err != nil {
+				p.mu.Lock()
+				delete(p.owned, rec.ID)
+				p.mu.Unlock()
+				p.reg.Release(p.cfg.ID, p.cfg.Incarnation, []string{rec.ID})
+				continue
+			}
+			p.met.AddAdopted()
+		}
+	}
+}
+
+// Lookup resolves a job the local scheduler does not know, for the HTTP
+// layer's redirect/proxy path: the owner's address for a 307, the
+// registry record for a terminal job, or pending=true when the job is
+// between owners (adoption in flight — the client should retry).
+func (p *Peer) Lookup(id string) (ownerAddr string, rec *JobRecord, pending bool, err error) {
+	got, ok, err := p.reg.Get(id)
+	if err != nil {
+		return "", nil, false, err
+	}
+	if !ok {
+		return "", nil, false, nil
+	}
+	if got.Terminal() {
+		return "", &got, false, nil
+	}
+	if got.Owner != "" && got.Owner != p.cfg.ID {
+		return got.OwnerAddr, &got, false, nil
+	}
+	// Unowned (adoption pending), or owned by us but not yet visible
+	// locally (submission in flight): retriable either way.
+	return "", &got, true, nil
+}
+
+// Drain gracefully hands the peer's work back: the local scheduler
+// checkpoints and parks everything, then every held lease is released so
+// the surviving peers adopt the parked jobs immediately instead of
+// waiting out an expiry.
+func (p *Peer) Drain(ctx context.Context) error {
+	err := p.srv.Drain(ctx)
+	p.mu.Lock()
+	p.owned = map[string]uint64{}
+	p.mu.Unlock()
+	if _, rerr := p.reg.Release(p.cfg.ID, p.cfg.Incarnation, nil); rerr != nil && err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// Kill simulates SIGKILL for chaos runs: all registry traffic is severed
+// FIRST (a dead process reports nothing — no finishes, no releases, no
+// parks), then local execution is torn down abruptly. Recovery happens
+// entirely on the other side: the leases expire and the survivors adopt.
+func (p *Peer) Kill() {
+	p.dead.Store(true)
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.mu.Lock()
+	cancels := make([]context.CancelCauseFunc, 0, len(p.cancels))
+	for _, c := range p.cancels {
+		cancels = append(cancels, c)
+	}
+	p.mu.Unlock()
+	for _, c := range cancels {
+		c(ErrKilled)
+	}
+	p.srv.Kill()
+	p.wg.Wait()
+}
+
+// Close stops the peer's background loops without the drama (test
+// teardown of surviving peers).
+func (p *Peer) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}

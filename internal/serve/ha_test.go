@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gtfock/internal/metrics"
+)
+
+// haRig is one peer wired to a shared in-memory registry over real
+// HTTP, with a gate runner so tests control execution.
+type haRig struct {
+	peer *Peer
+	api  *httptest.Server
+	gate *gate
+	met  *metrics.Serve
+}
+
+func newHARig(t *testing.T, regURL, id string) *haRig {
+	return newHARigEvery(t, regURL, id, 10*time.Millisecond)
+}
+
+// newHARigEvery starts the peer's HTTP API on a pre-bound listener so
+// the advertised address is real before the peer's loops start —
+// redirects issued by other peers are followable from the first scan.
+func newHARigEvery(t *testing.T, regURL, id string, every time.Duration) *haRig {
+	t.Helper()
+	g := newGate()
+	sm := metrics.NewServe()
+	api := httptest.NewUnstartedServer(nil)
+	p, err := NewPeer(PeerConfig{
+		ID:            id,
+		Addr:          api.Listener.Addr().String(),
+		Registry:      NewRegistryClient(regURL, time.Second),
+		CheckpointDir: t.TempDir(),
+		Server: Config{
+			Capacity: 2, Runner: g, Estimate: stubEstimate, Metrics: sm,
+		},
+		HeartbeatEvery: every,
+		ScanEvery:      every,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api.Config.Handler = (&API{Server: p.Server(), Peer: p}).Handler()
+	api.Start()
+	t.Cleanup(api.Close)
+	t.Cleanup(p.Close)
+	return &haRig{peer: p, api: api, gate: g, met: sm}
+}
+
+func newTestRegistryServer(t *testing.T) (*Registry, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry(RegistryConfig{LeaseTTL: 100 * time.Millisecond})
+	srv := httptest.NewServer((&RegistryAPI{Reg: reg}).Handler())
+	t.Cleanup(srv.Close)
+	return reg, srv
+}
+
+func readyz(t *testing.T, api *httptest.Server) (int, string) {
+	t.Helper()
+	resp, err := http.Get(api.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body.Reason
+}
+
+// TestReadyzDrainTransition walks /readyz through the peer lifecycle:
+// not ready before the first registry sync, ready while serving, not
+// ready from the moment a drain starts — and never ready again.
+func TestReadyzDrainTransition(t *testing.T) {
+	_, regSrv := newTestRegistryServer(t)
+
+	// Before the first registry round-trip the peer must not take
+	// traffic: it cannot see orphans or record outcomes yet. A peer
+	// whose loops never tick stays deterministically unsynced.
+	cold := newHARigEvery(t, regSrv.URL, "peer-cold", time.Hour)
+	if code, reason := readyz(t, cold.api); code != http.StatusServiceUnavailable || reason != "registry sync pending" {
+		t.Fatalf("/readyz before registry sync: %d %q, want 503 pending", code, reason)
+	}
+
+	rig := newHARig(t, regSrv.URL, "peer-a")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _ := readyz(t, rig.api)
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never became ready after registry sync")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	j, err := rig.peer.Submit(JobSpec{Molecule: "H2"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, j, StateRunning)
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- rig.peer.Drain(ctx)
+	}()
+	// The readiness flip must happen when the drain STARTS, not when it
+	// finishes — that is the window the load balancer needs.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if code, reason := readyz(t, rig.api); code == http.StatusServiceUnavailable && reason == "draining" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz stayed ready after drain started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if code, reason := readyz(t, rig.api); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain: %d %q, want 503 draining", code, reason)
+	}
+	// The drained peer released its lease: the parked job is adoptable
+	// immediately, no TTL wait.
+	orphans, err := rig.peer.reg.Orphans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 1 || orphans[0].ID != j.ID {
+		t.Fatalf("orphans after drain = %v, want [%s]", orphans, j.ID)
+	}
+}
+
+// TestOwnerRedirect covers the fix for cross-peer status queries: a job
+// owned by peer A, asked about on peer B, answers 307 to A — and a
+// redirect-following client transparently gets the real status.
+func TestOwnerRedirect(t *testing.T) {
+	_, regSrv := newTestRegistryServer(t)
+	a := newHARig(t, regSrv.URL, "peer-a")
+	b := newHARig(t, regSrv.URL, "peer-b")
+
+	j, err := a.peer.Submit(JobSpec{Molecule: "H2"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, j, StateRunning)
+
+	// Raw client: observe the 307 itself.
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := noFollow.Get(b.api.URL + "/v1/jobs/" + j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("cross-peer status = %d, want 307", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	if !strings.Contains(loc, a.peer.cfg.Addr) || !strings.HasSuffix(loc, "/v1/jobs/"+j.ID) {
+		t.Fatalf("redirect Location = %q, want owner %s", loc, a.peer.cfg.Addr)
+	}
+	if b.met.OwnerRedirects() == 0 {
+		t.Fatal("serve_owner_redirects not counted")
+	}
+
+	// Default client follows the redirect: the stream and status work
+	// against EITHER peer, which is what keeps clients owner-agnostic.
+	resp, err = http.Get(b.api.URL + "/v1/jobs/" + j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.ID != j.ID || st.State != "running" {
+		t.Fatalf("followed status = %+v, want running %s", st, j.ID)
+	}
+
+	// Truly unknown ids are still a 404, not a redirect loop.
+	resp, err = http.Get(b.api.URL + "/v1/jobs/j-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id = %d, want 404", resp.StatusCode)
+	}
+
+	// Terminal outcome outlives the owning peer's memory: finish the
+	// job, then ask the OTHER peer after the owner forgot it.
+	close(a.gate.release)
+	waitState(t, j, StateDone)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec, ok, err := b.peer.reg.Get(j.ID)
+		if err == nil && ok && rec.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("terminal outcome never reached the registry")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestKilledPeerLosesLeasesAndSurvivorAdopts is the in-process seam the
+// chaos e2e builds on: Kill() severs the registry first, so the dead
+// peer reports nothing; its lease expires; the survivor's scanner
+// adopts and re-executes from the shared checkpoint dir.
+func TestKilledPeerLosesLeasesAndSurvivorAdopts(t *testing.T) {
+	_, regSrv := newTestRegistryServer(t)
+	a := newHARig(t, regSrv.URL, "peer-a")
+	b := newHARig(t, regSrv.URL, "peer-b")
+
+	j, err := a.peer.Submit(JobSpec{Molecule: "H2"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, j, StateRunning)
+
+	a.peer.Kill()
+	if code, reason := readyz(t, a.api); code != http.StatusServiceUnavailable || reason != "peer killed" {
+		t.Fatalf("/readyz on killed peer = %d %q", code, reason)
+	}
+
+	// Survivor adopts once the lease expires (TTL 100ms, scan 10ms).
+	var adopted *Job
+	deadline := time.Now().Add(5 * time.Second)
+	for adopted == nil {
+		if adopted = b.peer.Server().Job(j.ID); adopted != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("survivor never adopted the orphan")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if b.met.Adopted() == 0 {
+		t.Fatal("serve_jobs_adopted not counted")
+	}
+	close(b.gate.release)
+	waitState(t, adopted, StateDone)
+
+	// The registry records the SURVIVOR's outcome; the dead peer's
+	// session could not have written anything.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		rec, ok, err := b.peer.reg.Get(j.ID)
+		if err == nil && ok && rec.State == RecDone {
+			if rec.Adoptions != 1 {
+				t.Fatalf("adoptions = %d, want 1", rec.Adoptions)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("adopted job's outcome never recorded")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -72,10 +72,12 @@ func (s JobState) Terminal() bool {
 // stack reports *why* it stopped and the server maps the reason to the
 // right terminal state.
 var (
-	ErrDeadline = errors.New("serve: job deadline exceeded")
-	ErrCanceled = errors.New("serve: job canceled by client")
-	ErrParked   = errors.New("serve: job parked (preempted)")
-	ErrDraining = errors.New("serve: server draining")
+	ErrDeadline  = errors.New("serve: job deadline exceeded")
+	ErrCanceled  = errors.New("serve: job canceled by client")
+	ErrParked    = errors.New("serve: job parked (preempted)")
+	ErrDraining  = errors.New("serve: server draining")
+	ErrKilled    = errors.New("serve: peer killed")       // chaos: simulated SIGKILL
+	ErrLeaseLost = errors.New("serve: job lease lost")    // another peer adopted the job
 )
 
 // JobSpec is what a tenant submits: the chemical system plus scheduling

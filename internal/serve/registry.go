@@ -1,0 +1,585 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"gtfock/internal/metrics"
+)
+
+// Registry is the HA service tier's replicated job registry: the single
+// source of truth for every job's spec, tenant, priority, latest
+// checkpoint pointer, ownership lease and terminal outcome, shared by N
+// hfd front-end peers (DESIGN.md §13).
+//
+// Ownership is a heartbeat-refreshed, incarnation-fenced lease modeled
+// on the shard fleet's membership leases (internal/net/fleet.go): every
+// ownership change bumps the record's fence, and every owner-side write
+// (renew, checkpoint update, finish) must present the owner id,
+// incarnation AND fence it acquired under. A peer that lost its lease —
+// because it crashed and was adopted, or because it stalled long enough
+// for the failure detector to act — therefore cannot renew, cannot
+// finish, and cannot resurrect: the fence rejects the loser's session.
+//
+// Expiry is deterministic: a lease is orphaned only once its expiry has
+// passed by the registry's clock (injectable, so the unit suite drives
+// it like fleet_test.go drives the fleet's), never on a missed packet.
+//
+// Durability reuses the PR 5 journal discipline (internal/net/journal.go):
+// ownership changes and terminal outcomes are appended — and fsynced —
+// to a crc-framed write-ahead log before they take effect, with periodic
+// atomic snapshots truncating the log. Heartbeat renewals are in-memory
+// only: on a registry restart every lease is conservatively expired, so
+// the surviving peers re-adopt; what must never survive a crash wrongly
+// is the fence sequence, and that is journaled. Like the PR 6 fleet
+// coordinator, the registry is one process — its crash pauses adoption
+// but loses nothing, and a restart recovers from snapshot + journal.
+type Registry struct {
+	cfg RegistryConfig
+	met *metrics.Serve
+
+	mu      sync.Mutex
+	jobs    map[string]*JobRecord
+	nextID  uint64
+	wal     *os.File
+	walOff  int64
+	walBuf  []byte
+	appends int
+	failed  bool // a failed append could not be rolled back
+
+	creates, acquires, expiries, finishes, fenceRejects int64
+}
+
+// RegistryConfig tunes a Registry.
+type RegistryConfig struct {
+	// LeaseTTL is how long a job stays owned without a heartbeat
+	// (default 1.5s). Peers heartbeat at TTL/3.
+	LeaseTTL time.Duration
+	// SnapshotEvery bounds journal growth: a snapshot is written and the
+	// journal truncated every N appends (default 256).
+	SnapshotEvery int
+	// Clock is the lease failure detector's time source (default
+	// time.Now); injectable so expiry tests are deterministic.
+	Clock func() time.Time
+	// NoSync skips the per-append fsync (tests only).
+	NoSync bool
+	// Metrics, when non-nil, receives AddLeaseExpiry for every lease the
+	// registry expires.
+	Metrics *metrics.Serve
+}
+
+// Registry job states. Live scheduling detail (queued vs running vs
+// parked) belongs to the owning peer and is reached by redirect; the
+// registry tracks only what must survive that peer: active vs terminal.
+const (
+	RecActive   = "active"
+	RecDone     = "done"
+	RecFailed   = "failed"
+	RecCanceled = "canceled"
+	RecShed     = "shed"
+	RecRejected = "rejected" // registered, then refused by local admission
+)
+
+// JobRecord is one job's registry entry.
+type JobRecord struct {
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"spec"`
+	// Ckpt is the job's checkpoint pointer: the path (in the fleet-shared
+	// checkpoint directory) an adopter resumes from. CkptIter is the last
+	// iteration known to have checkpointed (advisory; the file is the
+	// ground truth).
+	Ckpt     string `json:"ckpt,omitempty"`
+	CkptIter int    `json:"ckpt_iter,omitempty"`
+
+	State string `json:"state"`
+
+	// Ownership lease. Fence increments on every acquisition; Owner and
+	// OwnerInc identify the holder's identity and process incarnation.
+	// LeaseExpiry is unix-ns by the registry clock and deliberately NOT
+	// durable: a restarted registry expires everything.
+	Owner       string `json:"owner,omitempty"`
+	OwnerAddr   string `json:"owner_addr,omitempty"`
+	OwnerInc    uint64 `json:"owner_inc,omitempty"`
+	Fence       uint64 `json:"fence"`
+	LeaseExpiry int64  `json:"-"`
+
+	Adoptions int `json:"adoptions,omitempty"` // ownership changes after the first
+
+	Result *JobResult `json:"result,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
+// Terminal reports whether the record reached a terminal state.
+func (r *JobRecord) Terminal() bool { return r.State != RecActive }
+
+// Registry lease errors. The HTTP layer maps them to stable reason
+// strings and the client maps them back, so errors.Is works end-to-end.
+var (
+	ErrUnknownJob = errors.New("serve: registry: unknown job")
+	ErrLeaseHeld  = errors.New("serve: registry: lease held by another peer")
+	ErrFenceLost  = errors.New("serve: registry: lease fence lost")
+	ErrTerminal   = errors.New("serve: registry: job already terminal")
+)
+
+const (
+	regWALFile  = "registry.wal"
+	regSnapFile = "registry.snapshot.json"
+)
+
+// walRec is one journal record: a full-record upsert plus the id
+// allocator, so replay is order-insensitive per job and idempotent.
+type walRec struct {
+	Rec    *JobRecord `json:"rec"`
+	NextID uint64     `json:"next_id"`
+}
+
+type regSnapshot struct {
+	NextID uint64       `json:"next_id"`
+	Jobs   []*JobRecord `json:"jobs"`
+}
+
+// NewRegistry builds an in-memory registry (no journal, no snapshot):
+// the deterministic substrate for the fake-clock lease unit suite, and
+// for callers that accept losing the registry with the process.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 1500 * time.Millisecond
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 256
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Registry{cfg: cfg, met: cfg.Metrics, jobs: map[string]*JobRecord{}}
+}
+
+// OpenRegistry opens (creating if needed) a registry rooted at dir,
+// recovering snapshot + journal state. Recovered leases are expired:
+// whoever owned a job before the registry restarted must re-acquire it
+// through the normal adoption path.
+func OpenRegistry(dir string, cfg RegistryConfig) (*Registry, error) {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 1500 * time.Millisecond
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 256
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	r := &Registry{cfg: cfg, met: cfg.Metrics, jobs: map[string]*JobRecord{}}
+	if err := r.recover(dir); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, regWALFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := wal.Stat()
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	r.wal, r.walOff = wal, st.Size()
+	return r, nil
+}
+
+// recover loads the snapshot (if any) and replays the journal suffix. A
+// torn tail — partial final record or crc mismatch from a crash
+// mid-append — terminates replay without error: everything before it was
+// fsynced, the torn record was never acknowledged.
+func (r *Registry) recover(dir string) error {
+	if blob, err := os.ReadFile(filepath.Join(dir, regSnapFile)); err == nil {
+		var snap regSnapshot
+		if err := json.Unmarshal(blob, &snap); err != nil {
+			return fmt.Errorf("serve: registry snapshot: %w", err)
+		}
+		r.nextID = snap.NextID
+		for _, rec := range snap.Jobs {
+			r.jobs[rec.ID] = rec
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	f, err := os.Open(filepath.Join(dir, regWALFile))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	br := io.Reader(f)
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil // clean end or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if n == 0 || n > 16<<20 {
+			return nil
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return nil // torn record
+		}
+		var rec walRec
+		if err := json.Unmarshal(body, &rec); err != nil {
+			return nil
+		}
+		if rec.Rec != nil {
+			r.jobs[rec.Rec.ID] = rec.Rec
+		}
+		if rec.NextID > r.nextID {
+			r.nextID = rec.NextID
+		}
+	}
+}
+
+// appendLocked journals one record durably before the mutation becomes
+// visible. Mirrors internal/net/journal.go: a failed write rolls the
+// file back to the pre-append offset, or marks the log failed so nothing
+// appends past hidden damage. Caller holds r.mu.
+func (r *Registry) appendLocked(rec *JobRecord) error {
+	if r.wal == nil {
+		return nil // in-memory registry (unit tests)
+	}
+	if r.failed {
+		return errors.New("serve: registry journal damaged by an earlier failed append")
+	}
+	body, err := json.Marshal(walRec{Rec: rec, NextID: r.nextID})
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	werr := func() error {
+		if _, err := r.wal.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := r.wal.Write(body); err != nil {
+			return err
+		}
+		if r.cfg.NoSync {
+			return nil
+		}
+		return r.wal.Sync()
+	}()
+	if werr != nil {
+		if terr := r.wal.Truncate(r.walOff); terr != nil {
+			r.failed = true
+		}
+		return werr
+	}
+	r.walOff += int64(len(hdr)) + int64(len(body))
+	r.appends++
+	if r.appends >= r.cfg.SnapshotEvery {
+		r.snapshotLocked()
+	}
+	return nil
+}
+
+// snapshotLocked writes an atomic full-state snapshot and truncates the
+// journal. Best effort: a failed snapshot leaves the journal in place.
+func (r *Registry) snapshotLocked() {
+	dir := filepath.Dir(r.wal.Name())
+	snap := regSnapshot{NextID: r.nextID, Jobs: make([]*JobRecord, 0, len(r.jobs))}
+	for _, rec := range r.jobs {
+		snap.Jobs = append(snap.Jobs, rec)
+	}
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(dir, regSnapFile+".tmp")
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, regSnapFile)); err != nil {
+		return
+	}
+	if err := r.wal.Truncate(0); err != nil {
+		r.failed = true
+		return
+	}
+	if _, err := r.wal.Seek(0, io.SeekStart); err != nil {
+		r.failed = true
+		return
+	}
+	r.walOff, r.appends, r.failed = 0, 0, false
+}
+
+// Close snapshots and releases the journal.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wal == nil {
+		return nil
+	}
+	r.snapshotLocked()
+	err := r.wal.Close()
+	r.wal = nil
+	return err
+}
+
+// Create registers a new job owned by the submitting peer: the accepting
+// front end takes the lease immediately, so a job is covered from the
+// moment it is accepted — queued jobs on a crashed peer are adoptable
+// exactly like running ones. ckptDir is the fleet-shared checkpoint
+// directory; the record's checkpoint pointer follows the FleetRunner
+// convention <ckptDir>/<id>.ckpt. Returns the global job id and the
+// fence the owner must present on every subsequent write.
+func (r *Registry) Create(spec JobSpec, owner, ownerAddr string, inc uint64, ckptDir string) (string, uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	id := fmt.Sprintf("j-%06d", r.nextID)
+	ckpt := ""
+	if ckptDir != "" {
+		ckpt = filepath.Join(ckptDir, id+".ckpt")
+	}
+	rec := &JobRecord{
+		ID: id, Spec: spec, Ckpt: ckpt, State: RecActive,
+		Owner: owner, OwnerAddr: ownerAddr, OwnerInc: inc, Fence: 1,
+		LeaseExpiry: r.cfg.Clock().Add(r.cfg.LeaseTTL).UnixNano(),
+	}
+	if err := r.appendLocked(rec); err != nil {
+		r.nextID--
+		return "", 0, err
+	}
+	r.jobs[id] = rec
+	r.creates++
+	return id, 1, nil
+}
+
+// Heartbeat renews every lease in held (job id -> fence) that the
+// (owner, inc) pair still holds, and returns the ids it no longer does —
+// the peer must stop executing those: another peer adopted them, and the
+// fence will reject any write from the superseded session.
+func (r *Registry) Heartbeat(owner string, inc uint64, held map[string]uint64) (lost []string) {
+	now := r.cfg.Clock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, fence := range held {
+		rec := r.jobs[id]
+		if rec == nil || rec.Terminal() ||
+			rec.Owner != owner || rec.OwnerInc != inc || rec.Fence != fence {
+			lost = append(lost, id)
+			continue
+		}
+		rec.LeaseExpiry = now.Add(r.cfg.LeaseTTL).UnixNano()
+	}
+	sort.Strings(lost)
+	return lost
+}
+
+// Acquire takes an expired (or never-held) lease. Exactly one of N
+// racing peers wins: acquisitions are serialized under the registry
+// lock, the winner bumps the fence, and every later attempt sees a fresh
+// unexpired lease and fails with ErrLeaseHeld.
+func (r *Registry) Acquire(id, owner, ownerAddr string, inc uint64) (JobRecord, error) {
+	now := r.cfg.Clock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.jobs[id]
+	if rec == nil {
+		return JobRecord{}, ErrUnknownJob
+	}
+	if rec.Terminal() {
+		return JobRecord{}, ErrTerminal
+	}
+	if rec.Owner != "" && rec.LeaseExpiry > now.UnixNano() {
+		return JobRecord{}, fmt.Errorf("%w (owner %s)", ErrLeaseHeld, rec.Owner)
+	}
+	expired := rec.Owner != ""
+	prev := *rec
+	rec.Owner, rec.OwnerAddr, rec.OwnerInc = owner, ownerAddr, inc
+	rec.Fence++
+	if expired {
+		rec.Adoptions++
+	}
+	rec.LeaseExpiry = now.Add(r.cfg.LeaseTTL).UnixNano()
+	if err := r.appendLocked(rec); err != nil {
+		*rec = prev
+		return JobRecord{}, err
+	}
+	r.acquires++
+	if expired {
+		r.expiries++
+		r.met.AddLeaseExpiry()
+	}
+	return *rec, nil
+}
+
+// Release gives up ownership without a terminal outcome (graceful drain:
+// the peer parked the job with its checkpoint on disk). The job becomes
+// immediately adoptable. ids == nil releases everything (owner, inc)
+// holds. Returns the released ids.
+func (r *Registry) Release(owner string, inc uint64, ids []string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var released []string
+	match := func(rec *JobRecord) bool {
+		return !rec.Terminal() && rec.Owner == owner && rec.OwnerInc == inc
+	}
+	if ids == nil {
+		for id, rec := range r.jobs {
+			if match(rec) {
+				ids = append(ids, id)
+			}
+		}
+	}
+	for _, id := range ids {
+		rec := r.jobs[id]
+		if rec == nil || !match(rec) {
+			continue
+		}
+		prev := *rec
+		rec.Owner, rec.OwnerAddr, rec.OwnerInc, rec.LeaseExpiry = "", "", 0, 0
+		if err := r.appendLocked(rec); err != nil {
+			*rec = prev
+			continue
+		}
+		released = append(released, id)
+	}
+	sort.Strings(released)
+	return released
+}
+
+// UpdateCkpt advances the job's checkpoint pointer (advisory, in-memory;
+// the checkpoint file itself is the durable artifact). Fence-checked so
+// a superseded owner cannot move the pointer backward under the adopter.
+func (r *Registry) UpdateCkpt(id, owner string, inc, fence uint64, iter int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.jobs[id]
+	if rec == nil {
+		return ErrUnknownJob
+	}
+	if rec.Owner != owner || rec.OwnerInc != inc || rec.Fence != fence {
+		r.fenceRejects++
+		return ErrFenceLost
+	}
+	if iter > rec.CkptIter {
+		rec.CkptIter = iter
+	}
+	return nil
+}
+
+// Finish records a terminal outcome. Fence-checked: only the current
+// lease holder's session may finish the job, so the loser of an adoption
+// race cannot overwrite the winner's result — at-most-once outcome
+// recording, on top of the fresh-session exactly-once accumulation.
+func (r *Registry) Finish(id, owner string, inc, fence uint64, state string, res *JobResult, errMsg string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.jobs[id]
+	if rec == nil {
+		return ErrUnknownJob
+	}
+	if rec.Terminal() {
+		return ErrTerminal
+	}
+	if rec.Owner != owner || rec.OwnerInc != inc || rec.Fence != fence {
+		r.fenceRejects++
+		return ErrFenceLost
+	}
+	prev := *rec
+	rec.State = state
+	rec.Result, rec.Error = res, errMsg
+	rec.Owner, rec.OwnerAddr, rec.OwnerInc, rec.LeaseExpiry = "", "", 0, 0
+	if err := r.appendLocked(rec); err != nil {
+		*rec = prev
+		return err
+	}
+	r.finishes++
+	return nil
+}
+
+// Orphans lists active jobs with no live lease — unowned, or expired by
+// the registry clock. This is what each peer's adoption scanner polls.
+func (r *Registry) Orphans() []JobRecord {
+	now := r.cfg.Clock().UnixNano()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []JobRecord
+	for _, rec := range r.jobs {
+		if !rec.Terminal() && (rec.Owner == "" || rec.LeaseExpiry <= now) {
+			out = append(out, *rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns a copy of one record.
+func (r *Registry) Get(id string) (JobRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.jobs[id]
+	if rec == nil {
+		return JobRecord{}, false
+	}
+	return *rec, true
+}
+
+// List returns copies of all records, id-sorted.
+func (r *Registry) List() []JobRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobRecord, 0, len(r.jobs))
+	for _, rec := range r.jobs {
+		out = append(out, *rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RegistryStats is a point-in-time snapshot of the registry counters.
+type RegistryStats struct {
+	Jobs         int   `json:"jobs"`
+	Active       int   `json:"active"`
+	Owned        int   `json:"owned"`
+	Creates      int64 `json:"creates"`
+	Acquires     int64 `json:"acquires"`
+	Expiries     int64 `json:"lease_expiries"`
+	Finishes     int64 `json:"finishes"`
+	FenceRejects int64 `json:"fence_rejects"`
+}
+
+// Stats snapshots the registry.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RegistryStats{
+		Jobs: len(r.jobs), Creates: r.creates, Acquires: r.acquires,
+		Expiries: r.expiries, Finishes: r.finishes, FenceRejects: r.fenceRejects,
+	}
+	for _, rec := range r.jobs {
+		if !rec.Terminal() {
+			st.Active++
+			if rec.Owner != "" {
+				st.Owned++
+			}
+		}
+	}
+	return st
+}

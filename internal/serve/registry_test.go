@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// regClock is the deterministic time source the lease suite drives,
+// mirroring fleet_test.go's fakeClock: expiry happens exactly when the
+// test advances past the TTL, never because the wall clock moved.
+type regClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newRegClock() *regClock { return &regClock{t: time.Unix(1000, 0)} }
+
+func (c *regClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *regClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+const ttl = time.Second
+
+func newTestRegistry() (*Registry, *regClock) {
+	clk := newRegClock()
+	return NewRegistry(RegistryConfig{LeaseTTL: ttl, Clock: clk.Now}), clk
+}
+
+func mustCreate(t *testing.T, r *Registry, owner string, inc uint64) (string, uint64) {
+	t.Helper()
+	id, fence, err := r.Create(JobSpec{Molecule: "H2"}, owner, owner+":80", inc, "/ckpt")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return id, fence
+}
+
+func TestLeaseAcquireRenewExpiry(t *testing.T) {
+	r, clk := newTestRegistry()
+	id, fence := mustCreate(t, r, "p1", 1)
+	if fence != 1 {
+		t.Fatalf("initial fence = %d, want 1", fence)
+	}
+	if rec, _ := r.Get(id); rec.Ckpt != "/ckpt/"+id+".ckpt" {
+		t.Fatalf("ckpt pointer = %q, want FleetRunner convention", rec.Ckpt)
+	}
+
+	// Held lease: not an orphan, not acquirable.
+	if o := r.Orphans(); len(o) != 0 {
+		t.Fatalf("fresh lease listed as orphan: %v", o)
+	}
+	if _, err := r.Acquire(id, "p2", "p2:80", 2); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("Acquire on live lease: err = %v, want ErrLeaseHeld", err)
+	}
+
+	// Renewals keep it alive indefinitely: advance close to expiry,
+	// heartbeat, repeat — total elapsed far beyond one TTL.
+	for i := 0; i < 5; i++ {
+		clk.Advance(ttl - time.Millisecond)
+		if lost := r.Heartbeat("p1", 1, map[string]uint64{id: fence}); len(lost) != 0 {
+			t.Fatalf("heartbeat %d lost lease: %v", i, lost)
+		}
+	}
+	if o := r.Orphans(); len(o) != 0 {
+		t.Fatalf("renewed lease listed as orphan")
+	}
+
+	// No heartbeat past the TTL: deterministically expired.
+	clk.Advance(ttl + time.Millisecond)
+	o := r.Orphans()
+	if len(o) != 1 || o[0].ID != id {
+		t.Fatalf("expired lease not orphaned: %v", o)
+	}
+}
+
+func TestIncarnationFencing(t *testing.T) {
+	r, clk := newTestRegistry()
+	id, f1 := mustCreate(t, r, "p1", 100)
+
+	clk.Advance(ttl + time.Millisecond)
+	rec, err := r.Acquire(id, "p2", "p2:80", 200)
+	if err != nil {
+		t.Fatalf("adopt expired: %v", err)
+	}
+	if rec.Fence != f1+1 {
+		t.Fatalf("adoption fence = %d, want %d", rec.Fence, f1+1)
+	}
+	if rec.Adoptions != 1 {
+		t.Fatalf("adoptions = %d, want 1", rec.Adoptions)
+	}
+
+	// The superseded session is fenced out of every write path.
+	if err := r.UpdateCkpt(id, "p1", 100, f1, 7); !errors.Is(err, ErrFenceLost) {
+		t.Fatalf("stale UpdateCkpt: err = %v, want ErrFenceLost", err)
+	}
+	if err := r.Finish(id, "p1", 100, f1, RecDone, &JobResult{Energy: -1}, ""); !errors.Is(err, ErrFenceLost) {
+		t.Fatalf("stale Finish: err = %v, want ErrFenceLost", err)
+	}
+	if lost := r.Heartbeat("p1", 100, map[string]uint64{id: f1}); len(lost) != 1 || lost[0] != id {
+		t.Fatalf("stale heartbeat lost = %v, want [%s]", lost, id)
+	}
+	// Same peer id, NEW incarnation (restarted process) is equally fenced:
+	// identity does not carry ownership across restarts.
+	if err := r.Finish(id, "p1", 101, f1, RecDone, nil, ""); !errors.Is(err, ErrFenceLost) {
+		t.Fatalf("restarted-incarnation Finish: err = %v, want ErrFenceLost", err)
+	}
+
+	// The adopter's session works.
+	if err := r.UpdateCkpt(id, "p2", 200, rec.Fence, 3); err != nil {
+		t.Fatalf("adopter UpdateCkpt: %v", err)
+	}
+	if err := r.Finish(id, "p2", 200, rec.Fence, RecDone, &JobResult{Converged: true, Energy: -2}, ""); err != nil {
+		t.Fatalf("adopter Finish: %v", err)
+	}
+	got, _ := r.Get(id)
+	if got.State != RecDone || got.Result == nil || got.Result.Energy != -2 {
+		t.Fatalf("final record = %+v, want p2's outcome", got)
+	}
+	// Terminal records reject further acquisition and finishing.
+	if _, err := r.Acquire(id, "p3", "p3:80", 300); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("Acquire terminal: err = %v, want ErrTerminal", err)
+	}
+}
+
+// TestDoubleAdoptOneWinner is the lease-safety acceptance test: two
+// peers race to adopt the same expired job; exactly one wins the lease,
+// and the incarnation fence rejects the loser's entire session — its
+// renewal and its outcome — so exactly one execution can ever land.
+func TestDoubleAdoptOneWinner(t *testing.T) {
+	r, clk := newTestRegistry()
+	id, _ := mustCreate(t, r, "p0", 1)
+	clk.Advance(ttl + time.Millisecond)
+
+	type attempt struct {
+		rec JobRecord
+		err error
+	}
+	results := make([]attempt, 2)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	peers := []struct {
+		name string
+		inc  uint64
+	}{{"p1", 11}, {"p2", 22}}
+	for i, p := range peers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			rec, err := r.Acquire(id, p.name, p.name+":80", p.inc)
+			results[i] = attempt{rec, err}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	winners := 0
+	win, lose := -1, -1
+	for i, a := range results {
+		if a.err == nil {
+			winners++
+			win = i
+		} else if errors.Is(a.err, ErrLeaseHeld) {
+			lose = i
+		} else {
+			t.Fatalf("peer %d: unexpected error %v", i, a.err)
+		}
+	}
+	if winners != 1 || lose == -1 {
+		t.Fatalf("adoption race: %d winners (want exactly 1); results %+v", winners, results)
+	}
+
+	// The loser retries its Finish with the fence it WOULD have had (the
+	// winner's fence is the only valid one; anything the loser can know
+	// is stale) — fenced out, so its execution can never be recorded.
+	loser := peers[lose]
+	for f := uint64(0); f <= results[win].rec.Fence+1; f++ {
+		if err := r.Finish(id, loser.name, loser.inc, f, RecDone, &JobResult{Energy: -99}, ""); err == nil {
+			t.Fatalf("loser finished the job at fence %d", f)
+		}
+	}
+	winner := peers[win]
+	if err := r.Finish(id, winner.name, winner.inc, results[win].rec.Fence, RecDone, &JobResult{Converged: true, Energy: -1}, ""); err != nil {
+		t.Fatalf("winner Finish: %v", err)
+	}
+	got, _ := r.Get(id)
+	if got.Result == nil || got.Result.Energy != -1 {
+		t.Fatalf("recorded outcome %+v, want the winner's", got.Result)
+	}
+	st := r.Stats()
+	if st.FenceRejects == 0 {
+		t.Fatalf("fence rejects = 0, want > 0")
+	}
+	if st.Expiries != 1 {
+		t.Fatalf("lease expiries = %d, want 1", st.Expiries)
+	}
+}
+
+func TestReleaseMakesImmediatelyAdoptable(t *testing.T) {
+	r, _ := newTestRegistry()
+	id1, _ := mustCreate(t, r, "p1", 1)
+	id2, _ := mustCreate(t, r, "p1", 1)
+	mustCreate(t, r, "p2", 2)
+
+	// nil ids = everything (p1, 1) holds; p2's job is untouched.
+	released := r.Release("p1", 1, nil)
+	if len(released) != 2 || released[0] != id1 || released[1] != id2 {
+		t.Fatalf("released = %v, want [%s %s]", released, id1, id2)
+	}
+	if o := r.Orphans(); len(o) != 2 {
+		t.Fatalf("orphans after release = %v, want both of p1's", o)
+	}
+	// No expiry elapsed: adoption works NOW (graceful drain handoff).
+	if _, err := r.Acquire(id1, "p3", "p3:80", 3); err != nil {
+		t.Fatalf("adopt released: %v", err)
+	}
+	if st := r.Stats(); st.Expiries != 0 {
+		t.Fatalf("release counted as expiry: %d", st.Expiries)
+	}
+}
+
+// TestRegistryRecovery proves what survives a registry crash (specs,
+// states, fence sequence) and what deliberately does not (leases).
+func TestRegistryRecovery(t *testing.T) {
+	dir := t.TempDir()
+	clk := newRegClock()
+	cfg := RegistryConfig{LeaseTTL: ttl, Clock: clk.Now, NoSync: true, SnapshotEvery: 3}
+
+	r, err := OpenRegistry(dir, cfg)
+	if err != nil {
+		t.Fatalf("OpenRegistry: %v", err)
+	}
+	idLive, fence := mustCreate(t, r, "p1", 1)
+	idDone, fdone := mustCreate(t, r, "p1", 1)
+	if err := r.Finish(idDone, "p1", 1, fdone, RecDone, &JobResult{Converged: true, Energy: -7}, ""); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	// Crash: no Close, the WAL tail is whatever was appended.
+
+	r2, err := OpenRegistry(dir, cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r2.Close()
+	rec, ok := r2.Get(idDone)
+	if !ok || rec.State != RecDone || rec.Result == nil || rec.Result.Energy != -7 {
+		t.Fatalf("terminal outcome lost across restart: %+v", rec)
+	}
+	live, ok := r2.Get(idLive)
+	if !ok || live.State != RecActive {
+		t.Fatalf("active record lost across restart: %+v", live)
+	}
+	if live.Fence != fence {
+		t.Fatalf("fence across restart = %d, want %d", live.Fence, fence)
+	}
+	// Leases are not durable: the live job is immediately adoptable even
+	// though its pre-crash TTL has not elapsed by the clock.
+	o := r2.Orphans()
+	if len(o) != 1 || o[0].ID != idLive {
+		t.Fatalf("recovered lease not expired: %v", o)
+	}
+	// And the old owner's session stays fenced after recovery too.
+	adopted, err := r2.Acquire(idLive, "p2", "p2:80", 2)
+	if err != nil {
+		t.Fatalf("adopt after recovery: %v", err)
+	}
+	if adopted.Fence != fence+1 {
+		t.Fatalf("fence monotonicity broken across restart: %d, want %d", adopted.Fence, fence+1)
+	}
+	if err := r2.Finish(idLive, "p1", 1, fence, RecDone, nil, ""); !errors.Is(err, ErrFenceLost) {
+		t.Fatalf("pre-crash owner Finish after recovery: err = %v, want ErrFenceLost", err)
+	}
+	// New ids never collide with pre-crash ones.
+	id3, _ := mustCreate(t, r2, "p2", 2)
+	if id3 == idLive || id3 == idDone {
+		t.Fatalf("id allocator reused %s after restart", id3)
+	}
+}

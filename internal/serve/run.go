@@ -67,6 +67,11 @@ type FleetRunner struct {
 	// TuneCore, when non-nil, adjusts each build's core.Options
 	// (lease TTLs, retry budgets) after the runner's own settings.
 	TuneCore func(*core.Options)
+	// OnCheckpoint, when non-nil, is called after each iteration's
+	// checkpoint is on disk (the HA tier pushes the job's checkpoint
+	// pointer to the shared registry; best-effort, never blocks the SCF
+	// on registry health).
+	OnCheckpoint func(j *Job, iter int)
 	// RPC and Serve are the shared metric sinks (may be nil).
 	RPC   *metrics.RPC
 	Serve *metrics.Serve
@@ -198,6 +203,9 @@ func (r *FleetRunner) attempt(ctx context.Context, j *Job, mol *chem.Molecule, c
 			j.resumeAt = iter + 1
 			j.appendLocked(Event{Type: "iteration", Iter: iter, Energy: it.Energy, DeltaE: dE})
 			j.mu.Unlock()
+			if r.OnCheckpoint != nil {
+				r.OnCheckpoint(j, iter)
+			}
 		},
 	}
 	if ck, err := scf.LoadCheckpointFallback(ckptPath); err == nil && ck != nil {

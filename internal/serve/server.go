@@ -61,6 +61,12 @@ type Config struct {
 	Estimate func(JobSpec) (int, error)
 	// Metrics, when non-nil, collects the admission/queue/shed counters.
 	Metrics *metrics.Serve
+	// OnTerminal, when non-nil, is invoked (on its own goroutine, after
+	// the state transition is visible) each time a job reaches a terminal
+	// state — done, failed, canceled or shed. The HA tier uses it to
+	// record the outcome in the shared job registry; drain-parks are NOT
+	// terminal and do not fire it.
+	OnTerminal func(*Job)
 }
 
 // RejectError is an explicit 503-style admission refusal: the job was
@@ -144,7 +150,12 @@ func jobBytes(nbf int) int64 {
 // Submit runs admission control and either enqueues the job or returns
 // an explicit rejection. The error is a *RejectError for overload
 // refusals (503) and a plain error for malformed specs (400).
-func (s *Server) Submit(spec JobSpec) (*Job, error) {
+func (s *Server) Submit(spec JobSpec) (*Job, error) { return s.SubmitID("", spec) }
+
+// SubmitID is Submit with a caller-supplied job id (the HA tier submits
+// under registry-allocated global ids so every peer names a job the same
+// way); id == "" allocates a local one.
+func (s *Server) SubmitID(id string, spec JobSpec) (*Job, error) {
 	s.met.AddSubmitted()
 	spec.Tenant = tenantName(spec.Tenant)
 	if spec.Basis == "" {
@@ -171,8 +182,10 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 			Msg: fmt.Sprintf("serve: memory budget exceeded (%d + %d > %d bytes)", s.memUsed, bytes, s.cfg.MemBudget)}
 	}
 
-	s.nextID++
-	id := fmt.Sprintf("j-%06d", s.nextID)
+	if id == "" {
+		s.nextID++
+		id = fmt.Sprintf("j-%06d", s.nextID)
+	}
 	ctx := context.Background()
 	var cancel context.CancelCauseFunc
 	if spec.DeadlineMs > 0 {
@@ -214,6 +227,85 @@ func (j *Job) appendQueued() {
 	j.mu.Unlock()
 }
 
+// Adopt re-enters an already-admitted job — adopted from a crashed
+// peer's expired lease — into the local scheduler. Adoption is re-entry,
+// not admission: the job was accepted by the service when first
+// submitted, so the queue-depth bound and the shed ladder do not apply
+// (the adoption scanner checks local memory headroom before acquiring
+// the lease, which keeps the transient overshoot bounded). The job
+// resumes from its on-disk checkpoint through the runner's normal
+// fresh-session path.
+func (s *Server) Adopt(id string, spec JobSpec) (*Job, error) {
+	spec.Tenant = tenantName(spec.Tenant)
+	if spec.Basis == "" {
+		spec.Basis = "sto-3g"
+	}
+	if spec.MaxIter <= 0 {
+		spec.MaxIter = 30
+	}
+	nbf, err := s.cfg.Estimate(spec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: bad adopted job spec: %w", err)
+	}
+	bytes := jobBytes(nbf)
+	tc := s.tenantConfig(spec.Tenant)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if s.jobs[id] != nil {
+		return nil, fmt.Errorf("serve: job %s already present", id)
+	}
+	ctx := context.Background()
+	var cancel context.CancelCauseFunc
+	if spec.DeadlineMs > 0 {
+		// The deadline restarts on the adopter: the original submission
+		// time died with the old owner, and a conservative (longer) total
+		// latency beats canceling work that survived a crash.
+		ctx, cancel = withDeadlineCause(ctx, time.Duration(spec.DeadlineMs)*time.Millisecond, ErrDeadline)
+	} else {
+		ctx, cancel = context.WithCancelCause(ctx)
+	}
+	j := newJob(id, spec, nbf, bytes, tc.Weight, ctx, cancel)
+	s.jobs[id] = j
+	s.memUsed += bytes
+	j.mu.Lock()
+	j.appendLocked(Event{Type: "queued", State: StateQueued, Msg: "adopted"})
+	j.mu.Unlock()
+	t := s.q.tenant(spec.Tenant, tc.Weight, tc.MaxQueued, tc.MaxRunning)
+	s.q.requeue(t, j)
+	s.met.SetQueueDepth(s.q.depth)
+	s.scheduleLocked()
+	return j, nil
+}
+
+// Kill simulates abrupt process death for chaos runs: scheduling and
+// admission stop instantly, queued jobs are abandoned where they stand,
+// and running jobs' contexts are canceled so their goroutines unwind.
+// Nothing is parked, drained, or reported — exactly what a SIGKILLed
+// daemon leaves behind. Local job state afterwards is meaningless; the
+// registry's lease expiry is what recovers the jobs elsewhere.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	s.draining = true
+	s.q.drainQueued()
+	s.met.SetQueueDepth(0)
+	for _, cancel := range s.running {
+		cancel(ErrKilled)
+	}
+	s.mu.Unlock()
+}
+
+// Draining reports whether the server has stopped admission (drain in
+// progress or completed). The /readyz endpoint keys off it.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 // withDeadlineCause is context.WithDeadlineCause wrapped to also return
 // a CancelCauseFunc usable for client cancellation; calling it releases
 // the deadline timer too.
@@ -239,6 +331,9 @@ func (s *Server) finalizeShedLocked(victim, by *Job) {
 	victim.cond.Broadcast()
 	victim.mu.Unlock()
 	victim.cancel(ErrCanceled)
+	if s.cfg.OnTerminal != nil {
+		go s.cfg.OnTerminal(victim)
+	}
 }
 
 // maybePreemptLocked parks the lowest-priority running job when every
@@ -371,6 +466,9 @@ func (s *Server) finishLocked(j *Job, res *JobResult, err error) {
 	}
 	j.mu.Unlock()
 	j.cancel(nil)
+	if s.cfg.OnTerminal != nil {
+		go s.cfg.OnTerminal(j)
+	}
 	s.noteDrainedLocked()
 }
 
