@@ -82,7 +82,7 @@ func main() {
 		regDir    = flag.String("registry-dir", "", "embedded registry durability directory ('' = in-memory)")
 		advertise = flag.String("advertise", "", "job-API address other peers redirect clients to (default -listen)")
 		peerID    = flag.String("peer-id", "", "stable peer identity in the registry (default -advertise)")
-		leaseTTL  = flag.Duration("lease-ttl", 1500*time.Millisecond, "embedded registry lease TTL")
+		leaseTTL  = flag.Duration("lease-ttl", 1500*time.Millisecond, "embedded registry lease TTL (registry host only; joining peers fetch the host's TTL)")
 		scanEvery = flag.Duration("scan-every", time.Second, "adoption scanner cadence (HA mode)")
 
 		faultReset = flag.Float64("fault-net-reset", 0, "injected connection-reset probability per RPC (chaos)")
@@ -184,13 +184,16 @@ func main() {
 		if id == "" {
 			id = adv
 		}
+		// HeartbeatEvery is deliberately left zero: the peer derives it
+		// from the registry's advertised TTL, so a joining peer whose
+		// -lease-ttl disagrees with the registry host's cannot heartbeat
+		// too slowly and falsely expire its own leases.
 		peer, err = serve.NewPeer(serve.PeerConfig{
 			ID: id, Addr: adv,
-			Registry:       serve.NewRegistryClient(regTarget, 0),
-			CheckpointDir:  *ckptDir,
-			Server:         cfg,
-			HeartbeatEvery: *leaseTTL / 3,
-			ScanEvery:      *scanEvery,
+			Registry:      serve.NewRegistryClient(regTarget, 0),
+			CheckpointDir: *ckptDir,
+			Server:        cfg,
+			ScanEvery:     *scanEvery,
 		})
 		fatalIf(err)
 		srv = peer.Server()

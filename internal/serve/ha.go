@@ -69,8 +69,12 @@ type PeerConfig struct {
 	// FleetRunner); the Peer wraps it with lease acquisition and wires
 	// OnTerminal to the registry.
 	Server Config
-	// HeartbeatEvery is the lease-renewal cadence (default 500ms; keep it
-	// at most a third of the registry's LeaseTTL).
+	// HeartbeatEvery is the lease-renewal cadence. Zero derives a third
+	// of the registry's ADVERTISED LeaseTTL (fetched from its stats) —
+	// never a locally-configured TTL, which on a joining peer can
+	// disagree with the registry host's and make the peer heartbeat so
+	// slowly its own leases falsely expire. Falls back to 500ms when the
+	// registry cannot be reached at construction.
 	HeartbeatEvery time.Duration
 	// ScanEvery is the adoption scanner's cadence (default 1s).
 	ScanEvery time.Duration
@@ -92,6 +96,18 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	}
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = 500 * time.Millisecond
+		// The registry may still be binding its listener (same-process
+		// startup), so give the fetch a few tries before falling back.
+		for attempt := 0; attempt < 5; attempt++ {
+			st, err := cfg.Registry.Stats()
+			if err == nil {
+				if st.LeaseTTL > 0 {
+					cfg.HeartbeatEvery = st.LeaseTTL / 3
+				}
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
 	}
 	if cfg.ScanEvery <= 0 {
 		cfg.ScanEvery = time.Second

@@ -62,6 +62,34 @@ func newTestRegistryServer(t *testing.T) (*Registry, *httptest.Server) {
 	return reg, srv
 }
 
+// TestPeerDerivesHeartbeatFromRegistryTTL: with no explicit cadence a
+// peer must heartbeat at a third of the TTL the registry ADVERTISES, not
+// of whatever TTL its own flags claim — a joining peer configured with a
+// longer -lease-ttl than the registry host's would otherwise heartbeat
+// too slowly and falsely expire its own leases.
+func TestPeerDerivesHeartbeatFromRegistryTTL(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{LeaseTTL: 900 * time.Millisecond})
+	srv := httptest.NewServer((&RegistryAPI{Reg: reg}).Handler())
+	t.Cleanup(srv.Close)
+	if ttl := reg.Stats().LeaseTTL; ttl != 900*time.Millisecond {
+		t.Fatalf("advertised TTL = %s, want 900ms", ttl)
+	}
+	p, err := NewPeer(PeerConfig{
+		ID: "peer-a", Addr: "127.0.0.1:1",
+		Registry:      NewRegistryClient(srv.URL, time.Second),
+		CheckpointDir: t.TempDir(),
+		Server:        Config{Capacity: 1, Runner: newGate(), Estimate: stubEstimate},
+		ScanEvery:     time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	if got := p.cfg.HeartbeatEvery; got != 300*time.Millisecond {
+		t.Fatalf("derived HeartbeatEvery = %s, want TTL/3 = 300ms", got)
+	}
+}
+
 func readyz(t *testing.T, api *httptest.Server) (int, string) {
 	t.Helper()
 	resp, err := http.Get(api.URL + "/readyz")

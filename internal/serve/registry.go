@@ -181,68 +181,80 @@ func OpenRegistry(dir string, cfg RegistryConfig) (*Registry, error) {
 		return nil, err
 	}
 	r := &Registry{cfg: cfg, met: cfg.Metrics, jobs: map[string]*JobRecord{}}
-	if err := r.recover(dir); err != nil {
-		return nil, err
-	}
-	wal, err := os.OpenFile(filepath.Join(dir, regWALFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	good, err := r.recover(dir)
 	if err != nil {
 		return nil, err
 	}
-	st, err := wal.Stat()
-	if err != nil {
-		wal.Close()
+	// Cut any torn tail back to the intact prefix BEFORE opening for
+	// append (mirroring internal/net/journal.go's 'good' handling):
+	// otherwise new fsynced records land after the tear, and the next
+	// restart's replay — which stops at the tear — silently drops them.
+	walPath := filepath.Join(dir, regWALFile)
+	if st, err := os.Stat(walPath); err == nil {
+		if st.Size() > good {
+			if err := os.Truncate(walPath, good); err != nil {
+				return nil, err
+			}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}
-	r.wal, r.walOff = wal, st.Size()
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	r.wal, r.walOff = wal, good
 	return r, nil
 }
 
 // recover loads the snapshot (if any) and replays the journal suffix. A
 // torn tail — partial final record or crc mismatch from a crash
 // mid-append — terminates replay without error: everything before it was
-// fsynced, the torn record was never acknowledged.
-func (r *Registry) recover(dir string) error {
+// fsynced, the torn record was never acknowledged. good is the byte
+// length of the intact prefix; the caller truncates the journal to it so
+// fresh appends extend the intact log instead of hiding behind the tear.
+func (r *Registry) recover(dir string) (good int64, err error) {
 	if blob, err := os.ReadFile(filepath.Join(dir, regSnapFile)); err == nil {
 		var snap regSnapshot
 		if err := json.Unmarshal(blob, &snap); err != nil {
-			return fmt.Errorf("serve: registry snapshot: %w", err)
+			return 0, fmt.Errorf("serve: registry snapshot: %w", err)
 		}
 		r.nextID = snap.NextID
 		for _, rec := range snap.Jobs {
 			r.jobs[rec.ID] = rec
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
-		return err
+		return 0, err
 	}
 	f, err := os.Open(filepath.Join(dir, regWALFile))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil
+			return 0, nil
 		}
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	br := io.Reader(f)
 	var hdr [8]byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return nil // clean end or torn header
+			return good, nil // clean end or torn header
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:])
 		crc := binary.LittleEndian.Uint32(hdr[4:])
 		if n == 0 || n > 16<<20 {
-			return nil
+			return good, nil
 		}
 		body := make([]byte, n)
 		if _, err := io.ReadFull(br, body); err != nil {
-			return nil // torn body
+			return good, nil // torn body
 		}
 		if crc32.ChecksumIEEE(body) != crc {
-			return nil // torn record
+			return good, nil // torn record
 		}
 		var rec walRec
 		if err := json.Unmarshal(body, &rec); err != nil {
-			return nil
+			return good, nil // undecodable yet checksummed: treat as torn
 		}
 		if rec.Rec != nil {
 			r.jobs[rec.Rec.ID] = rec.Rec
@@ -250,6 +262,7 @@ func (r *Registry) recover(dir string) error {
 		if rec.NextID > r.nextID {
 			r.nextID = rec.NextID
 		}
+		good += int64(len(hdr)) + int64(n)
 	}
 }
 
@@ -298,7 +311,11 @@ func (r *Registry) appendLocked(rec *JobRecord) error {
 }
 
 // snapshotLocked writes an atomic full-state snapshot and truncates the
-// journal. Best effort: a failed snapshot leaves the journal in place.
+// journal. The snapshot file and its directory are fsynced before the
+// truncate (as in internal/net/journal.go's writeSnapshot): the journal
+// is the only copy of the state until the snapshot is durable, so cutting
+// it on the strength of an unsynced rename could lose both to a power
+// cut. Best effort: any failed step leaves the journal in place.
 func (r *Registry) snapshotLocked() {
 	dir := filepath.Dir(r.wal.Name())
 	snap := regSnapshot{NextID: r.nextID, Jobs: make([]*JobRecord, 0, len(r.jobs))}
@@ -310,11 +327,40 @@ func (r *Registry) snapshotLocked() {
 		return
 	}
 	tmp := filepath.Join(dir, regSnapFile+".tmp")
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if !r.cfg.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, regSnapFile)); err != nil {
+		os.Remove(tmp)
 		return
+	}
+	if !r.cfg.NoSync {
+		d, err := os.Open(dir)
+		if err != nil {
+			return
+		}
+		serr := d.Sync()
+		d.Close()
+		if serr != nil {
+			return
+		}
 	}
 	if err := r.wal.Truncate(0); err != nil {
 		r.failed = true
@@ -554,15 +600,18 @@ func (r *Registry) List() []JobRecord {
 }
 
 // RegistryStats is a point-in-time snapshot of the registry counters.
+// LeaseTTL advertises the registry's actual TTL so joining peers derive
+// their heartbeat cadence from it instead of trusting their own flags.
 type RegistryStats struct {
-	Jobs         int   `json:"jobs"`
-	Active       int   `json:"active"`
-	Owned        int   `json:"owned"`
-	Creates      int64 `json:"creates"`
-	Acquires     int64 `json:"acquires"`
-	Expiries     int64 `json:"lease_expiries"`
-	Finishes     int64 `json:"finishes"`
-	FenceRejects int64 `json:"fence_rejects"`
+	Jobs         int           `json:"jobs"`
+	Active       int           `json:"active"`
+	Owned        int           `json:"owned"`
+	Creates      int64         `json:"creates"`
+	Acquires     int64         `json:"acquires"`
+	Expiries     int64         `json:"lease_expiries"`
+	Finishes     int64         `json:"finishes"`
+	FenceRejects int64         `json:"fence_rejects"`
+	LeaseTTL     time.Duration `json:"lease_ttl_ns"`
 }
 
 // Stats snapshots the registry.
@@ -572,6 +621,7 @@ func (r *Registry) Stats() RegistryStats {
 	st := RegistryStats{
 		Jobs: len(r.jobs), Creates: r.creates, Acquires: r.acquires,
 		Expiries: r.expiries, Finishes: r.finishes, FenceRejects: r.fenceRejects,
+		LeaseTTL: r.cfg.LeaseTTL,
 	}
 	for _, rec := range r.jobs {
 		if !rec.Terminal() {

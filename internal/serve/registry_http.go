@@ -122,8 +122,16 @@ func decodeReq(w http.ResponseWriter, r *http.Request) (*regReq, bool) {
 // writeLeaseErr reports a lease violation. These are application-level
 // outcomes, not transport failures, so they travel as 200 + reason — a
 // peer must distinguish "you lost the race" from "the registry is down".
+// Anything that is NOT one of the lease sentinels (a WAL append failure,
+// say) travels as a 500 with its message, so a disk failure looks like a
+// retriable transport-class error instead of a contentless lease race.
 func writeLeaseErr(w http.ResponseWriter, err error) {
-	writeJSON(w, http.StatusOK, regResp{OK: false, Reason: leaseReason(err)})
+	reason := leaseReason(err)
+	if reason == "" {
+		writeJSON(w, http.StatusInternalServerError, regResp{Reason: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, regResp{OK: false, Reason: reason})
 }
 
 func (a *RegistryAPI) create(w http.ResponseWriter, r *http.Request) {

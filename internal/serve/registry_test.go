@@ -2,6 +2,10 @@ package serve
 
 import (
 	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -284,5 +288,94 @@ func TestRegistryRecovery(t *testing.T) {
 	id3, _ := mustCreate(t, r2, "p2", 2)
 	if id3 == idLive || id3 == idDone {
 		t.Fatalf("id allocator reused %s after restart", id3)
+	}
+}
+
+// TestRecoveryTruncatesTornTail: a crash mid-append leaves a torn record
+// at the WAL tail. Recovery must cut the file back to the intact prefix
+// BEFORE reopening for append — otherwise records acknowledged after the
+// restart land behind the tear, and the next restart's replay (which
+// stops at the tear) silently drops them.
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := RegistryConfig{LeaseTTL: ttl, NoSync: true}
+
+	r, err := OpenRegistry(dir, cfg)
+	if err != nil {
+		t.Fatalf("OpenRegistry: %v", err)
+	}
+	idOld, _ := mustCreate(t, r, "p1", 1)
+	// Crash mid-append: the header promises 32 body bytes, only 3 made it.
+	wal := filepath.Join(dir, regWALFile)
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x20, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 'c', 'u', 't'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r2, err := OpenRegistry(dir, cfg)
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	idNew, fence := mustCreate(t, r2, "p2", 2) // acknowledged post-recovery
+	// Crash again: no Close, no snapshot — replay alone must see idNew.
+
+	r3, err := OpenRegistry(dir, cfg)
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer r3.Close()
+	if _, ok := r3.Get(idOld); !ok {
+		t.Fatalf("pre-tear record %s lost", idOld)
+	}
+	rec, ok := r3.Get(idNew)
+	if !ok {
+		t.Fatalf("record %s acknowledged after torn-tail recovery was silently dropped by the next restart", idNew)
+	}
+	if rec.Fence != fence || rec.Owner != "p2" {
+		t.Fatalf("post-tear record = %+v, want owner p2 fence %d", rec, fence)
+	}
+}
+
+// TestRegistryHTTPNonLeaseErrorIs500: a WAL/disk failure inside a fenced
+// endpoint must surface as a 500 carrying its cause, not as
+// 200 {ok:false, reason:""} — a client cannot be left unable to tell a
+// disk failure from a lease race.
+func TestRegistryHTTPNonLeaseErrorIs500(t *testing.T) {
+	r, err := OpenRegistry(t.TempDir(), RegistryConfig{LeaseTTL: ttl, NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenRegistry: %v", err)
+	}
+	defer r.Close()
+	id, fence := mustCreate(t, r, "p1", 1)
+	r.mu.Lock()
+	r.failed = true // simulate a journal damaged by an earlier failed append
+	r.mu.Unlock()
+
+	srv := httptest.NewServer((&RegistryAPI{Reg: r}).Handler())
+	defer srv.Close()
+	c := NewRegistryClient(srv.URL, time.Second)
+
+	err = c.Finish(id, "p1", 1, fence, RecDone, nil, "")
+	if err == nil {
+		t.Fatal("Finish over a damaged journal succeeded")
+	}
+	for _, sentinel := range []error{ErrUnknownJob, ErrLeaseHeld, ErrFenceLost, ErrTerminal} {
+		if errors.Is(err, sentinel) {
+			t.Fatalf("disk failure mapped to lease sentinel %v", sentinel)
+		}
+	}
+	if !strings.Contains(err.Error(), "HTTP 500") || !strings.Contains(err.Error(), "damaged") {
+		t.Fatalf("err = %v, want HTTP 500 carrying the journal-damage cause", err)
+	}
+
+	r.mu.Lock()
+	r.failed = false
+	r.mu.Unlock()
+	if err := c.Finish(id, "p1", 1, fence, RecDone, nil, ""); err != nil {
+		t.Fatalf("Finish after repair: %v", err)
 	}
 }
